@@ -1,0 +1,54 @@
+//! Ablation latency benches: what each design ingredient costs in runtime.
+//! (Quality impact is measured by `repro-ablations`; this bench shows the
+//! *time* side of each trade-off on the same configurations.)
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use relpat_eval::ablation_suite;
+use relpat_kb::{generate, KbConfig, KnowledgeBase};
+use relpat_patterns::{mine, CorpusConfig};
+use relpat_qa::Pipeline;
+use std::sync::OnceLock;
+
+const QUESTIONS: &[&str] = &[
+    "Which book is written by Orhan Pamuk?",
+    "Where did Abraham Lincoln die?",
+    "How tall is Michael Jordan?",
+    "Who is the wife of Barack Obama?",
+];
+
+fn kb() -> &'static KnowledgeBase {
+    static KB: OnceLock<KnowledgeBase> = OnceLock::new();
+    KB.get_or_init(|| generate(&KbConfig::default()))
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let kb = kb();
+    let mined = mine(kb, &CorpusConfig::default());
+    let mut pipeline =
+        Pipeline::with_pattern_store(kb, mined.store, relpat_qa::PipelineConfig::standard());
+
+    let mut group = c.benchmark_group("ablation_latency");
+    group.sample_size(20);
+    for ablation in ablation_suite() {
+        // Skip redundant threshold points to keep bench time sane.
+        if ablation.name.starts_with("A4") && ablation.name != "A4-sim-0.70" {
+            continue;
+        }
+        pipeline.set_config(ablation.config.clone());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(ablation.name),
+            &pipeline,
+            |b, p| {
+                b.iter(|| {
+                    for q in QUESTIONS {
+                        black_box(p.answer(q).is_answered());
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Perf P1: NLP substrate throughput — tokenizer, tagger, dependency parser.
+//!
+//! The paper's pipeline calls Stanford CoreNLP once per question; our
+//! substitute must be fast enough that parsing never dominates end-to-end
+//! latency. Reports per-question cost of each layer.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use relpat_nlp::{parse, parse_sentence, tag, tag_sentence, tokenize};
+
+fn question_batch() -> Vec<&'static str> {
+    vec![
+        "Which book is written by Orhan Pamuk?",
+        "What is the height of Michael Jordan?",
+        "How tall is Michael Jordan?",
+        "Where did Abraham Lincoln die?",
+        "Who directed Titanic?",
+        "Which films did James Cameron direct?",
+        "Give me all books written by Orhan Pamuk.",
+        "When was Albert Einstein born?",
+        "Who is the wife of Barack Obama?",
+        "Is Frank Herbert still alive?",
+        "In which city was Ludwig van Beethoven born?",
+        "How many people live in Turkey?",
+    ]
+}
+
+fn bench_nlp(c: &mut Criterion) {
+    let questions = question_batch();
+    let mut group = c.benchmark_group("nlp");
+    group.throughput(Throughput::Elements(questions.len() as u64));
+
+    group.bench_function("tokenize", |b| {
+        b.iter(|| {
+            for q in &questions {
+                black_box(tokenize(q));
+            }
+        })
+    });
+
+    group.bench_function("tag", |b| {
+        b.iter(|| {
+            for q in &questions {
+                black_box(tag_sentence(q));
+            }
+        })
+    });
+
+    let tagged: Vec<_> = questions.iter().map(|q| tag(&tokenize(q))).collect();
+    group.bench_function("parse_only", |b| {
+        b.iter(|| {
+            for t in &tagged {
+                black_box(parse(t.clone()));
+            }
+        })
+    });
+
+    group.bench_function("full_parse", |b| {
+        b.iter(|| {
+            for q in &questions {
+                black_box(parse_sentence(q));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_nlp);
+criterion_main!(benches);

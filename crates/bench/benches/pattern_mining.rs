@@ -1,0 +1,46 @@
+//! Perf P3: relational-pattern mining throughput — corpus synthesis,
+//! mention detection + distant supervision, store/taxonomy construction —
+//! as a function of corpus size.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use relpat_kb::{generate, KbConfig};
+use relpat_patterns::{extract_occurrences, generate_corpus, mine, CorpusConfig, PatternStore};
+
+fn bench_mining(c: &mut Criterion) {
+    let kb = generate(&KbConfig::tiny());
+    let mut group = c.benchmark_group("pattern_mining");
+    group.sample_size(10);
+
+    for realizations in [1usize, 2, 3] {
+        let config = CorpusConfig { max_realizations: realizations, ..CorpusConfig::default() };
+        let corpus = generate_corpus(&kb, &config);
+        let sentences = corpus.len() as u64;
+
+        group.throughput(Throughput::Elements(sentences));
+        group.bench_with_input(
+            BenchmarkId::new("corpus_gen", format!("r{realizations}({sentences}s)")),
+            &config,
+            |b, cfg| b.iter(|| black_box(generate_corpus(&kb, cfg)).len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("extraction", format!("r{realizations}({sentences}s)")),
+            &corpus,
+            |b, corpus| b.iter(|| black_box(extract_occurrences(&kb, corpus)).len()),
+        );
+        let occurrences = extract_occurrences(&kb, &corpus);
+        group.bench_with_input(
+            BenchmarkId::new("store_build", format!("r{realizations}({sentences}s)")),
+            &occurrences,
+            |b, occ| b.iter(|| black_box(PatternStore::from_occurrences(occ)).pattern_count()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_mine", format!("r{realizations}")),
+            &config,
+            |b, cfg| b.iter(|| black_box(mine(&kb, cfg)).occurrences),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mining);
+criterion_main!(benches);

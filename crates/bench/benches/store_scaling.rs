@@ -1,0 +1,63 @@
+//! Perf P2: triple-store load time and SPARQL latency vs knowledge-base
+//! size. Generates the synthetic DBpedia at growing scales and measures
+//! representative query shapes (the ones the QA pipeline emits).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use relpat_kb::{generate, KbConfig};
+
+const QUERIES: &[(&str, &str)] = &[
+    (
+        "class_scan",
+        "SELECT ?x { ?x rdf:type dbont:Book }",
+    ),
+    (
+        "paper_join",
+        "SELECT ?x { ?x rdf:type dbont:Book . ?x dbont:author res:Orhan_Pamuk }",
+    ),
+    (
+        "subject_lookup",
+        "SELECT ?h { res:Michael_Jordan dbont:height ?h }",
+    ),
+    (
+        "filtered",
+        "SELECT ?c { ?c rdf:type dbont:City . ?c dbont:populationTotal ?p FILTER(?p > 3000000) }",
+    ),
+    (
+        "ask",
+        "ASK { res:Snow dbont:author res:Orhan_Pamuk }",
+    ),
+];
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_scaling");
+    group.sample_size(20);
+
+    for factor in [1usize, 2, 4] {
+        let config = KbConfig::scaled(factor);
+        let kb = generate(&config);
+        let triples = kb.len() as u64;
+
+        group.throughput(Throughput::Elements(triples));
+        group.bench_with_input(
+            BenchmarkId::new("generate", format!("x{factor}({triples}t)")),
+            &config,
+            |b, cfg| b.iter(|| black_box(generate(cfg)).len()),
+        );
+
+        for (name, query) in QUERIES {
+            group.bench_with_input(
+                BenchmarkId::new(*name, format!("x{factor}({triples}t)")),
+                &kb,
+                |b, kb| {
+                    b.iter(|| {
+                        black_box(kb.query(query).expect("query runs"));
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Ablation study over the pipeline's design choices (DESIGN.md §5):
+//! relational patterns, WordNet expansion, type checking, similarity
+//! threshold, centrality disambiguation — each re-evaluated on the full
+//! Table-2 benchmark, plus the two baselines for context.
+//!
+//! Run with: `cargo run --release -p relpat-bench --bin repro-ablations`
+
+use relpat_eval::{ablation_table, run_ablations, run_benchmark, Counts};
+use relpat_kb::{evaluated_subset, generate, qald_questions, KbConfig};
+use relpat_qa::{KeywordBaseline, TemplateBaseline};
+
+fn main() {
+    println!("=== Ablation study (Table-2 benchmark) ===\n");
+    let kb = generate(&KbConfig::default());
+    let questions = qald_questions(&kb);
+
+    let results = run_ablations(&kb, &questions);
+    println!("{}", ablation_table(&results));
+
+    // Baselines over the same evaluated subset.
+    println!("Baselines:");
+    let evaluated = evaluated_subset(&questions);
+    let keyword = KeywordBaseline::new(&kb);
+    let template = TemplateBaseline::new(&kb);
+
+    let mut rows: Vec<(&str, Counts)> = Vec::new();
+    for (name, answer) in [
+        ("keyword (bag-of-words)", &mut (|q: &str| keyword.answer(q)) as &mut dyn FnMut(&str) -> _),
+        ("template (Unger-style)", &mut (|q: &str| template.answer(q))),
+    ] {
+        let mut answered = 0;
+        let mut correct = 0;
+        for q in &evaluated {
+            if let Some(a) = answer(&q.text) {
+                answered += 1;
+                let gold = q.gold_answers(&kb);
+                let ok = !gold.is_empty()
+                    && a.terms.len() == gold.len()
+                    && gold.iter().all(|g| a.terms.contains(g));
+                correct += usize::from(ok);
+            }
+        }
+        rows.push((name, Counts::new(evaluated.len(), answered, correct)));
+    }
+    println!("| System | Answered | Correct | Precision | Recall | F1 |");
+    println!("|---|---|---|---|---|---|");
+    for (name, c) in &rows {
+        println!(
+            "| {name} | {} | {} | {:.1} % | {:.1} % | {:.1} % |",
+            c.answered,
+            c.correct,
+            c.precision() * 100.0,
+            c.recall() * 100.0,
+            c.f1() * 100.0
+        );
+    }
+
+    // For context, the full pipeline row again.
+    let pipeline = relpat_qa::Pipeline::new(&kb);
+    let full = run_benchmark(&pipeline, &questions);
+    println!(
+        "| relpat (full) | {} | {} | {:.1} % | {:.1} % | {:.1} % |",
+        full.counts.answered,
+        full.counts.correct,
+        full.counts.precision() * 100.0,
+        full.counts.recall() * 100.0,
+        full.counts.f1() * 100.0
+    );
+}

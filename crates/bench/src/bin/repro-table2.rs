@@ -1,0 +1,109 @@
+//! Reproduces **Table 2** of the paper: precision / recall / F1 of the
+//! pipeline over the QALD-2-style benchmark — 100 questions, of which 55
+//! survive the YAGO/`dbprop:` exclusion (paper §3).
+//!
+//! The paper reports: Precision 83 %, Recall 32 %, F1 46 %
+//! (18 of 55 questions answered, 15 correctly).
+//!
+//! Run with: `cargo run --release -p relpat-bench --bin repro-table2`
+//! Pass `--details` for the per-question breakdown the paper's project page
+//! hosted.
+
+use relpat_eval::run_benchmark;
+use relpat_kb::{evaluated_subset, generate, qald_questions, KbConfig};
+use relpat_qa::Pipeline;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let details = args.iter().any(|a| a == "--details");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned());
+
+    println!("=== Table 2 reproduction ===\n");
+    let kb = generate(&KbConfig::default());
+    println!(
+        "Knowledge base: {} triples, {} labeled entities",
+        kb.len(),
+        kb.entity_count()
+    );
+    let questions = qald_questions(&kb);
+    let excluded = questions.len() - evaluated_subset(&questions).len();
+    println!(
+        "Benchmark: {} questions, {excluded} excluded (YAGO classes/entities, raw RDF \
+         properties) → {} evaluated\n",
+        questions.len(),
+        evaluated_subset(&questions).len()
+    );
+
+    let pipeline = Pipeline::new(&kb);
+    let report = run_benchmark(&pipeline, &questions);
+
+    println!("{}", report.table2());
+    println!(
+        "Answered {} of {} questions; {} correct.",
+        report.counts.answered, report.counts.total, report.counts.correct
+    );
+    println!(
+        "\nPaper reference:      | Our method | 83 % | 32 % | 46 % |  (18 answered, 15 correct)"
+    );
+    println!(
+        "This reproduction:    | Our method | {:.0} % | {:.0} % | {:.0} % |  ({} answered, {} correct)",
+        report.counts.precision() * 100.0,
+        report.counts.recall() * 100.0,
+        report.counts.f1() * 100.0,
+        report.counts.answered,
+        report.counts.correct
+    );
+
+    // The extended system (paper + §5/§6 future work), for comparison.
+    let extended = Pipeline::extended(&kb);
+    let ext_report = run_benchmark(&extended, &questions);
+    println!(
+        "Extended system (§5/§6): | Our method+ext | {:.0} % | {:.0} % | {:.0} % |  ({} answered, {} correct)",
+        ext_report.counts.precision() * 100.0,
+        ext_report.counts.recall() * 100.0,
+        ext_report.counts.f1() * 100.0,
+        ext_report.counts.answered,
+        ext_report.counts.correct
+    );
+
+    println!("\nPrecision losses (answered but wrong):");
+    for r in report.wrong() {
+        println!("  q{:>3}  {}\n        answered: {}  |  gold: {}", r.id, r.text, r.answer, r.gold);
+    }
+    println!("\nRecall losses by stage:");
+    let mut by_stage: Vec<(&str, usize)> = Vec::new();
+    for r in report.unanswered() {
+        match by_stage.iter_mut().find(|(s, _)| *s == r.stage.as_str()) {
+            Some((_, n)) => *n += 1,
+            None => by_stage.push((r.stage.as_str(), 1)),
+        }
+    }
+    for (stage, n) in &by_stage {
+        println!("  {stage}: {n}");
+    }
+
+    if let Some(path) = &json_path {
+        std::fs::write(path, report.to_json()).expect("write JSON report");
+        println!("\nJSON report written to {path}");
+    }
+
+    if details {
+        println!("\nPer-question results:");
+        for r in &report.results {
+            let mark = if r.correct {
+                "✓"
+            } else if r.answered {
+                "✗"
+            } else {
+                "—"
+            };
+            println!("  {mark} q{:>3} [{}] {}", r.id, r.stage, r.text);
+            if r.answered {
+                println!("        → {}", r.answer);
+            }
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! # relpat-bench — benchmarks and paper-reproduction binaries
+//!
+//! Binaries (run with `cargo run --release -p relpat-bench --bin <name>`):
+//!
+//! - `repro-figure1` — the paper's Figure 1 (dependency graph) plus the
+//!   derived triple bucket and candidate queries;
+//! - `repro-table1`  — Table 1 (expected answer types), verified against
+//!   the knowledge base;
+//! - `repro-table2`  — Table 2 (precision/recall/F1 on the 55-question
+//!   QALD-2-style benchmark);
+//! - `repro-ablations` — the ablation study and baseline comparison;
+//! - `repro-report`  — regenerates every artifact into one `REPORT.md`.
+//!
+//! Criterion benches (`cargo bench -p relpat-bench`): `nlp_throughput`,
+//! `store_scaling`, `pattern_mining`, `pipeline`, `ablations`.

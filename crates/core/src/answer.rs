@@ -1,0 +1,305 @@
+//! Answer extraction: execute candidate queries, type-check, rank (§2.3).
+//!
+//! Queries run in ranking-score order (optionally evaluated in parallel);
+//! candidate answers are filtered by the question's expected answer type
+//! (Table 1) and the highest-scoring query with surviving answers wins.
+
+use relpat_kb::KnowledgeBase;
+use relpat_rdf::Term;
+
+use crate::queries::BuiltQuery;
+use crate::triples::ExpectedType;
+
+/// A produced answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnswerValue {
+    /// Result set of the winning `SELECT` query.
+    Terms(Vec<Term>),
+    /// Verdict of a polar (`ASK`) question.
+    Boolean(bool),
+}
+
+/// The chosen answer with its provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Answer {
+    pub value: AnswerValue,
+    /// The SPARQL query that produced it.
+    pub sparql: String,
+    /// Its ranking score (§2.3.1: product of predicate frequencies).
+    pub score: f64,
+}
+
+/// Table 1 of the paper: does a term satisfy the expected answer type?
+pub fn type_check(kb: &KnowledgeBase, term: &Term, expected: ExpectedType) -> bool {
+    match expected {
+        ExpectedType::Unconstrained | ExpectedType::Boolean => true,
+        ExpectedType::PersonOrOrganization => match term {
+            Term::Iri(iri) => {
+                kb.is_instance_of(iri, "Person")
+                    || kb.is_instance_of(iri, "Organisation")
+                    || kb.is_instance_of(iri, "Company")
+            }
+            _ => false,
+        },
+        ExpectedType::Place => match term {
+            Term::Iri(iri) => kb.is_instance_of(iri, "Place"),
+            _ => false,
+        },
+        ExpectedType::Date => term.as_literal().is_some_and(|l| l.is_date()),
+        ExpectedType::Numeric => term.as_literal().is_some_and(|l| l.is_numeric()),
+    }
+}
+
+/// Configuration for answer extraction.
+#[derive(Debug, Clone)]
+pub struct AnswerConfig {
+    /// Apply Table-1 expected-type filtering (ablation A3 switches it off).
+    pub use_type_check: bool,
+    /// Evaluate candidate queries on a thread pool.
+    pub parallel: bool,
+}
+
+impl Default for AnswerConfig {
+    fn default() -> Self {
+        AnswerConfig { use_type_check: true, parallel: false }
+    }
+}
+
+/// Runs the candidate queries and picks the answer.
+///
+/// `SELECT`: the highest-scored query whose type-checked result set is
+/// non-empty supplies the answer set. `ASK`: the highest-scored query that
+/// holds answers `true`; if every candidate is false the answer is `false`
+/// (the system did find consistent readings, none of which hold).
+pub fn extract_answer(
+    kb: &KnowledgeBase,
+    expected: ExpectedType,
+    ask: bool,
+    queries: &[BuiltQuery],
+    config: &AnswerConfig,
+) -> Option<Answer> {
+    if queries.is_empty() {
+        return None;
+    }
+    let results = run_all(kb, queries, config);
+
+    if ask {
+        for (query, outcome) in queries.iter().zip(results.iter()) {
+            if let Outcome::Boolean(true) = outcome {
+                return Some(Answer {
+                    value: AnswerValue::Boolean(true),
+                    sparql: query.sparql.clone(),
+                    score: query.score,
+                });
+            }
+        }
+        // All readings evaluated to false.
+        let any_ran = queries.iter().zip(results.iter()).find(|(_, o)| {
+            matches!(o, Outcome::Boolean(false))
+        });
+        return any_ran.map(|(query, _)| Answer {
+            value: AnswerValue::Boolean(false),
+            sparql: query.sparql.clone(),
+            score: query.score,
+        });
+    }
+
+    for (query, outcome) in queries.iter().zip(results.iter()) {
+        let Outcome::Terms(terms) = outcome else { continue };
+        let filtered: Vec<Term> = terms
+            .iter()
+            .filter(|t| !config.use_type_check || type_check(kb, t, expected))
+            .cloned()
+            .collect();
+        if !filtered.is_empty() {
+            return Some(Answer {
+                value: AnswerValue::Terms(filtered),
+                sparql: query.sparql.clone(),
+                score: query.score,
+            });
+        }
+    }
+    None
+}
+
+#[derive(Debug)]
+enum Outcome {
+    Terms(Vec<Term>),
+    Boolean(bool),
+    Failed,
+}
+
+fn run_one(kb: &KnowledgeBase, query: &BuiltQuery) -> Outcome {
+    match kb.query(&query.sparql) {
+        Ok(relpat_sparql::QueryResult::Solutions(sols)) => {
+            let mut terms: Vec<Term> = Vec::new();
+            for row in &sols.rows {
+                for cell in row.iter().flatten() {
+                    if !terms.contains(cell) {
+                        terms.push(cell.clone());
+                    }
+                }
+            }
+            Outcome::Terms(terms)
+        }
+        Ok(relpat_sparql::QueryResult::Boolean(b)) => Outcome::Boolean(b),
+        Err(_) => Outcome::Failed,
+    }
+}
+
+/// Evaluates every query, sequentially or via crossbeam scoped threads.
+/// Results come back in input order either way, so the ranked selection is
+/// deterministic.
+fn run_all(kb: &KnowledgeBase, queries: &[BuiltQuery], config: &AnswerConfig) -> Vec<Outcome> {
+    if !config.parallel || queries.len() < 4 {
+        return queries.iter().map(|q| run_one(kb, q)).collect();
+    }
+    let workers = std::thread::available_parallelism().map(usize::from).unwrap_or(4).min(8);
+    let chunk = queries.len().div_ceil(workers);
+    let mut results: Vec<Outcome> = Vec::with_capacity(queries.len());
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = queries
+            .chunks(chunk)
+            .map(|slice| {
+                scope.spawn(move |_| slice.iter().map(|q| run_one(kb, q)).collect::<Vec<_>>())
+            })
+            .collect();
+        for h in handles {
+            results.extend(h.join().expect("query worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relpat_kb::{generate, KbConfig, KnowledgeBase};
+    use relpat_rdf::{Iri, Literal};
+    use std::sync::OnceLock;
+
+    fn kb() -> &'static KnowledgeBase {
+        static KB: OnceLock<KnowledgeBase> = OnceLock::new();
+        KB.get_or_init(|| generate(&KbConfig::tiny()))
+    }
+
+    fn bq(sparql: &str, score: f64) -> BuiltQuery {
+        BuiltQuery { sparql: sparql.to_string(), score }
+    }
+
+    #[test]
+    fn type_check_person_place_date_numeric() {
+        let kb = kb();
+        let pamuk = Term::Iri(Iri::new(relpat_rdf::vocab::res::iri("Orhan Pamuk")));
+        let ankara = Term::Iri(Iri::new(relpat_rdf::vocab::res::iri("Ankara")));
+        let date = Term::Literal(Literal::date(1952, 6, 7));
+        let num = Term::Literal(Literal::double(1.98));
+        assert!(type_check(kb, &pamuk, ExpectedType::PersonOrOrganization));
+        assert!(!type_check(kb, &pamuk, ExpectedType::Place));
+        assert!(type_check(kb, &ankara, ExpectedType::Place));
+        assert!(!type_check(kb, &ankara, ExpectedType::Date));
+        assert!(type_check(kb, &date, ExpectedType::Date));
+        assert!(type_check(kb, &num, ExpectedType::Numeric));
+        assert!(!type_check(kb, &date, ExpectedType::Numeric));
+        assert!(type_check(kb, &date, ExpectedType::Unconstrained));
+    }
+
+    #[test]
+    fn picks_highest_scoring_nonempty_query() {
+        let kb = kb();
+        let queries = vec![
+            bq("SELECT ?x { ?x rdf:type dbont:Museum }", 10.0), // empty in tiny KB? maybe
+            bq("SELECT ?x { ?x dbont:author res:Orhan_Pamuk }", 5.0),
+        ];
+        let ans = extract_answer(kb, ExpectedType::Unconstrained, false, &queries, &AnswerConfig::default())
+            .unwrap();
+        // Whichever query produced results, the value must be non-empty and
+        // provenance recorded.
+        match ans.value {
+            AnswerValue::Terms(ts) => assert!(!ts.is_empty()),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(!ans.sparql.is_empty());
+    }
+
+    #[test]
+    fn type_filter_rejects_wrong_kind() {
+        let kb = kb();
+        // Query returns books, but we expect a date → no answer.
+        let queries = vec![bq("SELECT ?x { ?x dbont:author res:Orhan_Pamuk }", 5.0)];
+        let ans = extract_answer(kb, ExpectedType::Date, false, &queries, &AnswerConfig::default());
+        assert!(ans.is_none());
+        // Without the type check the books come through (ablation A3).
+        let loose = AnswerConfig { use_type_check: false, ..AnswerConfig::default() };
+        assert!(extract_answer(kb, ExpectedType::Date, false, &queries, &loose).is_some());
+    }
+
+    #[test]
+    fn ask_true_and_all_false() {
+        let kb = kb();
+        let yes = vec![bq("ASK { res:Snow dbont:author res:Orhan_Pamuk }", 2.0)];
+        let ans = extract_answer(kb, ExpectedType::Boolean, true, &yes, &AnswerConfig::default())
+            .unwrap();
+        assert_eq!(ans.value, AnswerValue::Boolean(true));
+
+        let no = vec![bq("ASK { res:Dune dbont:author res:Orhan_Pamuk }", 2.0)];
+        let ans = extract_answer(kb, ExpectedType::Boolean, true, &no, &AnswerConfig::default())
+            .unwrap();
+        assert_eq!(ans.value, AnswerValue::Boolean(false));
+    }
+
+    #[test]
+    fn lower_scored_fallback_when_top_is_empty() {
+        let kb = kb();
+        let queries = vec![
+            bq("SELECT ?x { res:Frank_Herbert dbont:birthPlace ?x }", 10.0), // no fact
+            bq("SELECT ?x { res:Abraham_Lincoln dbont:deathPlace ?x }", 1.0),
+        ];
+        let ans = extract_answer(kb, ExpectedType::Place, false, &queries, &AnswerConfig::default())
+            .unwrap();
+        assert!(ans.sparql.contains("Abraham_Lincoln"));
+        assert_eq!(ans.score, 1.0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let kb = kb();
+        let queries: Vec<BuiltQuery> = (0..12)
+            .map(|i| {
+                bq(
+                    "SELECT ?x { ?x rdf:type dbont:Book . ?x dbont:author res:Orhan_Pamuk }",
+                    12.0 - i as f64,
+                )
+            })
+            .collect();
+        let seq = extract_answer(kb, ExpectedType::Unconstrained, false, &queries, &AnswerConfig::default());
+        let par = extract_answer(
+            kb,
+            ExpectedType::Unconstrained,
+            false,
+            &queries,
+            &AnswerConfig { parallel: true, ..AnswerConfig::default() },
+        );
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_queries_yield_none() {
+        let kb = kb();
+        assert!(extract_answer(kb, ExpectedType::Unconstrained, false, &[], &AnswerConfig::default())
+            .is_none());
+    }
+
+    #[test]
+    fn malformed_query_is_skipped_not_fatal() {
+        let kb = kb();
+        let queries = vec![
+            bq("SELECT ?x { broken", 10.0),
+            bq("SELECT ?x { res:Turkey dbont:capital ?x }", 1.0),
+        ];
+        let ans = extract_answer(kb, ExpectedType::Unconstrained, false, &queries, &AnswerConfig::default())
+            .unwrap();
+        assert!(ans.sparql.contains("capital"));
+    }
+}

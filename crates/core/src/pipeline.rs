@@ -1,0 +1,495 @@
+//! The end-to-end question answering pipeline.
+//!
+//! Wires the paper's three steps — triple pattern extraction (§2.1), entity
+//! and property extraction (§2.2), answer extraction (§2.3) — behind one
+//! `answer()` call, and records at which stage a question fell out (the
+//! paper's "not attempted" bucket).
+
+use relpat_kb::KnowledgeBase;
+use relpat_patterns::{mine, CorpusConfig, PatternStore};
+use relpat_wordnet::{embedded, WordNet};
+use rustc_hash::FxHashMap;
+
+use crate::answer::{extract_answer, Answer, AnswerConfig};
+use crate::extensions::ExtensionConfig;
+use crate::mapping::{similar_property_pairs, MappedQuestion, MappedTriple, Mapper, MappingConfig};
+use crate::queries::{build_queries, BuiltQuery};
+use crate::triples::{extract, QuestionAnalysis};
+
+/// Where processing stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// §2.1 produced no triples — question structure not covered.
+    ExtractionFailed,
+    /// §2.2 could not resolve an entity/class/property slot.
+    MappingFailed,
+    /// Queries ran but nothing survived execution + type checking.
+    NoAnswer,
+    /// An answer was produced.
+    Answered,
+}
+
+/// Full configuration (mapping knobs + answer knobs + query cap +
+/// future-work extensions).
+#[derive(Debug, Clone, Default)]
+pub struct PipelineConfig {
+    pub mapping: MappingConfig,
+    pub answer: AnswerConfig,
+    pub max_queries: usize,
+    /// §5/§6 future-work extensions; all off in the paper configuration.
+    pub extensions: ExtensionConfig,
+}
+
+impl PipelineConfig {
+    /// The default configuration used for the Table-2 reproduction.
+    pub fn standard() -> Self {
+        PipelineConfig {
+            mapping: MappingConfig::default(),
+            answer: AnswerConfig::default(),
+            max_queries: 50,
+            extensions: ExtensionConfig::default(),
+        }
+    }
+
+    /// The extended system: every §5/§6 extension enabled, including the
+    /// data-property patterns that close the paper's stated research gap.
+    pub fn extended() -> Self {
+        PipelineConfig {
+            extensions: ExtensionConfig::all(),
+            mapping: MappingConfig { use_data_patterns: true, ..MappingConfig::default() },
+            ..Self::standard()
+        }
+    }
+}
+
+/// Everything the pipeline did for one question.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub question: String,
+    pub stage: Stage,
+    pub analysis: Option<QuestionAnalysis>,
+    pub mapped: Option<MappedQuestion>,
+    /// Ranked candidate queries (§2.3).
+    pub queries: Vec<BuiltQuery>,
+    pub answer: Option<Answer>,
+}
+
+impl Response {
+    /// True when the system produced an answer (the paper's "processed"
+    /// bucket: 18 of 55).
+    pub fn is_answered(&self) -> bool {
+        self.stage == Stage::Answered
+    }
+
+    /// Human-readable labels/lexical forms of the answer terms (empty when
+    /// unanswered; `["true"|"false"]` for polar questions).
+    pub fn answer_texts(&self, kb: &KnowledgeBase) -> Vec<String> {
+        match &self.answer {
+            Some(ans) => match &ans.value {
+                crate::answer::AnswerValue::Terms(terms) => terms
+                    .iter()
+                    .map(|t| match t {
+                        relpat_rdf::Term::Iri(iri) => {
+                            kb.label_of(iri).unwrap_or(iri.local_name()).to_string()
+                        }
+                        relpat_rdf::Term::Literal(l) => l.lexical_form().to_string(),
+                        other => other.to_string(),
+                    })
+                    .collect(),
+                crate::answer::AnswerValue::Boolean(b) => vec![b.to_string()],
+            },
+            None => Vec::new(),
+        }
+    }
+
+    /// Renders a step-by-step trace of what the pipeline did — the paper's
+    /// §2 walkthrough for this question.
+    pub fn explain(&self, kb: &KnowledgeBase) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "Question: {}", self.question);
+        match &self.analysis {
+            Some(a) => {
+                let _ = writeln!(out, "\n§2.1 Triple pattern extraction ({:?}):", a.kind);
+                out.push_str(&a.to_bucket_string());
+                let _ = writeln!(out, "Expected answer type: {:?}", a.expected);
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "\n§2.1 Triple pattern extraction: FAILED — question structure not covered"
+                );
+            }
+        }
+        match &self.mapped {
+            Some(m) => {
+                let _ = writeln!(out, "\n§2.2 Entity & property mapping:");
+                for t in &m.triples {
+                    match t {
+                        MappedTriple::Type { class } => {
+                            let _ = writeln!(out, "  ?x rdf:type dbont:{class}");
+                        }
+                        MappedTriple::Relation { subject, object, candidates } => {
+                            let render = |s: &crate::mapping::MappedSlot| match s {
+                                crate::mapping::MappedSlot::Var => "?x".to_string(),
+                                crate::mapping::MappedSlot::Entity(e) => {
+                                    format!("{} <{}>", e.label, e.iri.as_str())
+                                }
+                            };
+                            let _ = writeln!(
+                                out,
+                                "  [{}] —?— [{}], candidates:",
+                                render(subject),
+                                render(object)
+                            );
+                            for c in candidates.iter().take(6) {
+                                let _ = writeln!(
+                                    out,
+                                    "     dbont:{:<18} w={:<7.1} {:?}",
+                                    c.property, c.weight, c.source
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            None if self.analysis.is_some() => {
+                let _ = writeln!(out, "\n§2.2 Entity & property mapping: FAILED");
+            }
+            None => {}
+        }
+        if !self.queries.is_empty() {
+            let _ = writeln!(out, "\n§2.3 Candidate queries ({}):", self.queries.len());
+            for q in self.queries.iter().take(5) {
+                let _ = writeln!(out, "  [{:>8.1}] {}", q.score, q.sparql);
+            }
+        }
+        match &self.answer {
+            Some(ans) => {
+                let _ = writeln!(out, "\nAnswer (score {:.1}):", ans.score);
+                for text in self.answer_texts(kb) {
+                    let _ = writeln!(out, "  • {text}");
+                }
+                let _ = writeln!(out, "  via {}", ans.sparql);
+            }
+            None => {
+                let _ = writeln!(out, "\nNo answer — stage {:?}", self.stage);
+            }
+        }
+        out
+    }
+}
+
+/// The question answering system.
+pub struct Pipeline<'kb> {
+    kb: &'kb KnowledgeBase,
+    wordnet: &'static WordNet,
+    patterns: PatternStore,
+    similar_pairs: FxHashMap<String, Vec<(String, f64)>>,
+    config: PipelineConfig,
+}
+
+impl<'kb> Pipeline<'kb> {
+    /// Builds the pipeline with default configuration: mines relational
+    /// patterns from the synthesized corpus and precomputes the WordNet
+    /// similar-property list.
+    pub fn new(kb: &'kb KnowledgeBase) -> Self {
+        Self::with_config(kb, PipelineConfig::standard())
+    }
+
+    /// Builds with a custom configuration (ablation entry point). When
+    /// extensions are enabled the mined corpus includes data-property
+    /// sentences, closing the paper's §5 research gap.
+    pub fn with_config(kb: &'kb KnowledgeBase, config: PipelineConfig) -> Self {
+        let corpus = if config.extensions.any() {
+            CorpusConfig::with_data_properties()
+        } else {
+            CorpusConfig::default()
+        };
+        let mined = mine(kb, &corpus);
+        Self::with_pattern_store(kb, mined.store, config)
+    }
+
+    /// The extended system: paper pipeline + all §5/§6 future-work
+    /// extensions (existence, superlative and count questions, data-property
+    /// patterns).
+    pub fn extended(kb: &'kb KnowledgeBase) -> Self {
+        Self::with_config(kb, PipelineConfig::extended())
+    }
+
+    /// Builds with a pre-mined pattern store (lets callers reuse mining
+    /// output across pipelines/ablations).
+    pub fn with_pattern_store(
+        kb: &'kb KnowledgeBase,
+        patterns: PatternStore,
+        config: PipelineConfig,
+    ) -> Self {
+        let wordnet = embedded();
+        let similar_pairs = similar_property_pairs(kb, wordnet);
+        Pipeline { kb, wordnet, patterns, similar_pairs, config }
+    }
+
+    /// The knowledge base this pipeline answers against.
+    pub fn kb(&self) -> &KnowledgeBase {
+        self.kb
+    }
+
+    /// The mined pattern store.
+    pub fn patterns(&self) -> &PatternStore {
+        &self.patterns
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Replaces the configuration (for ablation sweeps on a built pipeline).
+    pub fn set_config(&mut self, config: PipelineConfig) {
+        self.config = config;
+    }
+
+    fn mapper(&self) -> Mapper<'_> {
+        Mapper {
+            kb: self.kb,
+            wordnet: self.wordnet,
+            patterns: &self.patterns,
+            similar_pairs: &self.similar_pairs,
+            config: self.config.mapping.clone(),
+        }
+    }
+
+    /// Answers a natural-language question.
+    pub fn answer(&self, question: &str) -> Response {
+        let graph = relpat_nlp::parse_sentence(question);
+        let response = self.standard_answer(question, &graph);
+        if response.stage != Stage::Answered && self.config.extensions.any() {
+            if let Some(extended) = crate::extensions::try_answer(
+                &self.mapper(),
+                self.config.extensions,
+                question,
+                &graph,
+                &response,
+            ) {
+                return extended;
+            }
+        }
+        response
+    }
+
+    /// The paper's three-stage pipeline (no extensions).
+    fn standard_answer(&self, question: &str, graph: &relpat_nlp::DepGraph) -> Response {
+        let Some(analysis) = extract(graph) else {
+            return Response {
+                question: question.to_string(),
+                stage: Stage::ExtractionFailed,
+                analysis: None,
+                mapped: None,
+                queries: Vec::new(),
+                answer: None,
+            };
+        };
+
+        let Some(mapped) = self.mapper().map(&analysis) else {
+            return Response {
+                question: question.to_string(),
+                stage: Stage::MappingFailed,
+                analysis: Some(analysis),
+                mapped: None,
+                queries: Vec::new(),
+                answer: None,
+            };
+        };
+
+        let queries = build_queries(self.kb, &analysis, &mapped, self.config.max_queries.max(1));
+        if queries.is_empty() {
+            return Response {
+                question: question.to_string(),
+                stage: Stage::MappingFailed,
+                analysis: Some(analysis),
+                mapped: Some(mapped),
+                queries,
+                answer: None,
+            };
+        }
+
+        let answer =
+            extract_answer(self.kb, analysis.expected, analysis.ask, &queries, &self.config.answer);
+        let stage = if answer.is_some() { Stage::Answered } else { Stage::NoAnswer };
+        Response {
+            question: question.to_string(),
+            stage,
+            analysis: Some(analysis),
+            mapped: Some(mapped),
+            queries,
+            answer,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answer::AnswerValue;
+    use relpat_kb::{generate, KbConfig};
+    
+    use std::sync::OnceLock;
+
+    fn pipeline() -> &'static Pipeline<'static> {
+        static KB: OnceLock<KnowledgeBase> = OnceLock::new();
+        static P: OnceLock<Pipeline<'static>> = OnceLock::new();
+        P.get_or_init(|| {
+            let kb = KB.get_or_init(|| generate(&KbConfig::tiny()));
+            Pipeline::new(kb)
+        })
+    }
+
+    fn answered_iris(r: &Response) -> Vec<String> {
+        match &r.answer {
+            Some(Answer { value: AnswerValue::Terms(ts), .. }) => ts
+                .iter()
+                .filter_map(|t| t.as_iri().map(|i| i.as_str().to_string()))
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    #[test]
+    fn figure1_question_answers_pamuks_books() {
+        let r = pipeline().answer("Which book is written by Orhan Pamuk?");
+        assert!(r.is_answered(), "stage {:?}", r.stage);
+        let iris = answered_iris(&r);
+        assert_eq!(iris.len(), 3, "{iris:?}");
+        assert!(iris.iter().any(|i| i.ends_with("Snow")));
+    }
+
+    #[test]
+    fn how_tall_is_michael_jordan_gives_198() {
+        let r = pipeline().answer("How tall is Michael Jordan?");
+        assert!(r.is_answered());
+        match &r.answer.as_ref().unwrap().value {
+            AnswerValue::Terms(ts) => {
+                let lit = ts[0].as_literal().unwrap();
+                assert_eq!(lit.as_f64(), Some(1.98));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn where_did_lincoln_die_is_washington() {
+        let r = pipeline().answer("Where did Abraham Lincoln die?");
+        assert!(r.is_answered());
+        let iris = answered_iris(&r);
+        assert!(iris[0].ends_with("Washington"), "{iris:?}");
+    }
+
+    #[test]
+    fn when_was_einstein_born_is_a_date() {
+        let r = pipeline().answer("When was Albert Einstein born?");
+        assert!(r.is_answered(), "stage {:?}", r.stage);
+        match &r.answer.as_ref().unwrap().value {
+            AnswerValue::Terms(ts) => {
+                assert!(ts[0].as_literal().unwrap().is_date());
+                assert_eq!(ts[0].as_literal().unwrap().lexical_form(), "1879-03-14");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn who_directed_titanic_is_cameron() {
+        let r = pipeline().answer("Who directed Titanic?");
+        assert!(r.is_answered());
+        assert!(answered_iris(&r)[0].ends_with("James_Cameron"));
+    }
+
+    #[test]
+    fn wife_of_obama_is_michelle() {
+        let r = pipeline().answer("Who is the wife of Barack Obama?");
+        assert!(r.is_answered(), "stage {:?}", r.stage);
+        assert!(answered_iris(&r)[0].ends_with("Michelle_Obama"));
+    }
+
+    #[test]
+    fn capital_of_turkey_is_ankara() {
+        let r = pipeline().answer("What is the capital of Turkey?");
+        assert!(r.is_answered());
+        assert!(answered_iris(&r)[0].ends_with("Ankara"));
+    }
+
+    #[test]
+    fn paper_failure_case_still_alive_unattempted() {
+        let r = pipeline().answer("Is Frank Herbert still alive?");
+        assert!(!r.is_answered());
+        assert_eq!(r.stage, Stage::MappingFailed);
+    }
+
+    #[test]
+    fn unparseable_question_fails_at_extraction() {
+        let r = pipeline().answer("What is the highest mountain?");
+        assert_eq!(r.stage, Stage::ExtractionFailed);
+    }
+
+    #[test]
+    fn polar_question_answers_boolean() {
+        let r = pipeline().answer("Was Abraham Lincoln married to Michelle Obama?");
+        assert!(r.is_answered(), "stage {:?}", r.stage);
+        assert_eq!(
+            r.answer.as_ref().unwrap().value,
+            AnswerValue::Boolean(false)
+        );
+    }
+
+    #[test]
+    fn give_me_all_films_by_cameron() {
+        let r = pipeline().answer("Give me all films directed by James Cameron.");
+        assert!(r.is_answered(), "stage {:?}", r.stage);
+        assert_eq!(answered_iris(&r).len(), 2); // Titanic + Avatar
+    }
+
+    #[test]
+    fn explain_traces_every_stage() {
+        let r = pipeline().answer("Which book is written by Orhan Pamuk?");
+        let kb = pipeline().kb();
+        let trace = r.explain(kb);
+        assert!(trace.contains("§2.1"));
+        assert!(trace.contains("rdf:type"));
+        assert!(trace.contains("§2.2"));
+        assert!(trace.contains("dbont:author"));
+        assert!(trace.contains("§2.3"));
+        assert!(trace.contains("Answer"));
+        assert!(trace.contains("Snow"));
+    }
+
+    #[test]
+    fn explain_reports_failures() {
+        let kb = pipeline().kb();
+        let r = pipeline().answer("What is the highest mountain?");
+        assert!(r.explain(kb).contains("FAILED"));
+        let r = pipeline().answer("Is Frank Herbert still alive?");
+        let trace = r.explain(kb);
+        assert!(trace.contains("alive"));
+        assert!(trace.contains("MappingFailed"));
+    }
+
+    #[test]
+    fn answer_texts_render_labels_and_literals() {
+        let kb = pipeline().kb();
+        let r = pipeline().answer("How tall is Michael Jordan?");
+        assert_eq!(r.answer_texts(kb), vec!["1.98"]);
+        let r = pipeline().answer("Who directed Titanic?");
+        assert_eq!(r.answer_texts(kb), vec!["James Cameron"]);
+        let r = pipeline().answer("gibberish blargh");
+        assert!(r.answer_texts(kb).is_empty());
+    }
+
+    #[test]
+    fn response_records_queries_and_provenance() {
+        let r = pipeline().answer("Which book is written by Orhan Pamuk?");
+        assert!(!r.queries.is_empty());
+        assert!(r.answer.as_ref().unwrap().score > 0.0);
+        assert!(r.answer.as_ref().unwrap().sparql.contains("author"));
+        assert!(r.analysis.is_some());
+    }
+}

@@ -1,0 +1,418 @@
+//! Candidate query construction (paper §2.3).
+//!
+//! Builds the cartesian product of property candidates over the mapped
+//! triples into concrete SPARQL queries, each carrying a ranking score (the
+//! product of its predicates' weights, §2.3.1). Both orientations of every
+//! relation are considered; the ontology's domain/range declarations prune
+//! inconsistent ones, and pattern-evidence direction hints dampen the
+//! disfavored orientation.
+
+use relpat_kb::KnowledgeBase;
+use relpat_rdf::vocab::{dbont, rdf};
+
+use crate::mapping::{MappedQuestion, MappedSlot, MappedTriple, PropertyCandidate};
+use crate::triples::QuestionAnalysis;
+
+/// A concrete candidate query with its ranking score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuiltQuery {
+    pub sparql: String,
+    pub score: f64,
+}
+
+/// One resolved relation triple option (property + orientation).
+#[derive(Debug, Clone)]
+struct TripleOption {
+    line: String,
+    weight: f64,
+}
+
+/// Builds ranked candidate queries. Returns at most `max` queries, highest
+/// score first.
+pub fn build_queries(
+    kb: &KnowledgeBase,
+    analysis: &QuestionAnalysis,
+    mapped: &MappedQuestion,
+    max: usize,
+) -> Vec<BuiltQuery> {
+    let mut fixed_lines: Vec<String> = Vec::new();
+    let mut option_sets: Vec<Vec<TripleOption>> = Vec::new();
+    // Class constraints from the Type triples, used for domain/range checks.
+    let var_class: Option<&str> = mapped.triples.iter().find_map(|t| match t {
+        MappedTriple::Type { class } => Some(class.as_str()),
+        _ => None,
+    });
+
+    for triple in &mapped.triples {
+        match triple {
+            MappedTriple::Type { class } => {
+                fixed_lines.push(format!("?x <{}> <{}> .", rdf::TYPE, dbont::iri(class)));
+            }
+            MappedTriple::Relation { subject, object, candidates } => {
+                let mut options = Vec::new();
+                for c in candidates {
+                    for inverse in [false, true] {
+                        if let Some(opt) =
+                            triple_option(kb, subject, object, c, inverse, var_class)
+                        {
+                            options.push(opt);
+                        }
+                    }
+                }
+                if options.is_empty() {
+                    return Vec::new(); // no consistent reading of this triple
+                }
+                options.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap());
+                option_sets.push(options);
+            }
+        }
+    }
+
+    // Cartesian product over relation-triple options.
+    let mut combos: Vec<(Vec<usize>, f64)> = vec![(Vec::new(), 1.0)];
+    for set in &option_sets {
+        let mut next = Vec::with_capacity(combos.len() * set.len());
+        for (indices, score) in &combos {
+            for (i, opt) in set.iter().enumerate() {
+                let mut idx = indices.clone();
+                idx.push(i);
+                next.push((idx, score * opt.weight));
+            }
+        }
+        combos = next;
+        // Keep the product bounded as we go.
+        combos.sort_by(|(_, a), (_, b)| b.partial_cmp(a).unwrap());
+        combos.truncate(max.max(1));
+    }
+
+    let mut out: Vec<BuiltQuery> = combos
+        .into_iter()
+        .map(|(indices, score)| {
+            let mut lines = fixed_lines.clone();
+            for (set, &i) in option_sets.iter().zip(indices.iter()) {
+                lines.push(set[i].line.clone());
+            }
+            let body = lines.join(" ");
+            let sparql = if analysis.ask {
+                format!("ASK {{ {body} }}")
+            } else {
+                format!("SELECT DISTINCT ?x WHERE {{ {body} }}")
+            };
+            BuiltQuery { sparql, score }
+        })
+        .collect();
+    out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+    out.dedup_by(|a, b| a.sparql == b.sparql);
+    out
+}
+
+/// Renders one (candidate, orientation) pair as a SPARQL triple line, or
+/// `None` when the ontology's domain/range rules it out.
+fn triple_option(
+    kb: &KnowledgeBase,
+    subject: &MappedSlot,
+    object: &MappedSlot,
+    candidate: &PropertyCandidate,
+    inverse: bool,
+    var_class: Option<&str>,
+) -> Option<TripleOption> {
+    let (eff_subject, eff_object) =
+        if inverse { (object, subject) } else { (subject, object) };
+
+    // Direction-hint dampening.
+    let orientation_factor = match candidate.preferred_inverse {
+        Some(pref) if pref == inverse => 1.0,
+        Some(_) => 0.25,
+        None => {
+            if inverse {
+                0.9
+            } else {
+                1.0
+            }
+        }
+    };
+
+    let prop_iri = dbont::iri(&candidate.property);
+    if candidate.is_data {
+        // Data property: the literal side must be the variable, the subject
+        // side an entity (or typed variable within the domain).
+        if !matches!(eff_object, MappedSlot::Var) {
+            return None;
+        }
+        let def = kb.ontology.data_properties.iter().find(|p| p.name == candidate.property)?;
+        if !slot_compatible(kb, eff_subject, def.domain, var_class) {
+            return None;
+        }
+        let s = render_slot(eff_subject);
+        return Some(TripleOption {
+            line: format!("{s} <{prop_iri}> ?x ."),
+            weight: candidate.weight * orientation_factor,
+        });
+    }
+
+    let def = kb.ontology.object_properties.iter().find(|p| p.name == candidate.property)?;
+    if !slot_compatible(kb, eff_subject, def.domain, var_class)
+        || !slot_compatible(kb, eff_object, def.range, var_class)
+    {
+        return None;
+    }
+    let s = render_slot(eff_subject);
+    let o = render_slot(eff_object);
+    Some(TripleOption {
+        line: format!("{s} <{prop_iri}> {o} ."),
+        weight: candidate.weight * orientation_factor,
+    })
+}
+
+/// Domain/range compatibility: an entity slot must carry a class related to
+/// the declared one (either direction along the taxonomy); a variable slot
+/// is checked against the question's `rdf:type` constraint when present.
+fn slot_compatible(
+    kb: &KnowledgeBase,
+    slot: &MappedSlot,
+    declared: &str,
+    var_class: Option<&str>,
+) -> bool {
+    let classes: Vec<String> = match slot {
+        MappedSlot::Var => match var_class {
+            Some(c) => vec![c.to_string()],
+            None => return true,
+        },
+        MappedSlot::Entity(e) => {
+            let cs = kb.classes_of(&e.iri);
+            if cs.is_empty() {
+                return true;
+            }
+            cs
+        }
+    };
+    classes.iter().any(|c| {
+        kb.ontology.is_subclass_of(c, declared) || kb.ontology.is_subclass_of(declared, c)
+    })
+}
+
+fn render_slot(slot: &MappedSlot) -> String {
+    match slot {
+        MappedSlot::Var => "?x".to_string(),
+        MappedSlot::Entity(e) => format!("<{}>", e.iri.as_str()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{similar_property_pairs, Mapper, MappingConfig};
+    use crate::triples::extract;
+    use relpat_kb::{generate, KbConfig, KnowledgeBase};
+    use relpat_patterns::{mine, CorpusConfig, PatternStore};
+    use relpat_wordnet::embedded;
+    use rustc_hash::FxHashMap;
+    use std::sync::OnceLock;
+
+    struct Fixture {
+        kb: KnowledgeBase,
+        patterns: PatternStore,
+        pairs: FxHashMap<String, Vec<(String, f64)>>,
+    }
+
+    fn fixture() -> &'static Fixture {
+        static F: OnceLock<Fixture> = OnceLock::new();
+        F.get_or_init(|| {
+            let kb = generate(&KbConfig::tiny());
+            let mined = mine(&kb, &CorpusConfig::default());
+            let pairs = similar_property_pairs(&kb, embedded());
+            Fixture { kb, patterns: mined.store, pairs }
+        })
+    }
+
+    fn queries_for(question: &str) -> Vec<BuiltQuery> {
+        let f = fixture();
+        let mapper = Mapper {
+            kb: &f.kb,
+            wordnet: embedded(),
+            patterns: &f.patterns,
+            similar_pairs: &f.pairs,
+            config: MappingConfig::default(),
+        };
+        let analysis = extract(&relpat_nlp::parse_sentence(question)).unwrap();
+        let mapped = mapper.map(&analysis).unwrap();
+        build_queries(&f.kb, &analysis, &mapped, 50)
+    }
+
+    #[test]
+    fn figure1_generates_the_papers_two_queries() {
+        let queries = queries_for("Which book is written by Orhan Pamuk?");
+        assert!(!queries.is_empty());
+        // The paper's Query1/Query2 use dbont:writer and dbont:author; the
+        // domain/range check kills writer (domain Song, ?x is a Book), so
+        // the author reading must be present and executable.
+        assert!(
+            queries.iter().any(|q| q.sparql.contains("/author>")
+                && q.sparql.contains("Orhan_Pamuk")),
+            "{queries:#?}"
+        );
+        // Every query carries the class constraint.
+        for q in &queries {
+            assert!(q.sparql.contains("Book"), "{}", q.sparql);
+        }
+    }
+
+    #[test]
+    fn scores_are_sorted_descending() {
+        let queries = queries_for("Where did Abraham Lincoln die?");
+        for w in queries.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        // Top-ranked query must target deathPlace (pattern frequency).
+        assert!(queries[0].sparql.contains("deathPlace"), "{}", queries[0].sparql);
+    }
+
+    #[test]
+    fn data_property_orientation_forced() {
+        let queries = queries_for("How tall is Michael Jordan?");
+        // Entity must be the subject of the data property; centrality picks
+        // the athlete, who carries the qualified IRI (the scientist namesake
+        // was minted first).
+        assert!(
+            queries[0]
+                .sparql
+                .contains("Michael_Jordan_(2)> <http://dbpedia.org/ontology/height> ?x"),
+            "{}",
+            queries[0].sparql
+        );
+    }
+
+    #[test]
+    fn ask_query_for_polar_question() {
+        let queries = queries_for("Is Ankara the capital of Turkey?");
+        assert!(queries[0].sparql.starts_with("ASK"));
+        assert!(queries[0].sparql.contains("capital"));
+    }
+
+    #[test]
+    fn inverse_orientation_from_pattern_evidence() {
+        // "Who wrote Snow?" — the fact runs Snow →author→ person, so the
+        // winning option must place Snow as subject.
+        let queries = queries_for("Who wrote Snow?");
+        let best_author = queries.iter().find(|q| q.sparql.contains("/author>")).unwrap();
+        assert!(
+            best_author.sparql.contains("<http://dbpedia.org/resource/Snow> <http://dbpedia.org/ontology/author> ?x"),
+            "{}",
+            best_author.sparql
+        );
+    }
+
+    #[test]
+    fn queries_are_deduplicated_and_bounded() {
+        let f = fixture();
+        let mapper = Mapper {
+            kb: &f.kb,
+            wordnet: embedded(),
+            patterns: &f.patterns,
+            similar_pairs: &f.pairs,
+            config: MappingConfig::default(),
+        };
+        let analysis =
+            extract(&relpat_nlp::parse_sentence("Where did Abraham Lincoln die?")).unwrap();
+        let mapped = mapper.map(&analysis).unwrap();
+        let queries = build_queries(&f.kb, &analysis, &mapped, 3);
+        assert!(queries.len() <= 3);
+        let mut texts: Vec<&str> = queries.iter().map(|q| q.sparql.as_str()).collect();
+        texts.sort_unstable();
+        texts.dedup();
+        assert_eq!(texts.len(), queries.len());
+    }
+
+    #[test]
+    fn cartesian_product_over_two_relation_triples() {
+        // Hand-built mapped question with two relation triples, each with two
+        // candidates → 4 combinations, scored by the product of weights.
+        use crate::mapping::{CandidateSource, MappedSlot, PropertyCandidate, ResolvedEntity};
+        let f = fixture();
+        let pamuk = ResolvedEntity {
+            iri: relpat_rdf::Iri::new(relpat_rdf::vocab::res::iri("Orhan Pamuk")),
+            label: "Orhan Pamuk".into(),
+            score: 1.0,
+        };
+        let cand = |prop: &str, w: f64| PropertyCandidate {
+            property: prop.into(),
+            is_data: false,
+            preferred_inverse: Some(false),
+            weight: w,
+            source: CandidateSource::RelationalPattern,
+        };
+        let mapped = crate::mapping::MappedQuestion {
+            triples: vec![
+                crate::mapping::MappedTriple::Relation {
+                    subject: MappedSlot::Var,
+                    object: MappedSlot::Entity(pamuk.clone()),
+                    candidates: vec![cand("author", 10.0), cand("publisher", 2.0)],
+                },
+                crate::mapping::MappedTriple::Relation {
+                    subject: MappedSlot::Var,
+                    object: MappedSlot::Entity(pamuk),
+                    candidates: vec![cand("author", 5.0), cand("publisher", 1.0)],
+                },
+            ],
+        };
+        let analysis = extract(&relpat_nlp::parse_sentence(
+            "Which book is written by Orhan Pamuk?",
+        ))
+        .unwrap();
+        let queries = build_queries(&f.kb, &analysis, &mapped, 50);
+        assert!(!queries.is_empty());
+        // Highest score must be the product of the two best candidates
+        // (10 × 5, possibly dampened by orientation factors ≤ 1).
+        assert!(queries[0].score <= 50.0 + 1e-9);
+        assert!(queries[0].score >= queries.last().unwrap().score);
+        // Product space is bounded by the requested cap.
+        let capped = build_queries(&f.kb, &analysis, &mapped, 2);
+        assert!(capped.len() <= 2);
+    }
+
+    #[test]
+    fn relation_with_no_consistent_reading_voids_the_query_set() {
+        // A candidate whose domain/range cannot fit either orientation must
+        // yield zero queries (the question falls back to "not attempted").
+        use crate::mapping::{CandidateSource, MappedSlot, PropertyCandidate, ResolvedEntity};
+        let f = fixture();
+        let turkey = ResolvedEntity {
+            iri: relpat_rdf::Iri::new(relpat_rdf::vocab::res::iri("Turkey")),
+            label: "Turkey".into(),
+            score: 1.0,
+        };
+        let mapped = crate::mapping::MappedQuestion {
+            triples: vec![crate::mapping::MappedTriple::Relation {
+                subject: MappedSlot::Entity(turkey.clone()),
+                object: MappedSlot::Entity(turkey),
+                // crosses: Bridge → River; Turkey is a Country on both sides.
+                candidates: vec![PropertyCandidate {
+                    property: "crosses".into(),
+                    is_data: false,
+                    preferred_inverse: None,
+                    weight: 5.0,
+                    source: CandidateSource::StringSimilarity,
+                }],
+            }],
+        };
+        let analysis =
+            extract(&relpat_nlp::parse_sentence("Is Ankara the capital of Turkey?")).unwrap();
+        assert!(build_queries(&f.kb, &analysis, &mapped, 50).is_empty());
+    }
+
+    #[test]
+    fn all_queries_parse_and_execute() {
+        let f = fixture();
+        for question in [
+            "Which book is written by Orhan Pamuk?",
+            "Where did Abraham Lincoln die?",
+            "How tall is Michael Jordan?",
+            "What is the capital of Turkey?",
+        ] {
+            for q in queries_for(question) {
+                f.kb.query(&q.sparql)
+                    .unwrap_or_else(|e| panic!("query failed ({question}): {e}\n{}", q.sparql));
+            }
+        }
+    }
+}

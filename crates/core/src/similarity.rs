@@ -1,0 +1,149 @@
+//! String similarity for property and entity matching (paper §2.2.1).
+//!
+//! The paper scores candidates by the *greatest common subsequence*: the
+//! score is the subsequence length normalized by word length, which rejects
+//! accidental containments like `river` ⊂ `taxiDriver` (their example). We
+//! normalize by the length of the longer string, which penalizes both
+//! one-sided containments symmetrically.
+
+/// Length of the longest common subsequence of two ASCII-lowered strings.
+pub fn lcs_len(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    // Two-row DP.
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut cur = vec![0usize; b.len() + 1];
+    for &ca in &a {
+        for (j, &cb) in b.iter().enumerate() {
+            cur[j + 1] = if ca == cb {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(cur[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        cur[0] = 0;
+    }
+    prev[b.len()]
+}
+
+/// Similarity score in `[0, 1]`: `lcs / max(|a|, |b|)`, case-insensitive.
+///
+/// `taxiDriver` vs `river`: lcs = 5, max = 10 → 0.5 (rejected at any
+/// reasonable threshold), while `written`→`writer` scores 5/7 ≈ 0.71 and
+/// `write`→`writer` 5/6 ≈ 0.83.
+pub fn lcs_score(a: &str, b: &str) -> f64 {
+    let a = a.to_lowercase();
+    let b = b.to_lowercase();
+    let max = a.chars().count().max(b.chars().count());
+    if max == 0 {
+        return 0.0;
+    }
+    lcs_len(&a, &b) as f64 / max as f64
+}
+
+/// Splits a camelCase property local name into lower-cased words
+/// (`populationTotal` → `["population", "total"]`).
+pub fn split_camel_case(name: &str) -> Vec<String> {
+    let mut words = Vec::new();
+    let mut cur = String::new();
+    for c in name.chars() {
+        if c.is_uppercase() && !cur.is_empty() {
+            words.push(std::mem::take(&mut cur));
+        }
+        cur.extend(c.to_lowercase());
+    }
+    if !cur.is_empty() {
+        words.push(cur);
+    }
+    words
+}
+
+/// Similarity between a question word and a property (local name + label):
+/// the best of (a) whole-name LCS, (b) exact match against any constituent
+/// word of the name/label (scored 0.95 — near-exact, since property names
+/// are compounds: `population` hits `populationTotal`).
+pub fn property_name_score(word: &str, local_name: &str, label: &str) -> f64 {
+    let word = word.to_lowercase();
+    let mut best = lcs_score(&word, local_name);
+    for w in split_camel_case(local_name) {
+        if w == word {
+            best = best.max(0.95);
+        }
+    }
+    for w in label.to_lowercase().split_whitespace() {
+        if w == word {
+            best = best.max(0.95);
+        } else {
+            best = best.max(lcs_score(&word, w) * 0.9);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcs_basics() {
+        assert_eq!(lcs_len("abc", "abc"), 3);
+        assert_eq!(lcs_len("abc", "axc"), 2);
+        assert_eq!(lcs_len("abc", ""), 0);
+        assert_eq!(lcs_len("write", "writer"), 5);
+        assert_eq!(lcs_len("written", "writer"), 5); // w,r,i,t,e + one t = writte? -> "write" + t
+    }
+
+    #[test]
+    fn paper_taxidriver_example_is_rejected() {
+        // "the property 'taxiDriver' encapsulates the word 'river'" — the
+        // normalized score must kill it.
+        let score = lcs_score("river", "taxiDriver");
+        assert!(score <= 0.5, "got {score}");
+        // While a genuine morphological variant passes.
+        assert!(lcs_score("write", "writer") > 0.8);
+    }
+
+    #[test]
+    fn written_maps_to_writer() {
+        // §2.2.1: dbont:writer is the most similar property for "written".
+        let writer = lcs_score("written", "writer");
+        let taxi = lcs_score("written", "taxiDriver");
+        assert!(writer > taxi);
+        assert!(writer > 0.7);
+    }
+
+    #[test]
+    fn camel_case_split() {
+        assert_eq!(split_camel_case("populationTotal"), vec!["population", "total"]);
+        assert_eq!(split_camel_case("birthPlace"), vec!["birth", "place"]);
+        assert_eq!(split_camel_case("height"), vec!["height"]);
+        assert_eq!(split_camel_case("numberOfPages"), vec!["number", "of", "pages"]);
+    }
+
+    #[test]
+    fn property_name_score_uses_constituents() {
+        assert!(property_name_score("population", "populationTotal", "population total") >= 0.95);
+        assert!(property_name_score("height", "height", "height") >= 0.95);
+        assert!(property_name_score("pages", "numberOfPages", "number of pages") >= 0.95);
+        assert!(property_name_score("zebra", "populationTotal", "population total") < 0.5);
+    }
+
+    #[test]
+    fn score_is_symmetric_and_bounded() {
+        for (a, b) in [("write", "writer"), ("die", "deathPlace"), ("", "x")] {
+            let s1 = lcs_score(a, b);
+            let s2 = lcs_score(b, a);
+            assert!((s1 - s2).abs() < 1e-12);
+            assert!((0.0..=1.0).contains(&s1));
+        }
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert_eq!(lcs_score("Height", "height"), 1.0);
+    }
+}

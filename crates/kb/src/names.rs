@@ -1,0 +1,123 @@
+//! Name pools for the deterministic entity generator.
+//!
+//! Pools are fixed arrays; the generator combines them with a seeded RNG, so
+//! the same seed always yields the same knowledge base. A handful of labels
+//! are deliberately reusable (see `AMBIGUOUS_CITY`) to exercise the named
+//! entity disambiguation step.
+
+pub const FIRST_NAMES: &[&str] = &[
+    "Adam", "Alice", "Anton", "Ayse", "Boris", "Bruno", "Carla", "Cem", "Clara", "Daniel",
+    "Deniz", "Diego", "Elena", "Emre", "Erik", "Fatma", "Felix", "Gloria", "Hakan", "Helen",
+    "Igor", "Irene", "Ivan", "Jana", "Jonas", "Julia", "Kemal", "Laura", "Leyla", "Lucas",
+    "Maria", "Marta", "Mehmet", "Murat", "Nadia", "Nils", "Olga", "Omer", "Paula", "Pedro",
+    "Petra", "Rosa", "Selim", "Sofia", "Stefan", "Tarik", "Tomas", "Vera", "Viktor", "Zeynep",
+];
+
+pub const LAST_NAMES: &[&str] = &[
+    "Aksoy", "Almeida", "Andersen", "Aydin", "Becker", "Bianchi", "Borisov", "Castro", "Celik",
+    "Costa", "Demir", "Dimitrov", "Dubois", "Eriksen", "Fischer", "Fontaine", "Garcia",
+    "Hansen", "Hoffmann", "Ivanov", "Jansen", "Kaya", "Keller", "Kovacs", "Larsen", "Lehmann",
+    "Lopez", "Marino", "Meyer", "Moreau", "Navarro", "Nielsen", "Novak", "Ozturk", "Pavlov",
+    "Peeters", "Petrov", "Ricci", "Rossi", "Sahin", "Santos", "Schmidt", "Silva", "Sorensen",
+    "Vasquez", "Weber", "Yilmaz", "Zhukov", "Zimmermann", "Koch",
+];
+
+pub const CITY_NAMES: &[&str] = &[
+    "Ankara", "Istanbul", "Izmir", "Berlin", "Hamburg", "Munich", "Paris", "Lyon", "Marseille",
+    "Rome", "Milan", "Naples", "Madrid", "Barcelona", "Seville", "Lisbon", "Porto", "Vienna",
+    "Prague", "Warsaw", "Krakow", "Budapest", "Athens", "Sofia", "Bucharest", "Belgrade",
+    "Zagreb", "Oslo", "Stockholm", "Copenhagen", "Helsinki", "Dublin", "Amsterdam", "Brussels",
+    "Zurich", "Geneva", "Moscow", "Kiev", "Minsk", "Riga", "Vilnius", "Tallinn", "Washington",
+    "Brooklyn", "Chicago", "Boston", "Gary", "Ulm", "Bonn", "Hodgenville", "Los Angeles",
+    "Toronto", "Montreal", "Ottawa", "Cairo", "Tunis", "Rabat", "Tokyo", "Kyoto", "Osaka",
+];
+
+/// A city label minted several times in different countries, to exercise
+/// disambiguation.
+pub const AMBIGUOUS_CITY: &str = "Springfield";
+
+pub const COUNTRY_NAMES: &[&str] = &[
+    "Turkey", "Germany", "France", "Italy", "Spain", "Portugal", "Austria", "Poland",
+    "Hungary", "Greece", "Bulgaria", "Romania", "Serbia", "Croatia", "Norway", "Sweden",
+    "Denmark", "Finland", "Ireland", "Netherlands", "Belgium", "Switzerland", "Russia",
+    "Ukraine", "Latvia", "Lithuania", "Estonia", "United States", "Canada", "Egypt",
+    "Tunisia", "Morocco", "Japan", "Czech Republic", "Belarus",
+];
+
+pub const LANGUAGE_NAMES: &[&str] = &[
+    "Turkish", "German", "French", "Italian", "Spanish", "Portuguese", "Polish", "Hungarian",
+    "Greek", "Bulgarian", "Romanian", "Serbian", "Croatian", "Norwegian", "Swedish", "Danish",
+    "Finnish", "English", "Dutch", "Russian", "Ukrainian", "Latvian", "Lithuanian",
+    "Estonian", "Arabic", "Japanese", "Czech", "Belarusian",
+];
+
+pub const CURRENCY_NAMES: &[&str] = &[
+    "Lira", "Euro", "Zloty", "Forint", "Leu", "Dinar", "Kuna", "Krone", "Krona", "Franc",
+    "Ruble", "Hryvnia", "Dollar", "Pound", "Yen", "Koruna",
+];
+
+pub const TITLE_ADJECTIVES: &[&str] = &[
+    "Silent", "Red", "Black", "White", "Hidden", "Lost", "Golden", "Broken", "Distant",
+    "Endless", "Frozen", "Burning", "Quiet", "Wild", "Secret", "Last", "First", "Blue",
+    "Crimson", "Pale", "Hollow", "Shattered", "Wandering", "Forgotten", "Eternal",
+];
+
+pub const TITLE_NOUNS: &[&str] = &[
+    "River", "Mountain", "Garden", "Mirror", "Tower", "Harbor", "Forest", "Storm", "Voyage",
+    "Letter", "Winter", "Summer", "Shadow", "Castle", "Bridge", "Station", "Library",
+    "Painter", "Daughter", "Stranger", "Horizon", "Island", "Lantern", "Orchard", "Compass",
+];
+
+pub const COMPANY_STEMS: &[&str] = &[
+    "Vertex", "Nimbus", "Aquila", "Borealis", "Cinder", "Datapoint", "Eastgate", "Fennec",
+    "Granite", "Helios", "Ionic", "Juniper", "Kestrel", "Lumen", "Meridian", "Northwind",
+    "Obsidian", "Pinnacle", "Quartz", "Riverton", "Solstice", "Tundra", "Umbra", "Vanguard",
+    "Westbrook", "Zephyr",
+];
+
+pub const COMPANY_SUFFIXES: &[&str] =
+    &["Systems", "Industries", "Software", "Dynamics", "Group", "Labs", "Media", "Motors"];
+
+pub const RIVER_STEMS: &[&str] = &[
+    "Ald", "Bren", "Cald", "Dur", "Elb", "Fen", "Gar", "Hav", "Isk", "Jor", "Kel", "Lor",
+    "Mor", "Nar", "Ord", "Pell", "Quin", "Rhen", "Sav", "Tav", "Ur", "Vol", "Wes", "Yar",
+];
+
+pub const MOUNT_STEMS: &[&str] = &[
+    "Ara", "Bel", "Cro", "Dor", "Eri", "Fal", "Gor", "Hel", "Ina", "Jur", "Kar", "Lom",
+    "Mon", "Nev", "Olt", "Pir", "Ros", "Sor", "Tat", "Urs", "Vel", "Zla",
+];
+
+pub const UNIVERSITY_CITY_FORMS: &[&str] =
+    &["University of {}", "{} Technical University", "{} State University", "{} Institute of Technology"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn pools_are_duplicate_free() {
+        for pool in [
+            FIRST_NAMES, LAST_NAMES, CITY_NAMES, COUNTRY_NAMES, LANGUAGE_NAMES,
+            CURRENCY_NAMES, TITLE_ADJECTIVES, TITLE_NOUNS, COMPANY_STEMS, RIVER_STEMS,
+            MOUNT_STEMS,
+        ] {
+            let set: HashSet<_> = pool.iter().collect();
+            assert_eq!(set.len(), pool.len());
+        }
+    }
+
+    #[test]
+    fn paper_locations_present() {
+        // Cities referenced by the paper's running examples must exist.
+        for needle in ["Gary", "Istanbul", "Washington", "Ulm", "Bonn", "Hodgenville"] {
+            assert!(CITY_NAMES.contains(&needle), "{needle} missing");
+        }
+    }
+
+    #[test]
+    fn ambiguous_city_not_in_main_pool() {
+        assert!(!CITY_NAMES.contains(&AMBIGUOUS_CITY));
+    }
+}

@@ -1,0 +1,318 @@
+//! Typed dependency graphs (Stanford-dependencies style).
+
+use std::fmt;
+
+use crate::tokens::Token;
+
+/// Typed dependency relations — the collapsed Stanford-dependencies subset
+/// the paper's triple extraction consumes. Prepositions are collapsed into
+/// the relation (`prep_of(height, Jordan)`), matching the representation the
+/// paper's Figure 1 derives from.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DepRel {
+    /// Determiner: `det(book, Which)`
+    Det,
+    /// Noun compound modifier: `nn(Pamuk, Orhan)`
+    Nn,
+    /// Adjectival modifier: `amod(people, many)`
+    Amod,
+    /// Numeric modifier
+    Num,
+    /// Possession modifier: `poss(wife, Obama)`
+    Poss,
+    /// Nominal subject (active)
+    Nsubj,
+    /// Nominal subject (passive): `nsubjpass(written, book)`
+    Nsubjpass,
+    /// Direct object
+    Dobj,
+    /// Indirect object: `iobj(give, me)`
+    Iobj,
+    /// Copula: `cop(height, is)`
+    Cop,
+    /// Auxiliary: `aux(die, did)`
+    Aux,
+    /// Passive auxiliary: `auxpass(written, is)`
+    Auxpass,
+    /// Passive agent (collapsed `by`): `agent(written, Pamuk)`
+    Agent,
+    /// Collapsed preposition: `prep_of`, `prep_in`, ...
+    Prep(String),
+    /// Adverbial modifier: `advmod(die, Where)`
+    Advmod,
+    /// Participial modifier (reduced relative): `partmod(books, written)`
+    Partmod,
+    /// Unclassified dependency (fallback for unhandled structure)
+    Dep,
+}
+
+impl fmt::Display for DepRel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DepRel::Det => f.write_str("det"),
+            DepRel::Nn => f.write_str("nn"),
+            DepRel::Amod => f.write_str("amod"),
+            DepRel::Num => f.write_str("num"),
+            DepRel::Poss => f.write_str("poss"),
+            DepRel::Nsubj => f.write_str("nsubj"),
+            DepRel::Nsubjpass => f.write_str("nsubjpass"),
+            DepRel::Dobj => f.write_str("dobj"),
+            DepRel::Iobj => f.write_str("iobj"),
+            DepRel::Cop => f.write_str("cop"),
+            DepRel::Aux => f.write_str("aux"),
+            DepRel::Auxpass => f.write_str("auxpass"),
+            DepRel::Agent => f.write_str("agent"),
+            DepRel::Prep(p) => write!(f, "prep_{p}"),
+            DepRel::Advmod => f.write_str("advmod"),
+            DepRel::Partmod => f.write_str("partmod"),
+            DepRel::Dep => f.write_str("dep"),
+        }
+    }
+}
+
+/// One typed dependency edge (head → dependent).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Edge {
+    pub head: usize,
+    pub dependent: usize,
+    pub rel: DepRel,
+}
+
+/// A dependency parse of one sentence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepGraph {
+    pub tokens: Vec<Token>,
+    pub edges: Vec<Edge>,
+    /// Index of the root token, if the parser committed to a structure.
+    pub root: Option<usize>,
+}
+
+impl DepGraph {
+    /// The token at `index`.
+    pub fn token(&self, index: usize) -> &Token {
+        &self.tokens[index]
+    }
+
+    /// Children of a head with their relations, in token order.
+    pub fn children(&self, head: usize) -> Vec<(usize, &DepRel)> {
+        let mut out: Vec<(usize, &DepRel)> = self
+            .edges
+            .iter()
+            .filter(|e| e.head == head)
+            .map(|e| (e.dependent, &e.rel))
+            .collect();
+        out.sort_by_key(|(i, _)| *i);
+        out
+    }
+
+    /// First child of `head` with relation `rel`.
+    pub fn child_with(&self, head: usize, rel: &DepRel) -> Option<usize> {
+        self.edges
+            .iter()
+            .find(|e| e.head == head && &e.rel == rel)
+            .map(|e| e.dependent)
+    }
+
+    /// First child matching a predicate on the relation.
+    pub fn child_where<F: Fn(&DepRel) -> bool>(&self, head: usize, pred: F) -> Option<usize> {
+        self.edges
+            .iter()
+            .find(|e| e.head == head && pred(&e.rel))
+            .map(|e| e.dependent)
+    }
+
+    /// The head and relation of a dependent, if attached.
+    pub fn head_of(&self, dependent: usize) -> Option<(usize, &DepRel)> {
+        self.edges
+            .iter()
+            .find(|e| e.dependent == dependent)
+            .map(|e| (e.head, &e.rel))
+    }
+
+    /// All token indices in the subtree rooted at `head` (inclusive), sorted.
+    pub fn subtree(&self, head: usize) -> Vec<usize> {
+        let mut out = vec![head];
+        let mut stack = vec![head];
+        while let Some(h) = stack.pop() {
+            for e in self.edges.iter().filter(|e| e.head == h) {
+                if !out.contains(&e.dependent) {
+                    out.push(e.dependent);
+                    stack.push(e.dependent);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Surface text of a subtree, in token order — used to reconstruct
+    /// multi-word entity mentions ("The Museum of Innocence").
+    pub fn subtree_text(&self, head: usize) -> String {
+        self.subtree(head)
+            .into_iter()
+            .map(|i| self.tokens[i].text.as_str())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Surface text of a subtree restricted to name-forming relations
+    /// (`nn`, `det`, `prep_of` chains) — drops modifiers like relative
+    /// clauses so "books written by X" yields "books".
+    pub fn phrase_text(&self, head: usize) -> String {
+        let mut keep = vec![head];
+        let mut stack = vec![head];
+        while let Some(h) = stack.pop() {
+            for e in self.edges.iter().filter(|e| e.head == h) {
+                let name_forming = matches!(
+                    e.rel,
+                    DepRel::Nn | DepRel::Num | DepRel::Poss
+                ) || matches!(&e.rel, DepRel::Prep(p) if p == "of");
+                if name_forming && !keep.contains(&e.dependent) {
+                    keep.push(e.dependent);
+                    stack.push(e.dependent);
+                }
+            }
+        }
+        keep.sort_unstable();
+        // Re-insert the connecting "of" tokens that sit between kept spans.
+        let mut words: Vec<&str> = Vec::new();
+        for (pos, &i) in keep.iter().enumerate() {
+            if pos > 0 {
+                let prev = keep[pos - 1];
+                if i == prev + 2 && self.tokens[i - 1].lemma == "of" {
+                    words.push(&self.tokens[i - 1].text);
+                }
+            }
+            words.push(&self.tokens[i].text);
+        }
+        words.join(" ")
+    }
+
+    /// Renders the parse as an indented tree (the shape of the paper's
+    /// Figure 1).
+    pub fn to_tree_string(&self) -> String {
+        let mut out = String::new();
+        match self.root {
+            Some(root) => {
+                out.push_str(&format!("{} (root)\n", self.tokens[root]));
+                self.render_children(root, 1, &mut out);
+            }
+            None => out.push_str("(no parse)\n"),
+        }
+        out
+    }
+
+    fn render_children(&self, head: usize, depth: usize, out: &mut String) {
+        for (child, rel) in self.children(head) {
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&format!("└─ {rel} ─ {}\n", self.tokens[child]));
+            self.render_children(child, depth + 1, out);
+        }
+    }
+
+    /// Lists the edges in `rel(head, dependent)` notation, one per line —
+    /// the textual form Stanford tools print.
+    pub fn to_relations_string(&self) -> String {
+        let mut out = String::new();
+        for e in &self.edges {
+            out.push_str(&format!(
+                "{}({}-{}, {}-{})\n",
+                e.rel,
+                self.tokens[e.head].text,
+                e.head + 1,
+                self.tokens[e.dependent].text,
+                e.dependent + 1
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokens::PosTag;
+
+    fn tok(text: &str, pos: PosTag, index: usize) -> Token {
+        Token { text: text.into(), lemma: text.to_lowercase(), pos, index }
+    }
+
+    fn figure1_graph() -> DepGraph {
+        // Which book is written by Orhan Pamuk
+        let tokens = vec![
+            tok("Which", PosTag::Wdt, 0),
+            tok("book", PosTag::Nn, 1),
+            tok("is", PosTag::Vbz, 2),
+            tok("written", PosTag::Vbn, 3),
+            tok("by", PosTag::In, 4),
+            tok("Orhan", PosTag::Nnp, 5),
+            tok("Pamuk", PosTag::Nnp, 6),
+        ];
+        let edges = vec![
+            Edge { head: 1, dependent: 0, rel: DepRel::Det },
+            Edge { head: 3, dependent: 1, rel: DepRel::Nsubjpass },
+            Edge { head: 3, dependent: 2, rel: DepRel::Auxpass },
+            Edge { head: 3, dependent: 6, rel: DepRel::Agent },
+            Edge { head: 6, dependent: 5, rel: DepRel::Nn },
+        ];
+        DepGraph { tokens, edges, root: Some(3) }
+    }
+
+    #[test]
+    fn children_sorted_by_index() {
+        let g = figure1_graph();
+        let kids: Vec<usize> = g.children(3).into_iter().map(|(i, _)| i).collect();
+        assert_eq!(kids, vec![1, 2, 6]);
+    }
+
+    #[test]
+    fn child_with_and_head_of() {
+        let g = figure1_graph();
+        assert_eq!(g.child_with(3, &DepRel::Agent), Some(6));
+        assert_eq!(g.child_with(3, &DepRel::Dobj), None);
+        let (head, rel) = g.head_of(1).unwrap();
+        assert_eq!(head, 3);
+        assert_eq!(rel, &DepRel::Nsubjpass);
+    }
+
+    #[test]
+    fn subtree_and_text() {
+        let g = figure1_graph();
+        assert_eq!(g.subtree(6), vec![5, 6]);
+        assert_eq!(g.subtree_text(6), "Orhan Pamuk");
+        // root + nsubjpass(book) + its det(Which) + auxpass(is) + agent(Pamuk) + nn(Orhan)
+        assert_eq!(g.subtree(3).len(), 6);
+    }
+
+    #[test]
+    fn phrase_text_keeps_name_parts_only() {
+        let g = figure1_graph();
+        // book's subtree includes det(Which); phrase_text drops it.
+        assert_eq!(g.phrase_text(1), "book");
+        assert_eq!(g.phrase_text(6), "Orhan Pamuk");
+    }
+
+    #[test]
+    fn tree_rendering_contains_relations() {
+        let g = figure1_graph();
+        let tree = g.to_tree_string();
+        assert!(tree.contains("written/VBN (root)"));
+        assert!(tree.contains("nsubjpass"));
+        assert!(tree.contains("agent"));
+        assert!(tree.contains("nn"));
+    }
+
+    #[test]
+    fn relations_string_one_per_line() {
+        let g = figure1_graph();
+        let rels = g.to_relations_string();
+        assert!(rels.contains("nsubjpass(written-4, book-2)"));
+        assert_eq!(rels.lines().count(), g.edges.len());
+    }
+
+    #[test]
+    fn prep_rel_display() {
+        assert_eq!(DepRel::Prep("of".into()).to_string(), "prep_of");
+        assert_eq!(DepRel::Nsubjpass.to_string(), "nsubjpass");
+    }
+}

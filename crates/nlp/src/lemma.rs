@@ -1,0 +1,315 @@
+//! Rule-based English lemmatizer.
+//!
+//! Combines an irregular-form table (verbs the question register actually
+//! uses, plus common irregular plurals) with standard suffix-stripping rules.
+//! Lemmas feed the string-similarity property matcher and the relational
+//! pattern normalizer, so consistency matters more than linguistic
+//! completeness: the same surface form must always map to the same lemma.
+
+use crate::tokens::PosTag;
+
+/// Irregular verb forms: (inflected, lemma).
+const IRREGULAR_VERBS: &[(&str, &str)] = &[
+    ("is", "be"),
+    ("are", "be"),
+    ("was", "be"),
+    ("were", "be"),
+    ("am", "be"),
+    ("been", "be"),
+    ("being", "be"),
+    ("has", "have"),
+    ("had", "have"),
+    ("having", "have"),
+    ("does", "do"),
+    ("did", "do"),
+    ("done", "do"),
+    ("wrote", "write"),
+    ("written", "write"),
+    ("writes", "write"),
+    ("born", "bear"),
+    ("bore", "bear"),
+    ("borne", "bear"),
+    ("died", "die"),
+    ("dying", "die"),
+    ("dies", "die"),
+    ("won", "win"),
+    ("made", "make"),
+    ("took", "take"),
+    ("taken", "take"),
+    ("gave", "give"),
+    ("given", "give"),
+    ("found", "find"),
+    ("founded", "found"),
+    ("began", "begin"),
+    ("begun", "begin"),
+    ("led", "lead"),
+    ("grew", "grow"),
+    ("grown", "grow"),
+    ("flew", "fly"),
+    ("flown", "fly"),
+    ("ran", "run"),
+    ("held", "hold"),
+    ("spoke", "speak"),
+    ("spoken", "speak"),
+    ("sang", "sing"),
+    ("sung", "sing"),
+    ("came", "come"),
+    ("went", "go"),
+    ("gone", "go"),
+    ("got", "get"),
+    ("gotten", "get"),
+    ("saw", "see"),
+    ("seen", "see"),
+    ("met", "meet"),
+    ("left", "leave"),
+    ("built", "build"),
+    ("bought", "buy"),
+    ("brought", "bring"),
+    ("thought", "think"),
+    ("taught", "teach"),
+    ("caught", "catch"),
+    ("sold", "sell"),
+    ("told", "tell"),
+    ("said", "say"),
+    ("paid", "pay"),
+    ("knew", "know"),
+    ("known", "know"),
+    ("drew", "draw"),
+    ("drawn", "draw"),
+    ("shot", "shoot"),
+    ("lay", "lie"),
+    ("lain", "lie"),
+    ("lies", "lie"),
+];
+
+/// Irregular noun plurals: (plural, singular).
+const IRREGULAR_NOUNS: &[(&str, &str)] = &[
+    ("people", "person"),
+    ("men", "man"),
+    ("women", "woman"),
+    ("children", "child"),
+    ("wives", "wife"),
+    ("lives", "life"),
+    ("countries", "country"),
+    ("cities", "city"),
+    ("companies", "company"),
+    ("movies", "movie"),
+    ("series", "series"),
+    ("species", "species"),
+];
+
+/// Words ending in `-ss`/`-us`/`-is` that look plural but are not.
+const FALSE_PLURALS: &[&str] =
+    &["his", "this", "is", "was", "does", "has", "its", "tennis", "paris", "chess", "alias"];
+
+/// Lemmatizes one lower-cased word given its POS tag.
+pub fn lemmatize(word: &str, pos: PosTag) -> String {
+    let lower = word.to_lowercase();
+    if pos.is_verb() || pos == PosTag::Md {
+        if let Some(&(_, lemma)) = IRREGULAR_VERBS.iter().find(|(w, _)| *w == lower) {
+            return lemma.to_string();
+        }
+        return lemmatize_regular_verb(&lower);
+    }
+    if pos.is_noun() {
+        if let Some(&(_, lemma)) = IRREGULAR_NOUNS.iter().find(|(w, _)| *w == lower) {
+            return lemma.to_string();
+        }
+        if matches!(pos, PosTag::Nns | PosTag::Nnps) {
+            return singularize(&lower);
+        }
+        return lower;
+    }
+    if pos.is_adjective() {
+        return lemmatize_adjective(&lower);
+    }
+    lower
+}
+
+fn lemmatize_regular_verb(word: &str) -> String {
+    // -ies → -y (carries → carry)
+    if let Some(stem) = word.strip_suffix("ies") {
+        if stem.len() >= 2 {
+            return format!("{stem}y");
+        }
+    }
+    // -es after sibilant (watches → watch); otherwise -s (writes → write)
+    if let Some(stem) = word.strip_suffix("es") {
+        if stem.ends_with("ch") || stem.ends_with("sh") || stem.ends_with('x') || stem.ends_with('s')
+        {
+            return stem.to_string();
+        }
+    }
+    if let Some(stem) = word.strip_suffix('s') {
+        if !stem.is_empty() && !stem.ends_with('s') && !stem.ends_with('i') {
+            return stem.to_string();
+        }
+    }
+    // -ied → -y (married → marry)
+    if let Some(stem) = word.strip_suffix("ied") {
+        if stem.len() >= 2 {
+            return format!("{stem}y");
+        }
+    }
+    // doubled consonant + ed (starred → star, planned → plan)
+    if let Some(stem) = word.strip_suffix("ed") {
+        if stem.len() >= 3 {
+            let chars: Vec<char> = stem.chars().collect();
+            let n = chars.len();
+            if chars[n - 1] == chars[n - 2] && !"aeiou".contains(chars[n - 1]) && chars[n - 1] != 'l'
+            {
+                return stem[..stem.len() - 1].to_string();
+            }
+            // -ated/-ired/-osed... : 'e'-final stems (created → create,
+            // located → locate). Heuristic: consonant + e restoration when
+            // the stem ends in a pattern that requires 'e'.
+            if ends_needs_e(stem) {
+                return format!("{stem}e");
+            }
+            return stem.to_string();
+        }
+    }
+    // -ing forms
+    if let Some(stem) = word.strip_suffix("ing") {
+        if stem.len() >= 3 {
+            let chars: Vec<char> = stem.chars().collect();
+            let n = chars.len();
+            if chars[n - 1] == chars[n - 2] && !"aeiou".contains(chars[n - 1]) && chars[n - 1] != 'l'
+            {
+                return stem[..stem.len() - 1].to_string();
+            }
+            if ends_needs_e(stem) {
+                return format!("{stem}e");
+            }
+            return stem.to_string();
+        }
+    }
+    word.to_string()
+}
+
+/// Heuristic for restoring a dropped final `e` after suffix stripping:
+/// stems ending in consonant+`at`, `it`, `iv`, `os`, `ac`, `uc`, `in` with a
+/// single trailing consonant that commonly require `e`.
+fn ends_needs_e(stem: &str) -> bool {
+    const E_RESTORING: &[&str] = &[
+        "at", "iv", "os", "uc", "ac", "ir", "ar", "or", "ut", "it", "id", "ov", "ag", "iz",
+        "rit", "as", "us",
+    ];
+    E_RESTORING.iter().any(|suf| stem.ends_with(suf)) && stem.len() >= 3
+}
+
+fn singularize(word: &str) -> String {
+    if FALSE_PLURALS.contains(&word) || !word.ends_with('s') {
+        return word.to_string();
+    }
+    if let Some(stem) = word.strip_suffix("ies") {
+        if stem.len() >= 2 {
+            return format!("{stem}y");
+        }
+    }
+    if let Some(stem) = word.strip_suffix("es") {
+        if stem.ends_with("ch") || stem.ends_with("sh") || stem.ends_with('x') || stem.ends_with('s')
+        {
+            return stem.to_string();
+        }
+    }
+    if let Some(stem) = word.strip_suffix('s') {
+        if !stem.is_empty() && !stem.ends_with('s') {
+            return stem.to_string();
+        }
+    }
+    word.to_string()
+}
+
+fn lemmatize_adjective(word: &str) -> String {
+    // taller → tall, tallest → tall; bigger → big, biggest → big
+    for suffix in ["est", "er"] {
+        if let Some(stem) = word.strip_suffix(suffix) {
+            if stem.len() >= 3 {
+                let chars: Vec<char> = stem.chars().collect();
+                let n = chars.len();
+                if n >= 2
+                    && chars[n - 1] == chars[n - 2]
+                    && !"aeioul".contains(chars[n - 1])
+                {
+                    return stem[..stem.len() - 1].to_string();
+                }
+                if let Some(base) = stem.strip_suffix('i') {
+                    return format!("{base}y");
+                }
+                return stem.to_string();
+            }
+        }
+    }
+    word.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn irregular_verbs() {
+        assert_eq!(lemmatize("written", PosTag::Vbn), "write");
+        assert_eq!(lemmatize("wrote", PosTag::Vbd), "write");
+        assert_eq!(lemmatize("was", PosTag::Vbd), "be");
+        assert_eq!(lemmatize("born", PosTag::Vbn), "bear");
+        assert_eq!(lemmatize("died", PosTag::Vbd), "die");
+        assert_eq!(lemmatize("founded", PosTag::Vbd), "found");
+        assert_eq!(lemmatize("won", PosTag::Vbd), "win");
+    }
+
+    #[test]
+    fn regular_verbs() {
+        assert_eq!(lemmatize("directs", PosTag::Vbz), "direct");
+        assert_eq!(lemmatize("directed", PosTag::Vbd), "direct");
+        assert_eq!(lemmatize("starred", PosTag::Vbd), "star");
+        assert_eq!(lemmatize("married", PosTag::Vbd), "marry");
+        assert_eq!(lemmatize("carries", PosTag::Vbz), "carry");
+        assert_eq!(lemmatize("created", PosTag::Vbn), "create");
+        assert_eq!(lemmatize("located", PosTag::Vbn), "locate");
+        assert_eq!(lemmatize("watches", PosTag::Vbz), "watch");
+        assert_eq!(lemmatize("living", PosTag::Vbg), "live");
+        assert_eq!(lemmatize("developed", PosTag::Vbd), "develop");
+    }
+
+    #[test]
+    fn noun_plurals() {
+        assert_eq!(lemmatize("books", PosTag::Nns), "book");
+        assert_eq!(lemmatize("cities", PosTag::Nns), "city");
+        assert_eq!(lemmatize("people", PosTag::Nns), "person");
+        assert_eq!(lemmatize("children", PosTag::Nns), "child");
+        assert_eq!(lemmatize("wives", PosTag::Nns), "wife");
+        assert_eq!(lemmatize("churches", PosTag::Nns), "church");
+        assert_eq!(lemmatize("movies", PosTag::Nns), "movie");
+    }
+
+    #[test]
+    fn singular_nouns_pass_through() {
+        assert_eq!(lemmatize("book", PosTag::Nn), "book");
+        assert_eq!(lemmatize("tennis", PosTag::Nn), "tennis");
+        assert_eq!(lemmatize("Paris", PosTag::Nnp), "paris");
+    }
+
+    #[test]
+    fn adjectives() {
+        assert_eq!(lemmatize("taller", PosTag::Jjr), "tall");
+        assert_eq!(lemmatize("tallest", PosTag::Jjs), "tall");
+        assert_eq!(lemmatize("bigger", PosTag::Jjr), "big");
+        assert_eq!(lemmatize("happiest", PosTag::Jjs), "happy");
+        assert_eq!(lemmatize("high", PosTag::Jj), "high");
+    }
+
+    #[test]
+    fn other_pos_just_lowercases() {
+        assert_eq!(lemmatize("By", PosTag::In), "by");
+        assert_eq!(lemmatize("Which", PosTag::Wdt), "which");
+    }
+
+    #[test]
+    fn lemma_is_deterministic_for_repeated_calls() {
+        for _ in 0..3 {
+            assert_eq!(lemmatize("written", PosTag::Vbn), "write");
+        }
+    }
+}

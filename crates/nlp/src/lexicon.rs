@@ -1,0 +1,227 @@
+//! Embedded POS lexicon.
+//!
+//! A compact word list covering the interrogative-English register the
+//! system processes: closed-class words exhaustively, plus the open-class
+//! vocabulary that question sets and the synthetic corpus use. Unknown words
+//! fall through to the tagger's morphology rules.
+
+use rustc_hash::FxHashMap;
+use std::sync::OnceLock;
+
+use crate::tokens::PosTag;
+
+/// Returns the primary (context-free) tag of a lower-cased word.
+pub fn lookup(word: &str) -> Option<PosTag> {
+    table().get(word).copied()
+}
+
+/// True if the word is a form of "be".
+pub fn is_be_form(word: &str) -> bool {
+    matches!(word, "is" | "are" | "was" | "were" | "am" | "be" | "been" | "being")
+}
+
+/// True if the word is a form of "do" (the question auxiliary).
+pub fn is_do_form(word: &str) -> bool {
+    matches!(word, "do" | "does" | "did")
+}
+
+/// True if the word is a form of "have".
+pub fn is_have_form(word: &str) -> bool {
+    matches!(word, "have" | "has" | "had")
+}
+
+fn table() -> &'static FxHashMap<&'static str, PosTag> {
+    static TABLE: OnceLock<FxHashMap<&'static str, PosTag>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut m = FxHashMap::default();
+        let sets: &[(&[&str], PosTag)] = &[
+            // Closed classes first; later duplicates do not overwrite, so
+            // keep the most important reading earliest.
+            (
+                &["the", "a", "an", "all", "every", "each", "some", "any", "no", "another",
+                  "both", "either", "neither"],
+                PosTag::Dt,
+            ),
+            (&["which"], PosTag::Wdt),
+            (&["who", "whom", "what"], PosTag::Wp),
+            (&["whose"], PosTag::WpPoss),
+            (&["where", "when", "why", "how"], PosTag::Wrb),
+            (
+                &["of", "in", "by", "from", "at", "on", "for", "with", "about", "into",
+                  "through", "between", "against", "during", "before", "after", "under", "than",
+                  "over", "near", "since", "until", "as"],
+                PosTag::In,
+            ),
+            (&["to"], PosTag::To),
+            (&["and", "or", "but", "nor"], PosTag::Cc),
+            (
+                &["i", "you", "he", "she", "it", "we", "they", "me", "him", "her", "us",
+                  "them"],
+                PosTag::Prp,
+            ),
+            (&["my", "your", "his", "its", "our", "their"], PosTag::PrpPoss),
+            (&["there"], PosTag::Ex),
+            (&["'s"], PosTag::Pos),
+            (
+                &["can", "could", "will", "would", "shall", "should", "may", "might", "must"],
+                PosTag::Md,
+            ),
+            // be / do / have forms
+            (&["is", "has", "does"], PosTag::Vbz),
+            (&["are", "am", "do", "have"], PosTag::Vbp),
+            (&["was", "were", "did", "had"], PosTag::Vbd),
+            (&["be"], PosTag::Vb),
+            (&["been", "done"], PosTag::Vbn),
+            (&["being", "having", "doing"], PosTag::Vbg),
+            // Adverbs common in questions
+            (
+                &["still", "currently", "now", "also", "not", "n't", "many", "much", "most",
+                  "more", "first", "last", "originally", "officially"],
+                PosTag::Rb,
+            ),
+            // Base verbs (after "did"/"does"/to)
+            (
+                &["write", "direct", "star", "marry", "die", "live", "locate", "create",
+                  "develop", "found", "design", "discover", "win", "play", "flow", "border",
+                  "produce", "publish", "compose", "sing", "act", "work", "study", "lead",
+                  "own", "run", "give", "start", "begin", "end", "take", "make", "bear",
+                  "cross", "join", "leave", "record", "release", "invent", "paint", "build",
+                  "establish", "head", "govern", "rule", "speak"],
+                PosTag::Vb,
+            ),
+            // Past/participle forms (VBN preferred; the tagger converts to
+            // VBD in active contexts)
+            (
+                &["written", "directed", "starred", "married", "born", "located", "created",
+                  "developed", "founded", "designed", "discovered", "won", "played",
+                  "produced", "published", "composed", "sung", "acted", "led", "owned",
+                  "given", "taken", "made", "recorded", "released", "invented", "painted",
+                  "built", "established", "governed", "ruled", "spoken", "crossed", "joined",
+                  "headed"],
+                PosTag::Vbn,
+            ),
+            (
+                &["wrote", "died", "lived", "sang", "spoke", "began", "started", "ended",
+                  "flowed", "worked", "studied", "ran", "gave", "took", "left"],
+                PosTag::Vbd,
+            ),
+            (
+                &["writes", "directs", "stars", "marries", "dies", "lives", "flows",
+                  "borders", "runs", "leads", "owns", "plays", "speaks", "crosses"],
+                PosTag::Vbz,
+            ),
+            // Nouns (singular)
+            (
+                &["book", "novel", "author", "writer", "poet", "president", "mayor", "wife",
+                  "husband", "spouse", "height", "population", "capital", "city", "country",
+                  "river", "mountain", "film", "movie", "director", "actor", "actress",
+                  "company", "university", "album", "band", "song", "game", "person",
+                  "place", "date", "year", "birthday", "death", "birth", "currency",
+                  "language", "area", "inhabitant", "employee", "headquarters", "creator",
+                  "designer", "founder", "developer", "owner", "leader", "state",
+                  "continent", "lake", "island", "airline", "airport", "museum", "painting",
+                  "player", "team", "organization", "organisation", "party", "school",
+                  "child", "daughter", "son", "mother", "father", "brother", "sister",
+                  "name", "kind", "type", "number", "amount", "elevation", "length",
+                  "depth", "size", "abbreviation", "website", "anthem", "flag", "mascot",
+                  "prize", "award", "location", "border", "region", "profession", "job",
+                  "title", "genre", "currency", "religion", "festival", "war", "battle",
+                  "king", "queen", "emperor", "chancellor", "minister", "governor",
+                  "singer", "musician", "artist", "scientist", "physicist", "chemist",
+                  "philosopher", "inventor", "architect", "engineer", "astronaut",
+                  "magazine", "newspaper", "sea", "ocean", "desert", "bridge", "tower",
+                  "castle", "palace", "cathedral", "church", "stadium", "video"],
+                PosTag::Nn,
+            ),
+            // Nouns (plural)
+            (
+                &["books", "novels", "authors", "writers", "films", "movies", "cities",
+                  "countries", "rivers", "mountains", "companies", "albums", "songs",
+                  "games", "people", "inhabitants", "employees", "children", "languages",
+                  "states", "lakes", "islands", "museums", "paintings", "players", "teams",
+                  "organizations", "members", "daughters", "sons", "awards", "prizes",
+                  "borders", "wives", "husbands", "actors", "actresses", "presidents",
+                  "capitals", "professions", "religions", "wars", "kings", "queens",
+                  "singers", "musicians", "artists", "scientists", "bridges", "towers",
+                  "stadiums", "years"],
+                PosTag::Nns,
+            ),
+            // Adjectives
+            (
+                &["tall", "high", "big", "large", "long", "deep", "old", "young", "famous",
+                  "alive", "dead", "official", "populous", "wide", "heavy", "rich", "poor",
+                  "new", "small", "short", "great", "national", "major", "total",
+                  "german", "french", "turkish", "american", "british", "italian",
+                  "spanish", "russian", "japanese", "chinese", "european"],
+                PosTag::Jj,
+            ),
+            (&["taller", "higher", "bigger", "larger", "longer", "older", "younger"], PosTag::Jjr),
+            (
+                &["tallest", "highest", "biggest", "largest", "longest", "oldest",
+                  "youngest", "deepest", "richest"],
+                PosTag::Jjs,
+            ),
+        ];
+        for (words, tag) in sets {
+            for w in *words {
+                // First entry wins: closed-class readings take priority.
+                m.entry(*w).or_insert(*tag);
+            }
+        }
+        m
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_class_lookup() {
+        assert_eq!(lookup("which"), Some(PosTag::Wdt));
+        assert_eq!(lookup("who"), Some(PosTag::Wp));
+        assert_eq!(lookup("by"), Some(PosTag::In));
+        assert_eq!(lookup("the"), Some(PosTag::Dt));
+        assert_eq!(lookup("'s"), Some(PosTag::Pos));
+    }
+
+    #[test]
+    fn verb_forms() {
+        assert_eq!(lookup("written"), Some(PosTag::Vbn));
+        assert_eq!(lookup("wrote"), Some(PosTag::Vbd));
+        assert_eq!(lookup("is"), Some(PosTag::Vbz));
+        assert_eq!(lookup("die"), Some(PosTag::Vb));
+    }
+
+    #[test]
+    fn ambiguous_words_resolve_to_priority_reading() {
+        // "found" is both VB(base: establish) and VBD(find); the base
+        // reading comes first in the table.
+        assert_eq!(lookup("found"), Some(PosTag::Vb));
+        // "star" noun vs verb: verb listed first.
+        assert_eq!(lookup("star"), Some(PosTag::Vb));
+    }
+
+    #[test]
+    fn unknown_word_misses() {
+        assert_eq!(lookup("pamuk"), None);
+        assert_eq!(lookup("zzzz"), None);
+    }
+
+    #[test]
+    fn aux_class_predicates() {
+        assert!(is_be_form("was"));
+        assert!(!is_be_form("did"));
+        assert!(is_do_form("did"));
+        assert!(is_have_form("has"));
+    }
+
+    #[test]
+    fn nouns_and_adjectives() {
+        assert_eq!(lookup("book"), Some(PosTag::Nn));
+        assert_eq!(lookup("books"), Some(PosTag::Nns));
+        assert_eq!(lookup("tall"), Some(PosTag::Jj));
+        assert_eq!(lookup("tallest"), Some(PosTag::Jjs));
+        assert_eq!(lookup("people"), Some(PosTag::Nns));
+    }
+}

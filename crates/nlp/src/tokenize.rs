@@ -1,0 +1,102 @@
+//! Sentence tokenizer.
+//!
+//! Splits on whitespace, detaches terminal punctuation (`?`, `.`, `!`, `,`)
+//! and the possessive clitic `'s`, and keeps hyphenated words and numbers
+//! (including decimals) intact.
+
+/// Splits a sentence into raw word strings.
+pub fn tokenize(sentence: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for raw in sentence.split_whitespace() {
+        let mut word = raw;
+        // Strip leading punctuation/quotes.
+        while let Some(c) = word.chars().next() {
+            if matches!(c, '"' | '\'' | '(' | '[' | '“' | '‘') {
+                word = &word[c.len_utf8()..];
+            } else {
+                break;
+            }
+        }
+        // Peel trailing punctuation into separate tokens (stacked, so we
+        // collect then reverse).
+        let mut trailing: Vec<String> = Vec::new();
+        while let Some(c) = word.chars().last() {
+            if matches!(c, '?' | '.' | '!' | ',' | ';' | ':') {
+                // Keep a final '.' that is part of an abbreviation-like token
+                // containing other dots (e.g. "U.S."): only peel when the
+                // remainder has no dot or the char is not '.'.
+                if c == '.' && word[..word.len() - 1].contains('.') {
+                    break;
+                }
+                trailing.push(c.to_string());
+                word = &word[..word.len() - c.len_utf8()];
+            } else if matches!(c, '"' | '\'' | ')' | ']' | '”' | '’') {
+                // Closing quotes/brackets are dropped, not emitted as tokens.
+                word = &word[..word.len() - c.len_utf8()];
+            } else {
+                break;
+            }
+        }
+        if let Some(stem) = word.strip_suffix("'s").or_else(|| word.strip_suffix("’s")) {
+            if !stem.is_empty() {
+                out.push(stem.to_string());
+                out.push("'s".to_string());
+                word = "";
+            }
+        }
+        if !word.is_empty() {
+            out.push(word.to_string());
+        }
+        out.extend(trailing.into_iter().rev());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_words_and_question_mark() {
+        assert_eq!(
+            tokenize("Which book is written by Orhan Pamuk?"),
+            vec!["Which", "book", "is", "written", "by", "Orhan", "Pamuk", "?"]
+        );
+    }
+
+    #[test]
+    fn detaches_possessive_clitic() {
+        assert_eq!(tokenize("Who is Obama's wife?"), vec!["Who", "is", "Obama", "'s", "wife", "?"]);
+    }
+
+    #[test]
+    fn keeps_hyphens_and_decimals() {
+        assert_eq!(tokenize("a well-known 1.98 figure"), vec!["a", "well-known", "1.98", "figure"]);
+    }
+
+    #[test]
+    fn strips_quotes_and_brackets() {
+        assert_eq!(tokenize("\"Snow\" (novel)?"), vec!["Snow", "novel", "?"]);
+    }
+
+    #[test]
+    fn keeps_abbreviation_dots() {
+        assert_eq!(tokenize("the U.S. is big."), vec!["the", "U.S.", "is", "big", "."]);
+    }
+
+    #[test]
+    fn comma_is_separate_token() {
+        assert_eq!(tokenize("Ankara, Turkey"), vec!["Ankara", ",", "Turkey"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   ").is_empty());
+    }
+
+    #[test]
+    fn stacked_trailing_punctuation_in_order() {
+        assert_eq!(tokenize("really?!"), vec!["really", "?", "!"]);
+    }
+}

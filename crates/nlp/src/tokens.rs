@@ -1,0 +1,198 @@
+//! Tokens and the Penn-Treebank-style POS tagset.
+
+use std::fmt;
+
+/// Part-of-speech tags — the Penn Treebank subset that question analysis
+/// needs (the same tagset Stanford CoreNLP emits, which the paper consumes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PosTag {
+    /// Determiner (`the`, `a`, `all`, `every`)
+    Dt,
+    /// Wh-determiner (`which`, `what` before a noun)
+    Wdt,
+    /// Wh-pronoun (`who`, `what`, `whom`)
+    Wp,
+    /// Possessive wh-pronoun (`whose`)
+    WpPoss,
+    /// Wh-adverb (`where`, `when`, `why`, `how`)
+    Wrb,
+    /// Noun, singular (`book`)
+    Nn,
+    /// Noun, plural (`books`)
+    Nns,
+    /// Proper noun, singular (`Pamuk`)
+    Nnp,
+    /// Proper noun, plural
+    Nnps,
+    /// Verb, base form (`write`)
+    Vb,
+    /// Verb, past tense (`wrote`)
+    Vbd,
+    /// Verb, gerund (`writing`)
+    Vbg,
+    /// Verb, past participle (`written`)
+    Vbn,
+    /// Verb, non-3rd-person singular present (`write`)
+    Vbp,
+    /// Verb, 3rd-person singular present (`writes`)
+    Vbz,
+    /// Modal (`can`, `will`, `did` is tagged VBD but acts as aux)
+    Md,
+    /// Adjective (`tall`)
+    Jj,
+    /// Adjective, comparative (`taller`)
+    Jjr,
+    /// Adjective, superlative (`tallest`)
+    Jjs,
+    /// Adverb (`still`)
+    Rb,
+    /// Cardinal number (`42`)
+    Cd,
+    /// Preposition / subordinating conjunction (`by`, `of`, `in`)
+    In,
+    /// `to`
+    To,
+    /// Personal pronoun (`me`, `it`)
+    Prp,
+    /// Possessive pronoun (`his`)
+    PrpPoss,
+    /// Coordinating conjunction (`and`)
+    Cc,
+    /// Existential `there`
+    Ex,
+    /// Possessive ending (`'s`)
+    Pos,
+    /// Sentence-final punctuation
+    Punct,
+    /// Anything unrecognized
+    Other,
+}
+
+impl PosTag {
+    /// True for any noun tag.
+    pub fn is_noun(self) -> bool {
+        matches!(self, PosTag::Nn | PosTag::Nns | PosTag::Nnp | PosTag::Nnps)
+    }
+
+    /// True for proper-noun tags.
+    pub fn is_proper_noun(self) -> bool {
+        matches!(self, PosTag::Nnp | PosTag::Nnps)
+    }
+
+    /// True for any verb tag (excluding modals).
+    pub fn is_verb(self) -> bool {
+        matches!(
+            self,
+            PosTag::Vb | PosTag::Vbd | PosTag::Vbg | PosTag::Vbn | PosTag::Vbp | PosTag::Vbz
+        )
+    }
+
+    /// True for any adjective tag.
+    pub fn is_adjective(self) -> bool {
+        matches!(self, PosTag::Jj | PosTag::Jjr | PosTag::Jjs)
+    }
+
+    /// True for wh-question tags.
+    pub fn is_wh(self) -> bool {
+        matches!(self, PosTag::Wdt | PosTag::Wp | PosTag::WpPoss | PosTag::Wrb)
+    }
+
+    /// The conventional Penn Treebank label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PosTag::Dt => "DT",
+            PosTag::Wdt => "WDT",
+            PosTag::Wp => "WP",
+            PosTag::WpPoss => "WP$",
+            PosTag::Wrb => "WRB",
+            PosTag::Nn => "NN",
+            PosTag::Nns => "NNS",
+            PosTag::Nnp => "NNP",
+            PosTag::Nnps => "NNPS",
+            PosTag::Vb => "VB",
+            PosTag::Vbd => "VBD",
+            PosTag::Vbg => "VBG",
+            PosTag::Vbn => "VBN",
+            PosTag::Vbp => "VBP",
+            PosTag::Vbz => "VBZ",
+            PosTag::Md => "MD",
+            PosTag::Jj => "JJ",
+            PosTag::Jjr => "JJR",
+            PosTag::Jjs => "JJS",
+            PosTag::Rb => "RB",
+            PosTag::Cd => "CD",
+            PosTag::In => "IN",
+            PosTag::To => "TO",
+            PosTag::Prp => "PRP",
+            PosTag::PrpPoss => "PRP$",
+            PosTag::Cc => "CC",
+            PosTag::Ex => "EX",
+            PosTag::Pos => "POS",
+            PosTag::Punct => ".",
+            PosTag::Other => "XX",
+        }
+    }
+}
+
+impl fmt::Display for PosTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A token with its surface form, lemma and POS tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Surface form as written.
+    pub text: String,
+    /// Lemma (dictionary form), lower-cased.
+    pub lemma: String,
+    /// Part-of-speech tag.
+    pub pos: PosTag,
+    /// Zero-based position in the sentence.
+    pub index: usize,
+}
+
+impl Token {
+    /// Lower-cased surface form.
+    pub fn lower(&self) -> String {
+        self.text.to_lowercase()
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.text, self.pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_class_predicates() {
+        assert!(PosTag::Nnp.is_noun());
+        assert!(PosTag::Nnp.is_proper_noun());
+        assert!(!PosTag::Nn.is_proper_noun());
+        assert!(PosTag::Vbn.is_verb());
+        assert!(!PosTag::Md.is_verb());
+        assert!(PosTag::Jjr.is_adjective());
+        assert!(PosTag::Wdt.is_wh());
+        assert!(!PosTag::Dt.is_wh());
+    }
+
+    #[test]
+    fn labels_match_ptb() {
+        assert_eq!(PosTag::Wdt.label(), "WDT");
+        assert_eq!(PosTag::WpPoss.label(), "WP$");
+        assert_eq!(PosTag::Punct.label(), ".");
+    }
+
+    #[test]
+    fn token_display() {
+        let t = Token { text: "written".into(), lemma: "write".into(), pos: PosTag::Vbn, index: 3 };
+        assert_eq!(t.to_string(), "written/VBN");
+        assert_eq!(t.lower(), "written");
+    }
+}

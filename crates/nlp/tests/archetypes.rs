@@ -1,0 +1,192 @@
+//! Question-archetype sweep: the parser must produce the expected clause
+//! structure for every covered QALD-style form, and must degrade gracefully
+//! (no panic, no root commitment) outside coverage.
+
+use proptest::prelude::*;
+use relpat_nlp::{parse_sentence, DepRel, PosTag};
+
+/// Asserts the root token text of a parsed question.
+fn assert_root(question: &str, expected: &str) {
+    let g = parse_sentence(question);
+    let root = g.root.unwrap_or_else(|| panic!("no root for {question:?}"));
+    assert_eq!(g.token(root).text, expected, "{question}");
+}
+
+/// Finds the relation between two words, if any.
+fn relation(question: &str, head: &str, dep: &str) -> Option<DepRel> {
+    let g = parse_sentence(question);
+    let h = g.tokens.iter().position(|t| t.text == head)?;
+    let d = g.tokens.iter().position(|t| t.text == dep)?;
+    g.edges.iter().find(|e| e.head == h && e.dependent == d).map(|e| e.rel.clone())
+}
+
+#[test]
+fn passive_family() {
+    assert_root("Which song is written by Michael Jackson?", "written");
+    assert_root("Which game was developed by Vertex Systems?", "developed");
+    assert_root("Which album was released by Thriller?", "released");
+    assert_eq!(
+        relation("Which city was founded by the Romans?", "founded", "city"),
+        Some(DepRel::Nsubjpass)
+    );
+}
+
+#[test]
+fn active_wh_subject_family() {
+    assert_root("Who founded Vertex Systems?", "founded");
+    assert_root("Who composed Thriller?", "composed");
+    assert_root("Who produced Avatar?", "produced");
+    assert_eq!(relation("Who painted the tower?", "painted", "Who"), Some(DepRel::Nsubj));
+}
+
+#[test]
+fn copular_of_family() {
+    assert_root("What is the currency of Turkey?", "currency");
+    assert_root("What is the official language of Germany?", "language");
+    assert_root("Who is the leader of France?", "leader");
+    assert_eq!(
+        relation("What is the area of Turkey?", "area", "Turkey"),
+        Some(DepRel::Prep("of".into()))
+    );
+}
+
+#[test]
+fn adverbial_wh_family() {
+    assert_root("Where did Helen Fischer work?", "work");
+    assert_root("When did the war start?", "start");
+    for q in ["Where does Maria Santos live?", "When did Viktor Novak die?"] {
+        let g = parse_sentence(q);
+        assert!(g.root.is_some(), "{q}");
+        let root = g.root.unwrap();
+        assert!(
+            g.children(root).iter().any(|(_, r)| **r == DepRel::Advmod),
+            "{q}: no advmod"
+        );
+    }
+}
+
+#[test]
+fn fronted_object_family() {
+    assert_root("Which songs did Michael Jackson write?", "write");
+    assert_root("Which games did Vertex Systems develop?", "develop");
+    assert_eq!(
+        relation("Which books did Frank Herbert write?", "write", "books"),
+        Some(DepRel::Dobj)
+    );
+}
+
+#[test]
+fn imperative_family() {
+    assert_root("Give me all songs written by Michael Jackson.", "Give");
+    assert_root("Give me all games developed by Vertex Systems.", "Give");
+    assert_eq!(
+        relation("Give me all albums released by Thriller.", "albums", "released"),
+        Some(DepRel::Partmod)
+    );
+}
+
+#[test]
+fn polar_family() {
+    assert_root("Is Istanbul the largest city of Turkey?", "city");
+    assert_root("Was Titanic directed by James Cameron?", "directed");
+    assert_root("Is Michelle Obama still alive?", "alive");
+}
+
+#[test]
+fn possessive_family() {
+    assert_root("Who is Obama's wife?", "wife");
+    assert_eq!(relation("Who is Obama's wife?", "wife", "Obama"), Some(DepRel::Poss));
+    assert_root("What is Turkey's capital?", "capital");
+    assert_eq!(relation("What is Turkey's capital?", "capital", "Turkey"), Some(DepRel::Poss));
+}
+
+#[test]
+fn out_of_coverage_degrades_without_root_or_with_flat_parse() {
+    // These must not panic; a root is allowed but not required.
+    for q in [
+        "Colorless green ideas sleep furiously and quietly together",
+        "books books books books",
+        "of by with from",
+        "Who who who?",
+        "",
+        "?",
+        "12345 67890",
+    ] {
+        let g = parse_sentence(q);
+        // Connectivity invariant: every edge references valid tokens.
+        for e in &g.edges {
+            assert!(e.head < g.tokens.len());
+            assert!(e.dependent < g.tokens.len());
+        }
+    }
+}
+
+#[test]
+fn every_token_single_headed_across_archetypes() {
+    for q in [
+        "Which book is written by Orhan Pamuk?",
+        "What is the height of Michael Jordan?",
+        "Give me all films directed by James Cameron.",
+        "How many people live in Turkey?",
+        "Is Ankara the capital of Turkey?",
+        "In which city was Ludwig van Beethoven born?",
+    ] {
+        let g = parse_sentence(q);
+        for i in 0..g.tokens.len() {
+            let heads = g.edges.iter().filter(|e| e.dependent == i).count();
+            assert!(heads <= 1, "{q}: token {} has {heads} heads", g.tokens[i].text);
+        }
+        // No self-loops, no cycles reachable from root.
+        for e in &g.edges {
+            assert_ne!(e.head, e.dependent, "{q}: self loop");
+        }
+        if let Some(root) = g.root {
+            // Root must not have a head.
+            assert!(g.head_of(root).is_none(), "{q}: root has a head");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The parser must never panic and must keep its structural invariants
+    /// on arbitrary word soup.
+    #[test]
+    fn parser_total_on_arbitrary_input(s in "[A-Za-z0-9 ,.?!']{0,80}") {
+        let g = parse_sentence(&s);
+        for e in &g.edges {
+            prop_assert!(e.head < g.tokens.len());
+            prop_assert!(e.dependent < g.tokens.len());
+            prop_assert_ne!(e.head, e.dependent);
+        }
+        for i in 0..g.tokens.len() {
+            let heads = g.edges.iter().filter(|e| e.dependent == i).count();
+            prop_assert!(heads <= 1);
+        }
+        if let Some(root) = g.root {
+            prop_assert!(root < g.tokens.len());
+            prop_assert!(g.head_of(root).is_none());
+        }
+    }
+
+    /// Tagging must be total and assign every token a tag with a lemma.
+    #[test]
+    fn tagger_total(s in "[A-Za-z ]{0,60}") {
+        let tokens = relpat_nlp::tag_sentence(&s);
+        for t in &tokens {
+            prop_assert!(!t.lemma.is_empty());
+            prop_assert!(t.pos.label().len() <= 4);
+        }
+    }
+
+    /// Capitalized unknown mid-sentence words are proper nouns (the backbone
+    /// of entity mention detection).
+    #[test]
+    fn unknown_capitalized_is_nnp(w in "[A-Z][bcdfgkpqvxz]{3,8}") {
+        let s = format!("Who wrote {w}?");
+        let tokens = relpat_nlp::tag_sentence(&s);
+        let t = tokens.iter().find(|t| t.text == w).unwrap();
+        prop_assert_eq!(t.pos, PosTag::Nnp);
+    }
+}

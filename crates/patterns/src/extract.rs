@@ -1,0 +1,392 @@
+//! Pattern extraction: mention detection, normalization, distant supervision.
+//!
+//! Follows PATTY's first stage (paper §2.2.3): find sentences containing two
+//! knowledge-base entities, lift the connecting text as a *relational
+//! pattern*, normalize it, and label it with every property that holds
+//! between the pair in the KB (distant supervision). Ambiguous mentions
+//! contribute through every reading that matches a fact, which is exactly
+//! how noisy patterns (and PATTY's `born in` / `deathPlace` artifact) arise.
+
+use relpat_kb::{normalize_label, KnowledgeBase};
+use relpat_nlp::{tag, tokenize, PosTag};
+use relpat_rdf::vocab::dbont;
+use relpat_rdf::{Iri, Term};
+use rustc_hash::FxHashMap;
+
+use crate::corpus::Sentence;
+
+/// One supervised pattern occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Occurrence {
+    /// Normalized pattern text, e.g. `"bear in"`, `"capital of"`; data
+    /// patterns mark the literal position with `$v` (`"$v meter tall"`).
+    pub pattern: String,
+    /// Property local name the pair supports (`birthPlace`).
+    pub property: String,
+    /// True when the textual order is object-then-subject relative to the
+    /// RDF fact (`{O} wrote {S}` → the `author` fact runs S→O in RDF).
+    pub inverse: bool,
+    /// True for data-property patterns (entity–literal, not entity–entity).
+    pub is_data: bool,
+    /// The supporting entity pair, in textual order (for data patterns the
+    /// second element is the subject again; support sets still distinguish
+    /// facts).
+    pub pair: (Iri, Iri),
+}
+
+/// An entity mention in a token stream.
+#[derive(Debug, Clone)]
+struct Mention {
+    start: usize,
+    end: usize, // exclusive
+    entities: Vec<Iri>,
+}
+
+/// Detects KB-entity mentions by longest-match label lookup.
+pub struct MentionDetector<'kb> {
+    kb: &'kb KnowledgeBase,
+    max_label_tokens: usize,
+}
+
+impl<'kb> MentionDetector<'kb> {
+    pub fn new(kb: &'kb KnowledgeBase) -> Self {
+        let max_label_tokens = kb
+            .labels_iter()
+            .map(|(l, _)| l.split_whitespace().count() + 1) // +1 for articles
+            .max()
+            .unwrap_or(1);
+        MentionDetector { kb, max_label_tokens }
+    }
+
+    /// Finds non-overlapping mentions, longest-first greedy left-to-right.
+    fn detect(&self, tokens: &[String]) -> Vec<Mention> {
+        let mut mentions = Vec::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            let mut found = None;
+            let max_j = (i + self.max_label_tokens).min(tokens.len());
+            for j in (i + 1..=max_j).rev() {
+                let span = tokens[i..j].join(" ");
+                let normalized = normalize_label(&span);
+                if normalized.is_empty() {
+                    continue;
+                }
+                let hits = self.kb.entities_with_label(&normalized);
+                if !hits.is_empty() {
+                    found = Some(Mention { start: i, end: j, entities: hits.to_vec() });
+                    break;
+                }
+            }
+            match found {
+                Some(m) => {
+                    i = m.end;
+                    mentions.push(m);
+                }
+                None => i += 1,
+            }
+        }
+        mentions
+    }
+}
+
+/// Normalizes the connecting text of a pattern: lemmatize, drop
+/// determiners/adverbs/auxiliaries/punctuation, keep content words and
+/// prepositions. `"was born in"` → `"bear in"`, `"is the capital of"` →
+/// `"capital of"`.
+pub fn normalize_pattern(words: &[String]) -> String {
+    let tagged = tag(words);
+    let mut kept: Vec<String> = Vec::new();
+    for t in &tagged {
+        let lower = t.lower();
+        // Auxiliaries and light "have" carry no relational content; keeping
+        // "have" would make it the strongest word of patterns like
+        // "has a population of", polluting the word index.
+        if relpat_nlp::is_be_form(&lower)
+            || relpat_nlp::is_do_form(&lower)
+            || relpat_nlp::is_have_form(&lower)
+        {
+            continue;
+        }
+        match t.pos {
+            PosTag::Dt | PosTag::Rb | PosTag::Punct | PosTag::Md | PosTag::Pos
+            | PosTag::Prp | PosTag::PrpPoss => {}
+            _ => kept.push(t.lemma.clone()),
+        }
+    }
+    kept.join(" ")
+}
+
+/// Extracts supervised pattern occurrences from a corpus.
+pub fn extract_occurrences(kb: &KnowledgeBase, corpus: &[Sentence]) -> Vec<Occurrence> {
+    let detector = MentionDetector::new(kb);
+    let mut out = Vec::new();
+    // Cache predicate terms to avoid re-making them per sentence.
+    let props: Vec<(String, Term)> = kb
+        .ontology
+        .object_properties
+        .iter()
+        .map(|p| (p.name.to_string(), Term::iri(dbont::iri(p.name))))
+        .collect();
+
+    let data_props: Vec<(String, Term)> = kb
+        .ontology
+        .data_properties
+        .iter()
+        .map(|p| (p.name.to_string(), Term::iri(dbont::iri(p.name))))
+        .collect();
+
+    for sentence in corpus {
+        let tokens = tokenize(&sentence.text);
+        let mentions = detector.detect(&tokens);
+        // Consider consecutive mention pairs only (PATTY's shortest-path
+        // restriction; our sentences have exactly two mentions anyway).
+        for window in mentions.windows(2) {
+            let (m1, m2) = (&window[0], &window[1]);
+            if m2.start <= m1.end {
+                continue;
+            }
+            let between = &tokens[m1.end..m2.start];
+            if between.is_empty() || between.len() > 6 {
+                continue;
+            }
+            let pattern = normalize_pattern(between);
+            if pattern.is_empty() {
+                continue;
+            }
+            for e1 in &m1.entities {
+                for e2 in &m2.entities {
+                    let t1 = Term::Iri(e1.clone());
+                    let t2 = Term::Iri(e2.clone());
+                    for (name, pred) in &props {
+                        // Forward: textual (e1, e2) matches RDF (e1 p e2).
+                        if !kb.graph.triples_matching(Some(&t1), Some(pred), Some(&t2)).is_empty()
+                        {
+                            out.push(Occurrence {
+                                pattern: pattern.clone(),
+                                property: name.clone(),
+                                inverse: false,
+                                is_data: false,
+                                pair: (e1.clone(), e2.clone()),
+                            });
+                        }
+                        if !kb.graph.triples_matching(Some(&t2), Some(pred), Some(&t1)).is_empty()
+                        {
+                            out.push(Occurrence {
+                                pattern: pattern.clone(),
+                                property: name.clone(),
+                                inverse: true,
+                                is_data: false,
+                                pair: (e1.clone(), e2.clone()),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Data patterns: one entity mention + one literal-looking token.
+        extract_data_occurrences(kb, &tokens, &mentions, &data_props, &mut out);
+    }
+    out
+}
+
+/// A token that could be a literal value: number or ISO date.
+fn is_literal_token(token: &str) -> bool {
+    token.parse::<f64>().is_ok()
+        || (token.len() == 10 && token.as_bytes()[4] == b'-' && token.as_bytes()[7] == b'-')
+}
+
+/// Lifts entity–literal patterns: the connecting text plus up to three
+/// normalized context words after the value, with the value position marked
+/// `$v` (`"X is 1.98 meters tall"` → `"$v meter tall"`). Supervised against
+/// data-property facts whose lexical form equals the token.
+fn extract_data_occurrences(
+    kb: &KnowledgeBase,
+    tokens: &[String],
+    mentions: &[Mention],
+    data_props: &[(String, Term)],
+    out: &mut Vec<Occurrence>,
+) {
+    for m in mentions {
+        for (li, token) in tokens.iter().enumerate() {
+            if (m.start..m.end).contains(&li) || !is_literal_token(token) {
+                continue;
+            }
+            let pattern = if li >= m.end {
+                if li - m.end > 6 {
+                    continue;
+                }
+                let prefix = normalize_pattern(&tokens[m.end..li]);
+                let tail_end = (li + 4).min(tokens.len());
+                let suffix = normalize_pattern(&tokens[li + 1..tail_end]);
+                join_data_pattern(&prefix, &suffix)
+            } else {
+                if m.start - li > 6 {
+                    continue;
+                }
+                let between = normalize_pattern(&tokens[li + 1..m.start]);
+                if between.is_empty() {
+                    continue;
+                }
+                format!("$v {between}")
+            };
+            if pattern == "$v" {
+                continue;
+            }
+            for entity in &m.entities {
+                let subject = Term::Iri(entity.clone());
+                for (name, pred) in data_props {
+                    let matches = kb
+                        .graph
+                        .triples_matching(Some(&subject), Some(pred), None)
+                        .into_iter()
+                        .any(|t| {
+                            t.object
+                                .as_literal()
+                                .is_some_and(|l| l.lexical_form() == token)
+                        });
+                    if matches {
+                        out.push(Occurrence {
+                            pattern: pattern.clone(),
+                            property: name.clone(),
+                            inverse: false,
+                            is_data: true,
+                            pair: (entity.clone(), entity.clone()),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn join_data_pattern(prefix: &str, suffix: &str) -> String {
+    match (prefix.is_empty(), suffix.is_empty()) {
+        (true, true) => "$v".to_string(),
+        (true, false) => format!("$v {suffix}"),
+        (false, true) => format!("{prefix} $v"),
+        (false, false) => format!("{prefix} $v {suffix}"),
+    }
+}
+
+/// Convenience: dense ids for entity pairs (used by the support-set
+/// prefix tree).
+#[derive(Debug, Default)]
+pub struct PairInterner {
+    ids: FxHashMap<(Iri, Iri), u32>,
+}
+
+impl PairInterner {
+    pub fn intern(&mut self, pair: &(Iri, Iri)) -> u32 {
+        let next = self.ids.len() as u32;
+        *self.ids.entry(pair.clone()).or_insert(next)
+    }
+
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{generate_corpus, CorpusConfig};
+    use relpat_kb::{generate, KbConfig};
+
+    fn kb() -> KnowledgeBase {
+        generate(&KbConfig::tiny())
+    }
+
+    #[test]
+    fn normalization_examples() {
+        let norm = |s: &str| normalize_pattern(&tokenize(s));
+        assert_eq!(norm("was born in"), "bear in");
+        assert_eq!(norm("is the capital of"), "capital of");
+        assert_eq!(norm("died at"), "die at");
+        assert_eq!(norm("is married to"), "marry to");
+        assert_eq!(norm("wrote"), "write");
+        assert_eq!(norm("is a book by"), "book by");
+        assert_eq!(norm("was directed by"), "direct by");
+    }
+
+    #[test]
+    fn mention_detection_finds_paper_entities() {
+        let kb = kb();
+        let detector = MentionDetector::new(&kb);
+        let tokens = tokenize("Snow was written by Orhan Pamuk.");
+        let mentions = detector.detect(&tokens);
+        assert_eq!(mentions.len(), 2);
+        assert_eq!(mentions[0].entities.len(), 1);
+        assert!(mentions[1].entities[0].as_str().ends_with("Orhan_Pamuk"));
+    }
+
+    #[test]
+    fn mention_detection_handles_articles_and_multiword() {
+        let kb = kb();
+        let detector = MentionDetector::new(&kb);
+        let tokens = tokenize("Orhan Pamuk wrote The Museum of Innocence.");
+        let mentions = detector.detect(&tokens);
+        assert_eq!(mentions.len(), 2);
+        assert_eq!(mentions[1].end - mentions[1].start, 4);
+    }
+
+    #[test]
+    fn ambiguous_mention_lists_all_candidates() {
+        let kb = kb();
+        let detector = MentionDetector::new(&kb);
+        let tokens = tokenize("Michael Jordan lives here.");
+        let mentions = detector.detect(&tokens);
+        assert_eq!(mentions[0].entities.len(), 2);
+    }
+
+    #[test]
+    fn distant_supervision_labels_author_patterns() {
+        let kb = kb();
+        let corpus = vec![Sentence { text: "Snow was written by Orhan Pamuk.".into() }];
+        let occ = extract_occurrences(&kb, &corpus);
+        assert!(
+            occ.iter().any(|o| o.property == "author" && o.pattern == "write by" && !o.inverse),
+            "got {occ:?}"
+        );
+    }
+
+    #[test]
+    fn inverse_direction_detected() {
+        let kb = kb();
+        let corpus = vec![Sentence { text: "Orhan Pamuk wrote Snow.".into() }];
+        let occ = extract_occurrences(&kb, &corpus);
+        // Textual order (Pamuk, Snow) but the fact is Snow→author→Pamuk.
+        assert!(occ.iter().any(|o| o.property == "author" && o.inverse));
+    }
+
+    #[test]
+    fn full_corpus_extraction_yields_many_occurrences() {
+        let kb = kb();
+        let corpus = generate_corpus(&kb, &CorpusConfig::default());
+        let occ = extract_occurrences(&kb, &corpus);
+        assert!(occ.len() > 200, "only {} occurrences", occ.len());
+        // Core paper pattern: "die in" supports deathPlace.
+        assert!(occ.iter().any(|o| o.pattern == "die in" && o.property == "deathPlace"));
+        // And the noise: some "bear in/at" occurrence supports deathPlace
+        // (possible because of injected confusions or co-located facts) —
+        // at minimum birthPlace support must dominate.
+        let bear_birth =
+            occ.iter().filter(|o| o.pattern.starts_with("bear") && o.property == "birthPlace").count();
+        assert!(bear_birth > 0);
+    }
+
+    #[test]
+    fn pair_interner_is_stable() {
+        let mut pi = PairInterner::default();
+        let a = (Iri::new("http://e/a"), Iri::new("http://e/b"));
+        let b = (Iri::new("http://e/b"), Iri::new("http://e/a"));
+        assert_eq!(pi.intern(&a), 0);
+        assert_eq!(pi.intern(&b), 1);
+        assert_eq!(pi.intern(&a), 0);
+        assert_eq!(pi.len(), 2);
+    }
+}

@@ -1,0 +1,201 @@
+//! The relational pattern store the QA pipeline queries (paper §2.2.3).
+//!
+//! Aggregates supervised occurrences into two indexes:
+//!
+//! - **phrase index**: full normalized pattern → properties with frequency
+//!   (`"bear in"` → `{birthPlace: 812, deathPlace: 13, residence: 9}`);
+//! - **word index**: single content word → properties with frequency,
+//!   aggregated over every pattern containing the word — this is the
+//!   paper's "the word *die* may occur in many forms in pattern texts; we
+//!   count all occurrences and assign it as a frequency value".
+
+use rustc_hash::FxHashMap;
+
+use crate::extract::Occurrence;
+
+/// A property candidate with its evidence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropertyFreq {
+    /// Property local name (`deathPlace`).
+    pub property: String,
+    /// True when the pattern's textual direction is the inverse of the RDF
+    /// fact direction.
+    pub inverse: bool,
+    /// True for data-property patterns (mined from entity–literal text).
+    pub is_data: bool,
+    /// Number of supporting occurrences.
+    pub freq: u64,
+}
+
+/// Immutable pattern store built from extraction output.
+#[derive(Debug, Default)]
+pub struct PatternStore {
+    phrase_index: FxHashMap<String, Vec<PropertyFreq>>,
+    word_index: FxHashMap<String, Vec<PropertyFreq>>,
+    pattern_count: usize,
+}
+
+impl PatternStore {
+    /// Aggregates occurrences into the store.
+    pub fn from_occurrences(occurrences: &[Occurrence]) -> Self {
+        let mut phrase: FxHashMap<String, FxHashMap<(String, bool, bool), u64>> =
+            FxHashMap::default();
+        for o in occurrences {
+            *phrase
+                .entry(o.pattern.clone())
+                .or_default()
+                .entry((o.property.clone(), o.inverse, o.is_data))
+                .or_insert(0) += 1;
+        }
+
+        let mut word: FxHashMap<String, FxHashMap<(String, bool, bool), u64>> =
+            FxHashMap::default();
+        for (pattern, props) in &phrase {
+            for token in pattern.split_whitespace() {
+                if is_function_word(token) || token == "$v" {
+                    continue;
+                }
+                let entry = word.entry(token.to_string()).or_default();
+                for (key, freq) in props {
+                    *entry.entry(key.clone()).or_insert(0) += freq;
+                }
+            }
+        }
+
+        let pattern_count = phrase.len();
+        PatternStore {
+            phrase_index: phrase.into_iter().map(|(k, v)| (k, sorted(v))).collect(),
+            word_index: word.into_iter().map(|(k, v)| (k, sorted(v))).collect(),
+            pattern_count,
+        }
+    }
+
+    /// Property candidates for a full normalized pattern, most frequent
+    /// first.
+    pub fn candidates_for_phrase(&self, pattern: &str) -> &[PropertyFreq] {
+        self.phrase_index.get(pattern).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Property candidates for a single (lemmatized) word, most frequent
+    /// first — the lookup the paper's predicate mapping uses.
+    pub fn candidates_for_word(&self, word: &str) -> &[PropertyFreq] {
+        self.word_index.get(word).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct normalized patterns.
+    pub fn pattern_count(&self) -> usize {
+        self.pattern_count
+    }
+
+    /// All normalized patterns (for taxonomy construction and reports).
+    pub fn patterns(&self) -> impl Iterator<Item = (&str, &[PropertyFreq])> {
+        self.phrase_index.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+}
+
+fn sorted(map: FxHashMap<(String, bool, bool), u64>) -> Vec<PropertyFreq> {
+    let mut v: Vec<PropertyFreq> = map
+        .into_iter()
+        .map(|((property, inverse, is_data), freq)| PropertyFreq {
+            property,
+            inverse,
+            is_data,
+            freq,
+        })
+        .collect();
+    v.sort_by(|a, b| b.freq.cmp(&a.freq).then_with(|| a.property.cmp(&b.property)));
+    v
+}
+
+/// Prepositions and connector words do not identify a relation on their own.
+fn is_function_word(word: &str) -> bool {
+    matches!(
+        word,
+        "of" | "in" | "at" | "by" | "to" | "from" | "on" | "for" | "with" | "as" | "through"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relpat_rdf::Iri;
+
+    fn occ(pattern: &str, property: &str, inverse: bool, n: usize) -> Vec<Occurrence> {
+        (0..n)
+            .map(|i| Occurrence {
+                pattern: pattern.to_string(),
+                property: property.to_string(),
+                inverse,
+                is_data: false,
+                pair: (Iri::new(format!("http://e/{i}a")), Iri::new(format!("http://e/{i}b"))),
+            })
+            .collect()
+    }
+
+    fn paper_store() -> PatternStore {
+        // Paper §2.2.3: "die" maps to deathPlace (high), birthPlace and
+        // residence (low) because of corpus noise.
+        let mut all = Vec::new();
+        all.extend(occ("die in", "deathPlace", false, 40));
+        all.extend(occ("die at", "deathPlace", false, 12));
+        all.extend(occ("die in", "birthPlace", false, 3));
+        all.extend(occ("die in", "residence", false, 2));
+        all.extend(occ("bear in", "birthPlace", false, 50));
+        all.extend(occ("bear in", "deathPlace", false, 4));
+        all.extend(occ("write by", "author", false, 30));
+        all.extend(occ("write", "author", true, 25));
+        PatternStore::from_occurrences(&all)
+    }
+
+    #[test]
+    fn phrase_lookup_ranks_by_frequency() {
+        let store = paper_store();
+        let cands = store.candidates_for_phrase("die in");
+        assert_eq!(cands[0].property, "deathPlace");
+        assert_eq!(cands[0].freq, 40);
+        assert_eq!(cands.len(), 3);
+    }
+
+    #[test]
+    fn word_lookup_aggregates_across_patterns() {
+        let store = paper_store();
+        let cands = store.candidates_for_word("die");
+        // deathPlace: 40 + 12 = 52 across "die in"/"die at".
+        assert_eq!(cands[0].property, "deathPlace");
+        assert_eq!(cands[0].freq, 52);
+        // The paper's ranking claim: deathPlace > birthPlace, residence.
+        let freq_of = |p: &str| cands.iter().find(|c| c.property == p).map(|c| c.freq);
+        assert!(freq_of("deathPlace") > freq_of("birthPlace"));
+        assert!(freq_of("birthPlace") >= freq_of("residence"));
+    }
+
+    #[test]
+    fn direction_is_preserved_distinctly() {
+        let store = paper_store();
+        let cands = store.candidates_for_word("write");
+        assert!(cands.iter().any(|c| c.property == "author" && !c.inverse));
+        assert!(cands.iter().any(|c| c.property == "author" && c.inverse));
+    }
+
+    #[test]
+    fn function_words_not_indexed() {
+        let store = paper_store();
+        assert!(store.candidates_for_word("in").is_empty());
+        assert!(store.candidates_for_word("by").is_empty());
+    }
+
+    #[test]
+    fn unknown_lookups_are_empty() {
+        let store = paper_store();
+        assert!(store.candidates_for_phrase("fly over").is_empty());
+        assert!(store.candidates_for_word("zzz").is_empty());
+    }
+
+    #[test]
+    fn pattern_count_counts_distinct_patterns() {
+        let store = paper_store();
+        // die in, die at, bear in, write by, write
+        assert_eq!(store.pattern_count(), 5);
+        assert_eq!(store.patterns().count(), 5);
+    }
+}

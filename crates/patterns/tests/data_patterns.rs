@@ -1,0 +1,177 @@
+//! Integration tests for data-property pattern mining — the §5 research gap
+//! the extended system closes — plus property-based invariants on the
+//! pattern store and support-set tree.
+
+use proptest::prelude::*;
+use relpat_kb::{generate, KbConfig, KnowledgeBase};
+use relpat_patterns::{
+    extract_occurrences, generate_corpus, mine, CorpusConfig, Occurrence, PatternStore,
+    PatternTree, Sentence,
+};
+use std::sync::OnceLock;
+
+fn kb() -> &'static KnowledgeBase {
+    static KB: OnceLock<KnowledgeBase> = OnceLock::new();
+    KB.get_or_init(|| generate(&KbConfig::tiny()))
+}
+
+#[test]
+fn data_corpus_is_superset_of_object_corpus() {
+    let base = generate_corpus(kb(), &CorpusConfig::default());
+    let with_data = generate_corpus(kb(), &CorpusConfig::with_data_properties());
+    assert!(with_data.len() > base.len());
+    // Data sentences verbalize literals.
+    assert!(with_data.iter().any(|s| s.text.contains("meters tall")));
+    assert!(with_data.iter().any(|s| s.text.contains("was born on")));
+}
+
+#[test]
+fn height_pattern_mined_from_literal_sentences() {
+    let mined = mine(kb(), &CorpusConfig::with_data_properties());
+    let tall = mined.store.candidates_for_word("tall");
+    assert!(
+        tall.iter().any(|c| c.property == "height" && c.is_data),
+        "{tall:?}"
+    );
+    // And via the full phrase.
+    let phrase = mined.store.candidates_for_phrase("$v meter tall");
+    assert!(phrase.iter().any(|c| c.property == "height" && c.is_data), "{phrase:?}");
+}
+
+#[test]
+fn population_pattern_covers_value_before_entity_order() {
+    // "{V} people live in {S}" puts the literal first.
+    let mined = mine(kb(), &CorpusConfig::with_data_properties());
+    let live = mined.store.candidates_for_word("live");
+    assert!(
+        live.iter().any(|c| c.property == "populationTotal" && c.is_data),
+        "{live:?}"
+    );
+}
+
+#[test]
+fn date_patterns_supervised_against_date_literals() {
+    let mined = mine(kb(), &CorpusConfig::with_data_properties());
+    let bear = mined.store.candidates_for_word("bear");
+    assert!(
+        bear.iter().any(|c| c.property == "birthDate" && c.is_data),
+        "{bear:?}"
+    );
+    // Object evidence for birthPlace must still top the *object* candidates
+    // (data sentences may out-frequency it overall, since every person has a
+    // birth date but not every corpus sentence names a place).
+    let top_object = bear.iter().find(|c| !c.is_data).unwrap();
+    assert_eq!(top_object.property, "birthPlace");
+}
+
+#[test]
+fn object_only_corpus_yields_no_data_patterns() {
+    let mined = mine(kb(), &CorpusConfig::default());
+    for (pattern, candidates) in mined.store.patterns() {
+        for c in candidates {
+            assert!(!c.is_data, "unexpected data pattern {pattern:?} → {c:?}");
+        }
+    }
+}
+
+#[test]
+fn handcrafted_sentence_with_unknown_value_is_ignored() {
+    // A literal that matches no KB fact must produce no supervision.
+    let corpus =
+        vec![Sentence { text: "Michael Jordan is 9.99 meters tall.".to_string() }];
+    let occ = extract_occurrences(kb(), &corpus);
+    assert!(occ.iter().all(|o| !o.is_data), "{occ:?}");
+}
+
+#[test]
+fn handcrafted_sentence_with_matching_value_is_supervised() {
+    // 1.98 is the athlete's height fact in the KB.
+    let corpus =
+        vec![Sentence { text: "Michael Jordan is 1.98 meters tall.".to_string() }];
+    let occ = extract_occurrences(kb(), &corpus);
+    assert!(
+        occ.iter().any(|o| o.is_data && o.property == "height"),
+        "{occ:?}"
+    );
+}
+
+// ------------------------------------------------------------- proptests
+
+fn arb_occurrence() -> impl Strategy<Value = Occurrence> {
+    (
+        prop_oneof![
+            Just("die in"),
+            Just("bear in"),
+            Just("write by"),
+            Just("$v meter tall"),
+        ],
+        prop_oneof![
+            Just("deathPlace"),
+            Just("birthPlace"),
+            Just("author"),
+            Just("height"),
+        ],
+        any::<bool>(),
+        any::<bool>(),
+        0u32..50,
+    )
+        .prop_map(|(pattern, property, inverse, is_data, pair)| Occurrence {
+            pattern: pattern.to_string(),
+            property: property.to_string(),
+            inverse,
+            is_data,
+            pair: (
+                relpat_rdf::Iri::new(format!("http://e/{pair}a")),
+                relpat_rdf::Iri::new(format!("http://e/{pair}b")),
+            ),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Store invariant: word-index frequencies are sums over the phrase
+    /// index, and every candidate list is sorted by descending frequency.
+    #[test]
+    fn store_frequencies_consistent(occs in prop::collection::vec(arb_occurrence(), 0..80)) {
+        let store = PatternStore::from_occurrences(&occs);
+        for (_, candidates) in store.patterns() {
+            for w in candidates.windows(2) {
+                prop_assert!(w[0].freq >= w[1].freq);
+            }
+            let total: u64 = candidates.iter().map(|c| c.freq).sum();
+            prop_assert!(total as usize <= occs.len());
+        }
+        // Phrase totals equal occurrence totals.
+        let phrase_total: u64 = store
+            .patterns()
+            .flat_map(|(_, cs)| cs.iter().map(|c| c.freq))
+            .sum();
+        prop_assert_eq!(phrase_total as usize, occs.len());
+    }
+
+    /// Tree invariant: support size never exceeds insert count, and
+    /// subsumption at overlap 1.0 is antisymmetric for distinct supports.
+    #[test]
+    fn tree_support_and_subsumption(pairs in prop::collection::vec((0u32..20, any::<bool>()), 1..60)) {
+        let mut tree = PatternTree::new();
+        for (pair, which) in &pairs {
+            tree.insert(if *which { "die in" } else { "bear in" }, *pair);
+        }
+        for pattern in ["die in", "bear in"] {
+            if let Some(s) = tree.support(pattern) {
+                prop_assert!(s.len() <= pairs.len());
+            }
+        }
+        if tree.support("die in").is_some() && tree.support("bear in").is_some() {
+            use relpat_patterns::Subsumption::*;
+            let ab = tree.subsumption("die in", "bear in", 1.0);
+            let ba = tree.subsumption("bear in", "die in", 1.0);
+            match (ab, ba) {
+                (Equivalent, Equivalent) | (Independent, Independent) => {}
+                (SubsumedBy, Subsumes) | (Subsumes, SubsumedBy) => {}
+                other => prop_assert!(false, "inconsistent subsumption {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Error type for the RDF layer.
+
+use std::fmt;
+
+/// Errors produced while parsing or manipulating RDF data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdfError {
+    /// A syntax error with its 1-based source line.
+    Parse { line: usize, message: String },
+    /// A semantic constraint violation (e.g. literal in subject position
+    /// reaching the store).
+    Invalid(String),
+}
+
+impl fmt::Display for RdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdfError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            RdfError::Invalid(message) => write!(f, "invalid RDF: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for RdfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = RdfError::Parse { line: 3, message: "boom".into() };
+        assert_eq!(e.to_string(), "parse error at line 3: boom");
+    }
+
+    #[test]
+    fn invalid_display() {
+        let e = RdfError::Invalid("nope".into());
+        assert_eq!(e.to_string(), "invalid RDF: nope");
+    }
+}

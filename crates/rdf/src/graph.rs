@@ -1,0 +1,460 @@
+//! In-memory indexed triple store.
+//!
+//! The store maintains three sorted permutations of every triple — SPO, POS
+//! and OSP — over interned term ids, so that any triple pattern with at least
+//! one bound position resolves to a contiguous range scan of one index. This
+//! is the classic design of in-memory RDF stores (Hexastore-lite: three of
+//! the six permutations suffice when we do not need ordered results on the
+//! unbound positions).
+
+use std::collections::BTreeSet;
+use std::ops::Bound;
+
+use crate::interner::{Interner, TermId};
+use crate::term::Term;
+
+/// A concrete RDF triple (no variables).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Triple {
+    pub subject: Term,
+    pub predicate: Term,
+    pub object: Term,
+}
+
+impl Triple {
+    pub fn new(subject: impl Into<Term>, predicate: impl Into<Term>, object: impl Into<Term>) -> Self {
+        let t = Triple {
+            subject: subject.into(),
+            predicate: predicate.into(),
+            object: object.into(),
+        };
+        debug_assert!(
+            t.subject.is_concrete() && t.predicate.is_concrete() && t.object.is_concrete(),
+            "stored triples must not contain variables"
+        );
+        t
+    }
+}
+
+impl std::fmt::Display for Triple {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+/// An id-level triple, the store's internal currency.
+pub type IdTriple = (TermId, TermId, TermId);
+
+/// Which positions of a pattern are bound; used for index selection and by
+/// the SPARQL planner's selectivity heuristic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdPattern {
+    pub subject: Option<TermId>,
+    pub predicate: Option<TermId>,
+    pub object: Option<TermId>,
+}
+
+impl IdPattern {
+    pub fn bound_count(&self) -> u32 {
+        self.subject.is_some() as u32
+            + self.predicate.is_some() as u32
+            + self.object.is_some() as u32
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct Graph {
+    interner: Interner,
+    spo: BTreeSet<(u32, u32, u32)>,
+    pos: BTreeSet<(u32, u32, u32)>,
+    osp: BTreeSet<(u32, u32, u32)>,
+}
+
+impl Graph {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of triples stored.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// Access to the interner for id↔term translation.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Interns a term (for building id-level patterns ahead of a scan).
+    pub fn intern(&mut self, term: &Term) -> TermId {
+        self.interner.intern(term)
+    }
+
+    /// Looks up a term's id without interning. A miss means the term occurs
+    /// nowhere in the graph, so any pattern binding it matches nothing.
+    pub fn term_id(&self, term: &Term) -> Option<TermId> {
+        self.interner.get(term)
+    }
+
+    /// Resolves an id back to its term.
+    pub fn term(&self, id: TermId) -> &Term {
+        self.interner.resolve(id)
+    }
+
+    /// Inserts a triple. Returns `true` if it was not already present.
+    pub fn insert(&mut self, triple: &Triple) -> bool {
+        let s = self.interner.intern(&triple.subject).0;
+        let p = self.interner.intern(&triple.predicate).0;
+        let o = self.interner.intern(&triple.object).0;
+        let fresh = self.spo.insert((s, p, o));
+        if fresh {
+            self.pos.insert((p, o, s));
+            self.osp.insert((o, s, p));
+        }
+        fresh
+    }
+
+    /// Convenience: insert from raw terms.
+    pub fn add(
+        &mut self,
+        subject: impl Into<Term>,
+        predicate: impl Into<Term>,
+        object: impl Into<Term>,
+    ) -> bool {
+        self.insert(&Triple::new(subject, predicate, object))
+    }
+
+    /// Removes a triple. Returns `true` if it was present.
+    pub fn remove(&mut self, triple: &Triple) -> bool {
+        let (Some(s), Some(p), Some(o)) = (
+            self.interner.get(&triple.subject),
+            self.interner.get(&triple.predicate),
+            self.interner.get(&triple.object),
+        ) else {
+            return false;
+        };
+        let present = self.spo.remove(&(s.0, p.0, o.0));
+        if present {
+            self.pos.remove(&(p.0, o.0, s.0));
+            self.osp.remove(&(o.0, s.0, p.0));
+        }
+        present
+    }
+
+    /// Membership test at the term level.
+    pub fn contains(&self, triple: &Triple) -> bool {
+        match (
+            self.interner.get(&triple.subject),
+            self.interner.get(&triple.predicate),
+            self.interner.get(&triple.object),
+        ) {
+            (Some(s), Some(p), Some(o)) => self.spo.contains(&(s.0, p.0, o.0)),
+            _ => false,
+        }
+    }
+
+    /// Id-level pattern scan. Returns matching triples as `(s, p, o)` ids.
+    ///
+    /// Chooses the index whose sort order turns the bound positions into a
+    /// range prefix:
+    /// `s??`/`sp?` → SPO, `?p?`/`?po` → POS, `??o`/`s?o` → OSP,
+    /// `spo` → membership probe, `???` → full SPO scan.
+    pub fn scan(&self, pattern: IdPattern) -> Vec<IdTriple> {
+        let IdPattern { subject, predicate, object } = pattern;
+        let mut out = Vec::new();
+        match (subject, predicate, object) {
+            (Some(s), Some(p), Some(o)) => {
+                if self.spo.contains(&(s.0, p.0, o.0)) {
+                    out.push((s, p, o));
+                }
+            }
+            (Some(s), Some(p), None) => {
+                for &(a, b, c) in range2(&self.spo, s.0, p.0) {
+                    out.push((TermId(a), TermId(b), TermId(c)));
+                }
+            }
+            (Some(s), None, Some(o)) => {
+                for &(a, b, c) in range2(&self.osp, o.0, s.0) {
+                    // osp stores (o, s, p)
+                    out.push((TermId(b), TermId(c), TermId(a)));
+                }
+            }
+            (Some(s), None, None) => {
+                for &(a, b, c) in range1(&self.spo, s.0) {
+                    out.push((TermId(a), TermId(b), TermId(c)));
+                }
+            }
+            (None, Some(p), Some(o)) => {
+                for &(a, b, c) in range2(&self.pos, p.0, o.0) {
+                    // pos stores (p, o, s)
+                    out.push((TermId(c), TermId(a), TermId(b)));
+                }
+            }
+            (None, Some(p), None) => {
+                for &(a, b, c) in range1(&self.pos, p.0) {
+                    out.push((TermId(c), TermId(a), TermId(b)));
+                }
+            }
+            (None, None, Some(o)) => {
+                for &(a, b, c) in range1(&self.osp, o.0) {
+                    out.push((TermId(b), TermId(c), TermId(a)));
+                }
+            }
+            (None, None, None) => {
+                for &(a, b, c) in &self.spo {
+                    out.push((TermId(a), TermId(b), TermId(c)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Estimated number of matches for a pattern, used by the query planner.
+    /// Exact for fully-bound and fully-unbound patterns; for partially bound
+    /// patterns it counts the range (O(range length)), which is acceptable at
+    /// our scale and far more accurate than static heuristics.
+    pub fn estimate(&self, pattern: IdPattern) -> usize {
+        let IdPattern { subject, predicate, object } = pattern;
+        match (subject, predicate, object) {
+            (Some(s), Some(p), Some(o)) => usize::from(self.spo.contains(&(s.0, p.0, o.0))),
+            (Some(s), Some(p), None) => range2(&self.spo, s.0, p.0).count(),
+            (Some(s), None, Some(o)) => range2(&self.osp, o.0, s.0).count(),
+            (Some(s), None, None) => range1(&self.spo, s.0).count(),
+            (None, Some(p), Some(o)) => range2(&self.pos, p.0, o.0).count(),
+            (None, Some(p), None) => range1(&self.pos, p.0).count(),
+            (None, None, Some(o)) => range1(&self.osp, o.0).count(),
+            (None, None, None) => self.spo.len(),
+        }
+    }
+
+    /// Term-level pattern scan: `None` positions are wildcards. Converts ids
+    /// back to terms; prefer [`Graph::scan`] in inner loops.
+    pub fn triples_matching(
+        &self,
+        subject: Option<&Term>,
+        predicate: Option<&Term>,
+        object: Option<&Term>,
+    ) -> Vec<Triple> {
+        let to_id = |t: Option<&Term>| -> Result<Option<TermId>, ()> {
+            match t {
+                None => Ok(None),
+                Some(term) => match self.interner.get(term) {
+                    Some(id) => Ok(Some(id)),
+                    None => Err(()), // unknown term: zero matches
+                },
+            }
+        };
+        let (Ok(s), Ok(p), Ok(o)) = (to_id(subject), to_id(predicate), to_id(object)) else {
+            return Vec::new();
+        };
+        self.scan(IdPattern { subject: s, predicate: p, object: o })
+            .into_iter()
+            .map(|(s, p, o)| Triple {
+                subject: self.interner.resolve(s).clone(),
+                predicate: self.interner.resolve(p).clone(),
+                object: self.interner.resolve(o).clone(),
+            })
+            .collect()
+    }
+
+    /// All objects of `(subject, predicate, ?)`.
+    pub fn objects_of(&self, subject: &Term, predicate: &Term) -> Vec<Term> {
+        self.triples_matching(Some(subject), Some(predicate), None)
+            .into_iter()
+            .map(|t| t.object)
+            .collect()
+    }
+
+    /// All subjects of `(?, predicate, object)`.
+    pub fn subjects_with(&self, predicate: &Term, object: &Term) -> Vec<Term> {
+        self.triples_matching(None, Some(predicate), Some(object))
+            .into_iter()
+            .map(|t| t.subject)
+            .collect()
+    }
+
+    /// The set of distinct predicates in the graph, in id order.
+    pub fn predicates(&self) -> Vec<Term> {
+        let mut last: Option<u32> = None;
+        let mut out = Vec::new();
+        for &(p, _, _) in &self.pos {
+            if last != Some(p) {
+                last = Some(p);
+                out.push(self.interner.resolve(TermId(p)).clone());
+            }
+        }
+        out
+    }
+
+    /// Iterates over all triples at the term level (SPO order).
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.spo.iter().map(|&(s, p, o)| Triple {
+            subject: self.interner.resolve(TermId(s)).clone(),
+            predicate: self.interner.resolve(TermId(p)).clone(),
+            object: self.interner.resolve(TermId(o)).clone(),
+        })
+    }
+}
+
+/// Range over a BTreeSet of id-triples with the first position fixed.
+fn range1(set: &BTreeSet<(u32, u32, u32)>, a: u32) -> impl Iterator<Item = &(u32, u32, u32)> {
+    set.range((Bound::Included((a, 0, 0)), Bound::Included((a, u32::MAX, u32::MAX))))
+}
+
+/// Range with the first two positions fixed.
+fn range2(
+    set: &BTreeSet<(u32, u32, u32)>,
+    a: u32,
+    b: u32,
+) -> impl Iterator<Item = &(u32, u32, u32)> {
+    set.range((Bound::Included((a, b, 0)), Bound::Included((a, b, u32::MAX))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::{dbont, rdf, res};
+
+    fn sample_graph() -> Graph {
+        let mut g = Graph::new();
+        let pamuk = Term::iri(res::iri("Orhan Pamuk"));
+        let snow = Term::iri(res::iri("Snow"));
+        let museum = Term::iri(res::iri("The Museum of Innocence"));
+        let writer = Term::iri(dbont::iri("writer"));
+        let book = Term::iri(dbont::iri("Book"));
+        let ty = Term::iri(rdf::TYPE);
+        g.add(snow.clone(), ty.clone(), book.clone());
+        g.add(museum.clone(), ty.clone(), book.clone());
+        g.add(snow.clone(), writer.clone(), pamuk.clone());
+        g.add(museum, writer, pamuk);
+        g
+    }
+
+    #[test]
+    fn insert_is_set_semantics() {
+        let mut g = Graph::new();
+        let t = Triple::new(Term::iri("s"), Term::iri("p"), Term::iri("o"));
+        assert!(g.insert(&t));
+        assert!(!g.insert(&t));
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn contains_and_remove() {
+        let mut g = Graph::new();
+        let t = Triple::new(Term::iri("s"), Term::iri("p"), Term::iri("o"));
+        assert!(!g.contains(&t));
+        g.insert(&t);
+        assert!(g.contains(&t));
+        assert!(g.remove(&t));
+        assert!(!g.contains(&t));
+        assert!(!g.remove(&t));
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn all_eight_pattern_shapes_agree() {
+        let g = sample_graph();
+        let snow = Term::iri(res::iri("Snow"));
+        let writer = Term::iri(dbont::iri("writer"));
+        let pamuk = Term::iri(res::iri("Orhan Pamuk"));
+
+        // ???
+        assert_eq!(g.triples_matching(None, None, None).len(), 4);
+        // s??
+        assert_eq!(g.triples_matching(Some(&snow), None, None).len(), 2);
+        // ?p?
+        assert_eq!(g.triples_matching(None, Some(&writer), None).len(), 2);
+        // ??o
+        assert_eq!(g.triples_matching(None, None, Some(&pamuk)).len(), 2);
+        // sp?
+        assert_eq!(g.triples_matching(Some(&snow), Some(&writer), None).len(), 1);
+        // ?po
+        assert_eq!(g.triples_matching(None, Some(&writer), Some(&pamuk)).len(), 2);
+        // s?o
+        assert_eq!(g.triples_matching(Some(&snow), None, Some(&pamuk)).len(), 1);
+        // spo
+        assert_eq!(
+            g.triples_matching(Some(&snow), Some(&writer), Some(&pamuk)).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn scan_returns_canonical_spo_order_of_ids() {
+        let g = sample_graph();
+        let writer = g.term_id(&Term::iri(dbont::iri("writer"))).unwrap();
+        for (s, p, o) in g.scan(IdPattern { subject: None, predicate: Some(writer), object: None })
+        {
+            assert_eq!(p, writer);
+            assert!(g.term(s).as_iri().is_some());
+            assert!(g.term(o).as_iri().is_some());
+        }
+    }
+
+    #[test]
+    fn unknown_term_matches_nothing() {
+        let g = sample_graph();
+        let ghost = Term::iri("http://nowhere/x");
+        assert!(g.triples_matching(Some(&ghost), None, None).is_empty());
+    }
+
+    #[test]
+    fn estimate_matches_scan_cardinality() {
+        let g = sample_graph();
+        let writer = g.term_id(&Term::iri(dbont::iri("writer"))).unwrap();
+        let snow = g.term_id(&Term::iri(res::iri("Snow"))).unwrap();
+        for pat in [
+            IdPattern { subject: None, predicate: None, object: None },
+            IdPattern { subject: Some(snow), predicate: None, object: None },
+            IdPattern { subject: None, predicate: Some(writer), object: None },
+            IdPattern { subject: Some(snow), predicate: Some(writer), object: None },
+        ] {
+            assert_eq!(g.estimate(pat), g.scan(pat).len());
+        }
+    }
+
+    #[test]
+    fn helpers_objects_and_subjects() {
+        let g = sample_graph();
+        let snow = Term::iri(res::iri("Snow"));
+        let writer = Term::iri(dbont::iri("writer"));
+        let pamuk = Term::iri(res::iri("Orhan Pamuk"));
+        assert_eq!(g.objects_of(&snow, &writer), vec![pamuk.clone()]);
+        let mut subs = g.subjects_with(&writer, &pamuk);
+        subs.sort();
+        assert_eq!(subs.len(), 2);
+    }
+
+    #[test]
+    fn predicates_are_deduplicated() {
+        let g = sample_graph();
+        let preds = g.predicates();
+        assert_eq!(preds.len(), 2);
+    }
+
+    #[test]
+    fn iter_yields_all_triples() {
+        let g = sample_graph();
+        assert_eq!(g.iter().count(), g.len());
+        for t in g.iter() {
+            assert!(g.contains(&t));
+        }
+    }
+
+    #[test]
+    fn literals_and_iris_do_not_collide_in_indexes() {
+        let mut g = Graph::new();
+        g.add(Term::iri("s"), Term::iri("p"), Term::literal("o"));
+        g.add(Term::iri("s"), Term::iri("p"), Term::iri("o"));
+        assert_eq!(g.len(), 2);
+        assert_eq!(
+            g.triples_matching(None, None, Some(&Term::literal("o"))).len(),
+            1
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! # relpat-rdf — RDF data model and in-memory triple store
+//!
+//! The storage substrate of the `relpat` question-answering system. It
+//! provides:
+//!
+//! - an RDF 1.1-style term model ([`Iri`], [`Literal`], [`Term`]);
+//! - a term [`Interner`] mapping terms to dense `u32` ids;
+//! - an indexed, in-memory [`Graph`] with SPO/POS/OSP permutations so that any
+//!   partially bound triple pattern is a contiguous range scan;
+//! - Turtle and N-Triples parsing/serialization for fixtures and interchange;
+//! - the vocabulary constants (`rdf:`, `rdfs:`, `xsd:`, `dbont:`, `res:`) that
+//!   the paper's examples use.
+//!
+//! ```
+//! use relpat_rdf::{Graph, Term, vocab::{dbont, res}};
+//!
+//! let mut g = Graph::new();
+//! g.add(
+//!     Term::iri(res::iri("Snow")),
+//!     Term::iri(dbont::iri("writer")),
+//!     Term::iri(res::iri("Orhan Pamuk")),
+//! );
+//! let hits = g.subjects_with(
+//!     &Term::iri(dbont::iri("writer")),
+//!     &Term::iri(res::iri("Orhan Pamuk")),
+//! );
+//! assert_eq!(hits.len(), 1);
+//! ```
+
+mod error;
+mod graph;
+mod io;
+mod interner;
+mod ntriples;
+mod term;
+mod turtle;
+
+pub mod vocab;
+
+pub use error::RdfError;
+pub use graph::{Graph, IdPattern, IdTriple, Triple};
+pub use interner::{Interner, TermId};
+pub use io::{load_path, save_ntriples, save_turtle};
+pub use ntriples::{parse_ntriples, to_ntriples};
+pub use term::{BlankNode, Iri, Literal, Term};
+pub use turtle::{load_turtle, parse_turtle, render_term, to_turtle};

@@ -1,0 +1,148 @@
+//! Well-known vocabularies used throughout the system.
+//!
+//! The DBpedia-style namespaces (`dbont:`, `res:`) mirror the prefixes the
+//! paper uses: `dbont:` for the DBpedia ontology (classes and properties) and
+//! `res:` for resources (entities). The synthetic knowledge base mints all of
+//! its identifiers inside these namespaces so that queries printed by the
+//! system look exactly like the paper's examples.
+
+/// `rdf:` — the RDF core vocabulary.
+pub mod rdf {
+    pub const NS: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+    pub const TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+    pub const LANG_STRING: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString";
+}
+
+/// `rdfs:` — RDF Schema.
+pub mod rdfs {
+    pub const NS: &str = "http://www.w3.org/2000/01/rdf-schema#";
+    pub const LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
+    pub const SUBCLASS_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+    pub const DOMAIN: &str = "http://www.w3.org/2000/01/rdf-schema#domain";
+    pub const RANGE: &str = "http://www.w3.org/2000/01/rdf-schema#range";
+    pub const COMMENT: &str = "http://www.w3.org/2000/01/rdf-schema#comment";
+}
+
+/// `owl:` — the little of OWL we need to describe the ontology itself.
+pub mod owl {
+    pub const NS: &str = "http://www.w3.org/2002/07/owl#";
+    pub const CLASS: &str = "http://www.w3.org/2002/07/owl#Class";
+    pub const OBJECT_PROPERTY: &str = "http://www.w3.org/2002/07/owl#ObjectProperty";
+    pub const DATATYPE_PROPERTY: &str = "http://www.w3.org/2002/07/owl#DatatypeProperty";
+    pub const THING: &str = "http://www.w3.org/2002/07/owl#Thing";
+}
+
+/// `xsd:` — XML Schema datatypes.
+pub mod xsd {
+    pub const NS: &str = "http://www.w3.org/2001/XMLSchema#";
+    pub const STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
+    pub const INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+    pub const NON_NEGATIVE_INTEGER: &str =
+        "http://www.w3.org/2001/XMLSchema#nonNegativeInteger";
+    pub const DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
+    pub const DOUBLE: &str = "http://www.w3.org/2001/XMLSchema#double";
+    pub const FLOAT: &str = "http://www.w3.org/2001/XMLSchema#float";
+    pub const BOOLEAN: &str = "http://www.w3.org/2001/XMLSchema#boolean";
+    pub const DATE: &str = "http://www.w3.org/2001/XMLSchema#date";
+    pub const DATE_TIME: &str = "http://www.w3.org/2001/XMLSchema#dateTime";
+    pub const G_YEAR: &str = "http://www.w3.org/2001/XMLSchema#gYear";
+}
+
+/// `dbont:` — the DBpedia ontology namespace (classes + properties).
+pub mod dbont {
+    pub const NS: &str = "http://dbpedia.org/ontology/";
+
+    /// Mints an ontology IRI string for a local name (`writer` →
+    /// `http://dbpedia.org/ontology/writer`).
+    pub fn iri(local: &str) -> String {
+        format!("{NS}{local}")
+    }
+}
+
+/// `res:` — the DBpedia resource namespace (entities).
+pub mod res {
+    pub const NS: &str = "http://dbpedia.org/resource/";
+
+    /// Mints a resource IRI string. Spaces become underscores, matching how
+    /// DBpedia derives identifiers from Wikipedia page titles.
+    pub fn iri(title: &str) -> String {
+        let mut out = String::with_capacity(NS.len() + title.len());
+        out.push_str(NS);
+        for c in title.chars() {
+            out.push(if c == ' ' { '_' } else { c });
+        }
+        out
+    }
+}
+
+/// Page links between resources (DBpedia's `dbont:wikiPageWikiLink`), used by
+/// the named-entity disambiguation step (paper §2.2.5).
+pub const WIKI_PAGE_LINK: &str = "http://dbpedia.org/ontology/wikiPageWikiLink";
+
+/// The default prefix table used by parsers and serializers.
+pub fn default_prefixes() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("rdf", rdf::NS),
+        ("rdfs", rdfs::NS),
+        ("owl", owl::NS),
+        ("xsd", xsd::NS),
+        ("dbont", dbont::NS),
+        ("res", res::NS),
+    ]
+}
+
+/// Renders an IRI using the default prefixes when possible (`dbont:writer`),
+/// falling back to the angle-bracketed absolute form.
+pub fn shorten(iri: &str) -> String {
+    for (prefix, ns) in default_prefixes() {
+        if let Some(local) = iri.strip_prefix(ns) {
+            // Only shorten when the local part is a simple name; otherwise the
+            // prefixed form would not re-parse.
+            if !local.is_empty()
+                && local.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '-')
+            {
+                return format!("{prefix}:{local}");
+            }
+        }
+    }
+    format!("<{iri}>")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn res_iri_replaces_spaces() {
+        assert_eq!(res::iri("Orhan Pamuk"), "http://dbpedia.org/resource/Orhan_Pamuk");
+    }
+
+    #[test]
+    fn dbont_iri_concats() {
+        assert_eq!(dbont::iri("birthPlace"), "http://dbpedia.org/ontology/birthPlace");
+    }
+
+    #[test]
+    fn shorten_uses_known_prefixes() {
+        assert_eq!(shorten("http://dbpedia.org/ontology/writer"), "dbont:writer");
+        assert_eq!(shorten(rdf::TYPE), "rdf:type");
+        assert_eq!(shorten("http://example.org/x"), "<http://example.org/x>");
+    }
+
+    #[test]
+    fn shorten_refuses_complex_local_names() {
+        assert_eq!(
+            shorten("http://dbpedia.org/resource/A(B)"),
+            "<http://dbpedia.org/resource/A(B)>"
+        );
+    }
+
+    #[test]
+    fn default_prefixes_are_unique() {
+        let prefixes = default_prefixes();
+        let mut names: Vec<_> = prefixes.iter().map(|(p, _)| *p).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), prefixes.len());
+    }
+}

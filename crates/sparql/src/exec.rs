@@ -1,0 +1,975 @@
+//! Query planner and executor.
+//!
+//! Evaluation pipeline: plan the basic graph pattern with a greedy
+//! selectivity heuristic → stream bindings through index range scans →
+//! apply filters → project → DISTINCT → ORDER BY → OFFSET/LIMIT.
+
+use std::cmp::Ordering;
+
+use relpat_rdf::{Graph, IdPattern, Term, TermId};
+use rustc_hash::FxHashMap;
+
+use crate::ast::{
+    ArithOp, CmpOp, Expr, GraphPattern, Projection, Query, SelectQuery, TriplePattern,
+};
+use crate::error::SparqlError;
+use crate::results::Solutions;
+
+/// Result of executing a [`Query`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    Solutions(Solutions),
+    Boolean(bool),
+}
+
+impl QueryResult {
+    /// The solutions of a `SELECT`; panics on an `ASK` result.
+    pub fn expect_solutions(self) -> Solutions {
+        match self {
+            QueryResult::Solutions(s) => s,
+            QueryResult::Boolean(_) => panic!("expected solutions, got boolean"),
+        }
+    }
+
+    /// The boolean of an `ASK`; panics on a `SELECT` result.
+    pub fn expect_boolean(self) -> bool {
+        match self {
+            QueryResult::Boolean(b) => b,
+            QueryResult::Solutions(_) => panic!("expected boolean, got solutions"),
+        }
+    }
+}
+
+/// Executes a parsed query against a graph.
+pub fn execute(graph: &Graph, query: &Query) -> Result<QueryResult, SparqlError> {
+    match query {
+        Query::Select(sel) => execute_select(graph, sel).map(QueryResult::Solutions),
+        Query::Ask(ask) => {
+            let bindings = evaluate_pattern(graph, &ask.pattern, Some(1))?;
+            Ok(QueryResult::Boolean(!bindings.rows.is_empty()))
+        }
+    }
+}
+
+/// Parses and executes in one step.
+pub fn query(graph: &Graph, text: &str) -> Result<QueryResult, SparqlError> {
+    let parsed = crate::parser::parse_query(text)?;
+    execute(graph, &parsed)
+}
+
+fn execute_select(graph: &Graph, sel: &SelectQuery) -> Result<Solutions, SparqlError> {
+    // ORDER BY/OFFSET/LIMIT prevent early termination; only a bare LIMIT
+    // (no ordering, no offset, no DISTINCT) can stop the BGP scan early.
+    let early_stop = if sel.order_by.is_empty()
+        && sel.offset.is_none()
+        && !sel.distinct
+        && !matches!(sel.projection, Projection::Count { .. })
+    {
+        sel.limit
+    } else {
+        None
+    };
+    let evaluated = evaluate_pattern(graph, &sel.pattern, early_stop)?;
+
+    let pattern_vars = evaluated.variables;
+    let mut rows = evaluated.rows;
+
+    // Aggregate projection: COUNT collapses the solution sequence to one row.
+    if let Projection::Count { var, distinct, alias } = &sel.projection {
+        let n = match var {
+            None => rows.len(),
+            Some(v) => {
+                let Some(col) = pattern_vars.iter().position(|pv| pv == v) else {
+                    return Err(SparqlError::eval(format!("COUNT of unknown variable ?{v}")));
+                };
+                let mut bound: Vec<&Term> =
+                    rows.iter().filter_map(|r| r[col].as_ref()).collect();
+                if *distinct {
+                    bound.sort();
+                    bound.dedup();
+                }
+                bound.len()
+            }
+        };
+        return Ok(Solutions {
+            variables: vec![alias.clone()],
+            rows: vec![vec![Some(Term::Literal(relpat_rdf::Literal::integer(n as i64)))]],
+        });
+    }
+
+    // ORDER BY before projection so keys may use unprojected variables.
+    if !sel.order_by.is_empty() {
+        let index: FxHashMap<&str, usize> =
+            pattern_vars.iter().enumerate().map(|(i, v)| (v.as_str(), i)).collect();
+        type Decorated = (Vec<Option<Value>>, Vec<Option<Term>>);
+        let mut decorated: Vec<Decorated> = rows
+            .into_iter()
+            .map(|row| {
+                let keys = sel
+                    .order_by
+                    .iter()
+                    .map(|k| eval_expr(&k.expr, &row, &index).ok())
+                    .collect();
+                (keys, row)
+            })
+            .collect();
+        decorated.sort_by(|(ka, _), (kb, _)| {
+            for (i, key) in sel.order_by.iter().enumerate() {
+                let ord = compare_values(&ka[i], &kb[i]);
+                let ord = if key.descending { ord.reverse() } else { ord };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+        rows = decorated.into_iter().map(|(_, row)| row).collect();
+    }
+
+    // Projection.
+    let out_vars: Vec<String> = match &sel.projection {
+        Projection::All => pattern_vars.clone(),
+        Projection::Vars(vars) => vars.clone(),
+        // Handled by the aggregate branch above.
+        Projection::Count { .. } => unreachable!("COUNT projection returns early"),
+    };
+    let positions: Vec<Option<usize>> = out_vars
+        .iter()
+        .map(|v| pattern_vars.iter().position(|pv| pv == v))
+        .collect();
+    let mut projected: Vec<Vec<Option<Term>>> = rows
+        .into_iter()
+        .map(|row| {
+            positions
+                .iter()
+                .map(|p| p.and_then(|i| row[i].clone()))
+                .collect()
+        })
+        .collect();
+
+    if sel.distinct {
+        // Stable dedup that preserves ORDER BY output order.
+        let mut seen: Vec<Vec<Option<Term>>> = Vec::new();
+        projected.retain(|row| {
+            if seen.contains(row) {
+                false
+            } else {
+                seen.push(row.clone());
+                true
+            }
+        });
+    }
+
+    let offset = sel.offset.unwrap_or(0);
+    if offset > 0 {
+        projected.drain(..offset.min(projected.len()));
+    }
+    if let Some(limit) = sel.limit {
+        projected.truncate(limit);
+    }
+
+    Ok(Solutions { variables: out_vars, rows: projected })
+}
+
+/// Term-level bindings produced by BGP + filter evaluation.
+struct Evaluated {
+    variables: Vec<String>,
+    rows: Vec<Vec<Option<Term>>>,
+}
+
+fn evaluate_pattern(
+    graph: &Graph,
+    pattern: &GraphPattern,
+    early_stop: Option<usize>,
+) -> Result<Evaluated, SparqlError> {
+    let variables = pattern.variables();
+    let var_index: FxHashMap<&str, usize> =
+        variables.iter().enumerate().map(|(i, v)| (v.as_str(), i)).collect();
+
+    let initial: Vec<Vec<Option<TermId>>> = vec![vec![None; variables.len()]];
+    let mut bindings = eval_group(graph, pattern, &var_index, initial);
+
+    if let Some(stop) = early_stop {
+        // Only requested when no DISTINCT/ORDER/OFFSET follows.
+        bindings.truncate(stop);
+    }
+
+    let rows: Vec<Vec<Option<Term>>> = bindings
+        .into_iter()
+        .map(|binding| binding.iter().map(|id| id.map(|i| graph.term(i).clone())).collect())
+        .collect();
+    Ok(Evaluated { variables, rows })
+}
+
+/// Evaluates one group graph pattern against a set of incoming bindings:
+/// BGP join → UNION blocks → OPTIONAL left-joins → group filters.
+fn eval_group(
+    graph: &Graph,
+    pattern: &GraphPattern,
+    var_index: &FxHashMap<&str, usize>,
+    initial: Vec<Vec<Option<TermId>>>,
+) -> Vec<Vec<Option<TermId>>> {
+    let mut bindings = join_triples(graph, &pattern.triples, var_index, initial);
+
+    // UNION: concatenate the solutions of each alternative, each evaluated
+    // from the current bindings (join semantics with the surrounding group).
+    for alternatives in &pattern.unions {
+        if bindings.is_empty() {
+            break;
+        }
+        let mut next = Vec::new();
+        for alt in alternatives {
+            next.extend(eval_group(graph, alt, var_index, bindings.clone()));
+        }
+        bindings = next;
+    }
+
+    // OPTIONAL: left join — keep the binding unextended when the optional
+    // part has no solutions.
+    for opt in &pattern.optionals {
+        let mut next = Vec::with_capacity(bindings.len());
+        for binding in bindings {
+            let extended = eval_group(graph, opt, var_index, vec![binding.clone()]);
+            if extended.is_empty() {
+                next.push(binding);
+            } else {
+                next.extend(extended);
+            }
+        }
+        bindings = next;
+    }
+
+    // Group-level filters; erroring filters remove the row (SPARQL error
+    // semantics).
+    if !pattern.filters.is_empty() {
+        bindings.retain(|binding| {
+            let row: Vec<Option<Term>> =
+                binding.iter().map(|id| id.map(|i| graph.term(i).clone())).collect();
+            pattern.filters.iter().all(|f| {
+                eval_expr(f, &row, var_index).map(|v| v.truthy()).unwrap_or(false)
+            })
+        });
+    }
+    bindings
+}
+
+/// Joins a list of triple patterns into the incoming bindings, in planned
+/// order.
+fn join_triples(
+    graph: &Graph,
+    triples: &[TriplePattern],
+    var_index: &FxHashMap<&str, usize>,
+    initial: Vec<Vec<Option<TermId>>>,
+) -> Vec<Vec<Option<TermId>>> {
+    let order = plan(graph, triples, var_index);
+    let mut bindings = initial;
+    for &pat_idx in &order {
+        let tp = &triples[pat_idx];
+        let mut next: Vec<Vec<Option<TermId>>> = Vec::new();
+        for binding in &bindings {
+            match bind_pattern(graph, tp, binding, var_index) {
+                BoundPattern::NoMatch => {}
+                BoundPattern::Scan(id_pattern, slots) => {
+                    for (s, p, o) in graph.scan(id_pattern) {
+                        let mut extended = binding.clone();
+                        if extend(&mut extended, &slots, s, p, o) {
+                            next.push(extended);
+                        }
+                    }
+                }
+            }
+        }
+        bindings = next;
+        if bindings.is_empty() {
+            break;
+        }
+    }
+    bindings
+}
+
+/// Greedy join ordering: repeatedly pick the pattern with the fewest
+/// estimated matches, treating variables already bound by chosen patterns as
+/// bound positions (they will be substituted at run time, so we optimistically
+/// score them as selective).
+fn plan(
+    graph: &Graph,
+    triples: &[TriplePattern],
+    var_index: &FxHashMap<&str, usize>,
+) -> Vec<usize> {
+    let n = triples.len();
+    let mut chosen: Vec<usize> = Vec::with_capacity(n);
+    let mut bound_vars = vec![false; var_index.len()];
+    let mut remaining: Vec<usize> = (0..n).collect();
+
+    while !remaining.is_empty() {
+        let (best_pos, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(pos, &idx)| {
+                let tp = &triples[idx];
+                (pos, score_pattern(graph, tp, &bound_vars, var_index))
+            })
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap_or(Ordering::Equal))
+            .expect("remaining is non-empty");
+        let idx = remaining.swap_remove(best_pos);
+        for term in [&triples[idx].subject, &triples[idx].predicate, &triples[idx].object] {
+            if let Term::Variable(v) = term {
+                if let Some(&i) = var_index.get(v.as_str()) {
+                    bound_vars[i] = true;
+                }
+            }
+        }
+        chosen.push(idx);
+    }
+    chosen
+}
+
+/// Cost estimate for one pattern given the set of already-bound variables.
+/// Concrete positions contribute to an index estimate; bound variables divide
+/// the estimate (each roughly one order of magnitude); unbound variables keep
+/// it unchanged.
+fn score_pattern(
+    graph: &Graph,
+    tp: &TriplePattern,
+    bound_vars: &[bool],
+    var_index: &FxHashMap<&str, usize>,
+) -> f64 {
+    let mut id_pattern = IdPattern { subject: None, predicate: None, object: None };
+    let mut bound_var_positions = 0u32;
+    let mut dead = false;
+    {
+        let mut fill = |term: &Term, slot: &mut Option<TermId>| match term {
+            Term::Variable(v) => {
+                if var_index.get(v.as_str()).is_some_and(|&i| bound_vars[i]) {
+                    bound_var_positions += 1;
+                }
+            }
+            concrete => match graph.term_id(concrete) {
+                Some(id) => *slot = Some(id),
+                None => dead = true,
+            },
+        };
+        // Borrow gymnastics: fill each slot separately.
+        let IdPattern { subject, predicate, object } = &mut id_pattern;
+        fill(&tp.subject, subject);
+        fill(&tp.predicate, predicate);
+        fill(&tp.object, object);
+    }
+    if dead {
+        return 0.0; // matches nothing: evaluate first to prune immediately
+    }
+    let base = graph.estimate(id_pattern) as f64;
+    base / 10f64.powi(bound_var_positions as i32)
+}
+
+/// Where each variable of a pattern lands in the binding vector.
+struct Slots {
+    subject: Option<usize>,
+    predicate: Option<usize>,
+    object: Option<usize>,
+}
+
+enum BoundPattern {
+    /// A concrete term in the pattern does not occur in the graph.
+    NoMatch,
+    Scan(IdPattern, Slots),
+}
+
+fn bind_pattern(
+    graph: &Graph,
+    tp: &TriplePattern,
+    binding: &[Option<TermId>],
+    var_index: &FxHashMap<&str, usize>,
+) -> BoundPattern {
+    let mut id_pattern = IdPattern { subject: None, predicate: None, object: None };
+    let mut slots = Slots { subject: None, predicate: None, object: None };
+    let positions: [(&Term, &mut Option<TermId>, &mut Option<usize>); 3] = [
+        (&tp.subject, &mut id_pattern.subject, &mut slots.subject),
+        (&tp.predicate, &mut id_pattern.predicate, &mut slots.predicate),
+        (&tp.object, &mut id_pattern.object, &mut slots.object),
+    ];
+    for (term, id_slot, var_slot) in positions {
+        match term {
+            Term::Variable(v) => {
+                let idx = var_index[v.as_str()];
+                match binding[idx] {
+                    Some(bound) => *id_slot = Some(bound),
+                    None => *var_slot = Some(idx),
+                }
+            }
+            concrete => match graph.term_id(concrete) {
+                Some(id) => *id_slot = Some(id),
+                None => return BoundPattern::NoMatch,
+            },
+        }
+    }
+    BoundPattern::Scan(id_pattern, slots)
+}
+
+/// Extends a binding with a scan result, checking repeated-variable
+/// consistency (e.g. `?x ?p ?x`).
+fn extend(binding: &mut [Option<TermId>], slots: &Slots, s: TermId, p: TermId, o: TermId) -> bool {
+    for (slot, value) in [(slots.subject, s), (slots.predicate, p), (slots.object, o)] {
+        if let Some(idx) = slot {
+            match binding[idx] {
+                Some(existing) if existing != value => return false,
+                _ => binding[idx] = Some(value),
+            }
+        }
+    }
+    true
+}
+
+/// Runtime value for filter evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Value {
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Term(Term),
+}
+
+impl Value {
+    fn truthy(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Num(n) => *n != 0.0,
+            Value::Str(s) => !s.is_empty(),
+            Value::Term(_) => true,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            Value::Term(Term::Literal(l)) => l.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// String coercion mirroring SPARQL `str()`.
+    fn as_str_lossy(&self) -> String {
+        match self {
+            Value::Bool(b) => b.to_string(),
+            Value::Num(n) => n.to_string(),
+            Value::Str(s) => s.clone(),
+            Value::Term(Term::Literal(l)) => l.lexical_form().to_string(),
+            Value::Term(Term::Iri(iri)) => iri.as_str().to_string(),
+            Value::Term(t) => t.to_string(),
+        }
+    }
+}
+
+fn eval_expr(
+    expr: &Expr,
+    row: &[Option<Term>],
+    var_index: &FxHashMap<&str, usize>,
+) -> Result<Value, SparqlError> {
+    match expr {
+        Expr::Var(v) => {
+            let idx = var_index
+                .get(v.as_str())
+                .ok_or_else(|| SparqlError::eval(format!("unknown variable ?{v}")))?;
+            match &row[*idx] {
+                Some(term) => Ok(term_value(term)),
+                None => Err(SparqlError::eval(format!("unbound variable ?{v}"))),
+            }
+        }
+        Expr::Const(term) => Ok(term_value(term)),
+        Expr::Cmp(lhs, op, rhs) => {
+            let l = eval_expr(lhs, row, var_index)?;
+            let r = eval_expr(rhs, row, var_index)?;
+            Ok(Value::Bool(apply_cmp(&l, *op, &r)))
+        }
+        Expr::And(lhs, rhs) => Ok(Value::Bool(
+            eval_expr(lhs, row, var_index)?.truthy() && eval_expr(rhs, row, var_index)?.truthy(),
+        )),
+        Expr::Or(lhs, rhs) => Ok(Value::Bool(
+            eval_expr(lhs, row, var_index)?.truthy() || eval_expr(rhs, row, var_index)?.truthy(),
+        )),
+        Expr::Not(inner) => Ok(Value::Bool(!eval_expr(inner, row, var_index)?.truthy())),
+        Expr::Arith(lhs, op, rhs) => {
+            let l = eval_expr(lhs, row, var_index)?
+                .as_num()
+                .ok_or_else(|| SparqlError::eval("non-numeric operand"))?;
+            let r = eval_expr(rhs, row, var_index)?
+                .as_num()
+                .ok_or_else(|| SparqlError::eval("non-numeric operand"))?;
+            let v = match op {
+                ArithOp::Add => l + r,
+                ArithOp::Sub => l - r,
+                ArithOp::Mul => l * r,
+                ArithOp::Div => {
+                    if r == 0.0 {
+                        return Err(SparqlError::eval("division by zero"));
+                    }
+                    l / r
+                }
+            };
+            Ok(Value::Num(v))
+        }
+        Expr::Regex { value, pattern, case_insensitive } => {
+            let text = eval_expr(value, row, var_index)?.as_str_lossy();
+            Ok(Value::Bool(simple_regex_match(&text, pattern, *case_insensitive)))
+        }
+        Expr::Lang(inner) => {
+            let v = eval_expr(inner, row, var_index)?;
+            match v {
+                Value::Term(Term::Literal(l)) => {
+                    Ok(Value::Str(l.language().unwrap_or("").to_string()))
+                }
+                _ => Err(SparqlError::eval("lang() of non-literal")),
+            }
+        }
+        Expr::Datatype(inner) => {
+            let v = eval_expr(inner, row, var_index)?;
+            match v {
+                Value::Term(Term::Literal(l)) => Ok(Value::Str(l.datatype_str().to_string())),
+                _ => Err(SparqlError::eval("datatype() of non-literal")),
+            }
+        }
+        Expr::Str(inner) => Ok(Value::Str(eval_expr(inner, row, var_index)?.as_str_lossy())),
+        Expr::Bound(v) => {
+            let idx = var_index
+                .get(v.as_str())
+                .ok_or_else(|| SparqlError::eval(format!("unknown variable ?{v}")))?;
+            Ok(Value::Bool(row[*idx].is_some()))
+        }
+    }
+}
+
+fn term_value(term: &Term) -> Value {
+    if let Term::Literal(l) = term {
+        if let Some(n) = l.as_f64() {
+            return Value::Num(n);
+        }
+        if l.datatype_str() == relpat_rdf::vocab::xsd::BOOLEAN {
+            return Value::Bool(l.lexical_form() == "true");
+        }
+    }
+    Value::Term(term.clone())
+}
+
+fn apply_cmp(l: &Value, op: CmpOp, r: &Value) -> bool {
+    let ord = compare_raw(l, r);
+    match op {
+        CmpOp::Eq => ord == Ordering::Equal,
+        CmpOp::Ne => ord != Ordering::Equal,
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::Le => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::Ge => ord != Ordering::Less,
+    }
+}
+
+/// Three-way comparison across value kinds: numeric when both sides are
+/// numeric, term identity for IRIs, otherwise lexical-form string comparison
+/// (which orders ISO dates correctly).
+fn compare_raw(l: &Value, r: &Value) -> Ordering {
+    if let (Some(a), Some(b)) = (l.as_num(), r.as_num()) {
+        return a.partial_cmp(&b).unwrap_or(Ordering::Equal);
+    }
+    if let (Value::Term(Term::Iri(a)), Value::Term(Term::Iri(b))) = (l, r) {
+        return a.cmp(b);
+    }
+    l.as_str_lossy().cmp(&r.as_str_lossy())
+}
+
+/// Comparison for ORDER BY keys: unbound (None) sorts first, per SPARQL.
+fn compare_values(l: &Option<Value>, r: &Option<Value>) -> Ordering {
+    match (l, r) {
+        (None, None) => Ordering::Equal,
+        (None, Some(_)) => Ordering::Less,
+        (Some(_), None) => Ordering::Greater,
+        (Some(a), Some(b)) => compare_raw(a, b),
+    }
+}
+
+/// Minimal regex dialect: `^` anchors at the start, `$` at the end, and the
+/// remaining pattern is matched literally as a substring. This covers every
+/// `FILTER regex` the pipeline and benchmark emit (label containment checks);
+/// a full regex engine would be an unjustified dependency.
+fn simple_regex_match(text: &str, pattern: &str, case_insensitive: bool) -> bool {
+    let (text, pattern) = if case_insensitive {
+        (text.to_lowercase(), pattern.to_lowercase())
+    } else {
+        (text.to_string(), pattern.to_string())
+    };
+    let starts = pattern.starts_with('^');
+    let ends = pattern.ends_with('$') && !pattern.ends_with("\\$");
+    let core = &pattern[usize::from(starts)..pattern.len() - usize::from(ends)];
+    match (starts, ends) {
+        (true, true) => text == core,
+        (true, false) => text.starts_with(core),
+        (false, true) => text.ends_with(core),
+        (false, false) => text.contains(core),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relpat_rdf::vocab::{dbont, rdf, res};
+    use relpat_rdf::Literal;
+
+    fn library() -> Graph {
+        let mut g = Graph::new();
+        let ty = Term::iri(rdf::TYPE);
+        let book = Term::iri(dbont::iri("Book"));
+        let writer = Term::iri(dbont::iri("writer"));
+        let label = Term::iri(relpat_rdf::vocab::rdfs::LABEL);
+        let pamuk = Term::iri(res::iri("Orhan Pamuk"));
+        let lem = Term::iri(res::iri("Stanislaw Lem"));
+        for (title, author, pages) in [
+            ("Snow", &pamuk, 432),
+            ("The Museum of Innocence", &pamuk, 536),
+            ("Solaris", &lem, 204),
+        ] {
+            let b = Term::iri(res::iri(title));
+            g.add(b.clone(), ty.clone(), book.clone());
+            g.add(b.clone(), writer.clone(), author.clone());
+            g.add(b.clone(), label.clone(), Term::Literal(Literal::lang(title, "en")));
+            g.add(
+                b,
+                Term::iri(dbont::iri("numberOfPages")),
+                Term::Literal(Literal::integer(pages)),
+            );
+        }
+        g
+    }
+
+    fn select(g: &Graph, q: &str) -> Solutions {
+        query(g, q).unwrap().expect_solutions()
+    }
+
+    #[test]
+    fn paper_query_returns_both_books() {
+        let g = library();
+        let sols = select(
+            &g,
+            "SELECT ?x WHERE { ?x rdf:type dbont:Book . ?x dbont:writer res:Orhan_Pamuk . }",
+        );
+        assert_eq!(sols.rows.len(), 2);
+    }
+
+    #[test]
+    fn ask_true_and_false() {
+        let g = library();
+        assert!(query(&g, "ASK { res:Snow dbont:writer res:Orhan_Pamuk }")
+            .unwrap()
+            .expect_boolean());
+        assert!(!query(&g, "ASK { res:Solaris dbont:writer res:Orhan_Pamuk }")
+            .unwrap()
+            .expect_boolean());
+    }
+
+    #[test]
+    fn filter_numeric_comparison() {
+        let g = library();
+        let sols = select(
+            &g,
+            "SELECT ?x { ?x dbont:numberOfPages ?p FILTER(?p > 400 && ?p < 500) }",
+        );
+        assert_eq!(sols.rows.len(), 1);
+        assert_eq!(
+            sols.get(0, "x"),
+            Some(&Term::iri(res::iri("Snow")))
+        );
+    }
+
+    #[test]
+    fn filter_regex_on_label() {
+        let g = library();
+        let sols = select(
+            &g,
+            "SELECT ?x { ?x rdfs:label ?l FILTER(regex(str(?l), \"museum\", \"i\")) }",
+        );
+        assert_eq!(sols.rows.len(), 1);
+    }
+
+    #[test]
+    fn filter_lang() {
+        let g = library();
+        let sols = select(&g, "SELECT ?l { res:Snow rdfs:label ?l FILTER(lang(?l) = \"en\") }");
+        assert_eq!(sols.rows.len(), 1);
+    }
+
+    #[test]
+    fn order_by_desc_with_limit() {
+        let g = library();
+        let sols = select(
+            &g,
+            "SELECT ?x ?p { ?x dbont:numberOfPages ?p } ORDER BY DESC(?p) LIMIT 1",
+        );
+        assert_eq!(sols.rows.len(), 1);
+        assert_eq!(
+            sols.get(0, "x"),
+            Some(&Term::iri(res::iri("The Museum of Innocence")))
+        );
+    }
+
+    #[test]
+    fn offset_skips_rows() {
+        let g = library();
+        let all = select(&g, "SELECT ?x { ?x rdf:type dbont:Book } ORDER BY ?x");
+        let skipped = select(&g, "SELECT ?x { ?x rdf:type dbont:Book } ORDER BY ?x OFFSET 1");
+        assert_eq!(skipped.rows.len(), all.rows.len() - 1);
+        assert_eq!(skipped.rows[0], all.rows[1]);
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let g = library();
+        // ?w appears once per book; DISTINCT should collapse Pamuk's two.
+        let sols = select(&g, "SELECT DISTINCT ?w { ?x dbont:writer ?w }");
+        assert_eq!(sols.rows.len(), 2);
+    }
+
+    #[test]
+    fn select_star_projects_all_vars() {
+        let g = library();
+        let sols = select(&g, "SELECT * { ?x dbont:writer ?w }");
+        assert_eq!(sols.variables, vec!["x".to_string(), "w".to_string()]);
+        assert_eq!(sols.rows.len(), 3);
+    }
+
+    #[test]
+    fn repeated_variable_consistency() {
+        let mut g = Graph::new();
+        g.add(Term::iri("a"), Term::iri("p"), Term::iri("a"));
+        g.add(Term::iri("a"), Term::iri("p"), Term::iri("b"));
+        let sols = select(&g, "SELECT ?x { ?x <p> ?x }");
+        assert_eq!(sols.rows.len(), 1);
+    }
+
+    #[test]
+    fn unknown_concrete_term_yields_empty() {
+        let g = library();
+        let sols = select(&g, "SELECT ?x { ?x dbont:writer res:Nobody }");
+        assert!(sols.rows.is_empty());
+    }
+
+    #[test]
+    fn erroring_filter_drops_row_not_query() {
+        let g = library();
+        // lang() of an IRI errors; the row is dropped, the query succeeds.
+        let sols = select(&g, "SELECT ?x { ?x rdf:type dbont:Book FILTER(lang(?x) = \"en\") }");
+        assert!(sols.rows.is_empty());
+    }
+
+    #[test]
+    fn arithmetic_in_filters() {
+        let g = library();
+        let sols = select(&g, "SELECT ?x { ?x dbont:numberOfPages ?p FILTER(?p * 2 > 1000) }");
+        assert_eq!(sols.rows.len(), 1); // 536 * 2 = 1072
+    }
+
+    #[test]
+    fn division_by_zero_drops_row() {
+        let g = library();
+        let sols = select(&g, "SELECT ?x { ?x dbont:numberOfPages ?p FILTER(?p / 0 > 1) }");
+        assert!(sols.rows.is_empty());
+    }
+
+    #[test]
+    fn projection_of_unbound_var_is_none() {
+        let g = library();
+        let sols = select(&g, "SELECT ?ghost { res:Snow rdf:type dbont:Book }");
+        assert_eq!(sols.rows.len(), 1);
+        assert_eq!(sols.rows[0][0], None);
+    }
+
+    #[test]
+    fn bare_limit_early_stops() {
+        let g = library();
+        let sols = select(&g, "SELECT ?x { ?x rdf:type dbont:Book } LIMIT 2");
+        assert_eq!(sols.rows.len(), 2);
+    }
+
+    #[test]
+    fn plan_orders_selective_patterns_first() {
+        let g = library();
+        let tps = vec![
+            TriplePattern::new(Term::var("x"), Term::var("p"), Term::var("o")),
+            TriplePattern::new(
+                Term::var("x"),
+                Term::iri(dbont::iri("writer")),
+                Term::iri(res::iri("Stanislaw Lem")),
+            ),
+        ];
+        let mut vi = FxHashMap::default();
+        vi.insert("x", 0usize);
+        vi.insert("p", 1usize);
+        vi.insert("o", 2usize);
+        let order = plan(&g, &tps, &vi);
+        assert_eq!(order[0], 1, "selective pattern should run first");
+    }
+
+    #[test]
+    fn simple_regex_dialect() {
+        assert!(simple_regex_match("Orhan Pamuk", "pamuk", true));
+        assert!(!simple_regex_match("Orhan Pamuk", "pamuk", false));
+        assert!(simple_regex_match("Snow", "^Sno", false));
+        assert!(simple_regex_match("Snow", "now$", false));
+        assert!(simple_regex_match("Snow", "^Snow$", false));
+        assert!(!simple_regex_match("Snows", "^Snow$", false));
+    }
+
+    #[test]
+    fn optional_left_join_keeps_unmatched_rows() {
+        let mut g = library();
+        // Only Pamuk gets a birth place.
+        g.add(
+            Term::iri(res::iri("Orhan Pamuk")),
+            Term::iri(dbont::iri("birthPlace")),
+            Term::iri(res::iri("Istanbul")),
+        );
+        let sols = select(
+            &g,
+            "SELECT ?w ?p { ?x dbont:writer ?w OPTIONAL { ?w dbont:birthPlace ?p } }",
+        );
+        assert_eq!(sols.rows.len(), 3);
+        let bound: Vec<bool> = sols.rows.iter().map(|r| r[1].is_some()).collect();
+        assert_eq!(bound.iter().filter(|b| **b).count(), 2); // Pamuk's two books
+        assert_eq!(bound.iter().filter(|b| !**b).count(), 1); // Lem unextended
+    }
+
+    #[test]
+    fn optional_variables_are_projectable() {
+        let g = library();
+        let sols = select(
+            &g,
+            "SELECT ?x ?ghost { ?x rdf:type dbont:Book OPTIONAL { ?x dbont:writer ?ghost } }",
+        );
+        assert_eq!(sols.variables, vec!["x".to_string(), "ghost".to_string()]);
+        assert_eq!(sols.rows.len(), 3);
+    }
+
+    #[test]
+    fn union_concatenates_alternatives() {
+        let mut g = library();
+        g.add(
+            Term::iri(res::iri("Snow")),
+            Term::iri(dbont::iri("author")),
+            Term::iri(res::iri("Orhan Pamuk")),
+        );
+        let sols = select(
+            &g,
+            "SELECT ?x { { ?x dbont:writer res:Orhan_Pamuk } UNION { ?x dbont:author res:Orhan_Pamuk } }",
+        );
+        // 2 via writer + 1 via author (Snow appears twice: once per branch
+        // it matches — writer and author — minus dedup-free union = 3).
+        assert_eq!(sols.rows.len(), 3);
+        let distinct = select(
+            &g,
+            "SELECT DISTINCT ?x { { ?x dbont:writer res:Orhan_Pamuk } UNION { ?x dbont:author res:Orhan_Pamuk } }",
+        );
+        assert_eq!(distinct.rows.len(), 2);
+    }
+
+    #[test]
+    fn union_joins_with_surrounding_pattern() {
+        let g = library();
+        let sols = select(
+            &g,
+            "SELECT ?x { ?x rdf:type dbont:Book . \
+             { ?x dbont:writer res:Orhan_Pamuk } UNION { ?x dbont:writer res:Stanislaw_Lem } }",
+        );
+        assert_eq!(sols.rows.len(), 3);
+    }
+
+    #[test]
+    fn plain_nested_group_merges_into_parent() {
+        let g = library();
+        let sols = select(&g, "SELECT ?x { { ?x rdf:type dbont:Book } }");
+        assert_eq!(sols.rows.len(), 3);
+    }
+
+    #[test]
+    fn filter_inside_optional_scopes_locally() {
+        let g = library();
+        // The filter only constrains the optional extension; rows that fail
+        // it stay unextended rather than disappearing.
+        let sols = select(
+            &g,
+            "SELECT ?x ?p { ?x rdf:type dbont:Book OPTIONAL { ?x dbont:numberOfPages ?p FILTER(?p > 500) } }",
+        );
+        assert_eq!(sols.rows.len(), 3);
+        assert_eq!(sols.rows.iter().filter(|r| r[1].is_some()).count(), 1); // 536 only
+    }
+
+    #[test]
+    fn union_of_three_alternatives() {
+        let g = library();
+        let sols = select(
+            &g,
+            "SELECT ?x { { res:Snow rdfs:label ?x } UNION { res:Solaris rdfs:label ?x } \
+             UNION { res:Snow dbont:numberOfPages ?x } }",
+        );
+        assert_eq!(sols.rows.len(), 3);
+    }
+
+    #[test]
+    fn count_star_and_var() {
+        let g = library();
+        let sols = select(&g, "SELECT (COUNT(*) AS ?n) { ?x rdf:type dbont:Book }");
+        assert_eq!(sols.variables, vec!["n".to_string()]);
+        assert_eq!(sols.first().unwrap().as_literal().unwrap().as_i64(), Some(3));
+
+        let sols = select(&g, "SELECT (COUNT(?w) AS ?n) { ?x dbont:writer ?w }");
+        assert_eq!(sols.first().unwrap().as_literal().unwrap().as_i64(), Some(3));
+    }
+
+    #[test]
+    fn count_distinct_collapses_duplicates() {
+        let g = library();
+        let sols = select(&g, "SELECT (COUNT(DISTINCT ?w) AS ?n) { ?x dbont:writer ?w }");
+        assert_eq!(sols.first().unwrap().as_literal().unwrap().as_i64(), Some(2));
+    }
+
+    #[test]
+    fn bare_count_defaults_alias() {
+        let g = library();
+        let sols = select(&g, "SELECT COUNT(?x) { ?x rdf:type dbont:Book }");
+        assert_eq!(sols.variables, vec!["count".to_string()]);
+        assert_eq!(sols.first().unwrap().as_literal().unwrap().as_i64(), Some(3));
+    }
+
+    #[test]
+    fn count_with_filter() {
+        let g = library();
+        let sols = select(
+            &g,
+            "SELECT (COUNT(?x) AS ?n) { ?x dbont:numberOfPages ?p FILTER(?p > 300) }",
+        );
+        assert_eq!(sols.first().unwrap().as_literal().unwrap().as_i64(), Some(2));
+    }
+
+    #[test]
+    fn count_empty_pattern_is_zero() {
+        let g = library();
+        let sols = select(&g, "SELECT (COUNT(?x) AS ?n) { ?x dbont:writer res:Nobody }");
+        assert_eq!(sols.first().unwrap().as_literal().unwrap().as_i64(), Some(0));
+    }
+
+    #[test]
+    fn count_unknown_variable_errors() {
+        let g = library();
+        assert!(query(&g, "SELECT (COUNT(?zzz) AS ?n) { ?x ?p ?o }").is_err());
+    }
+
+    #[test]
+    fn cross_pattern_join_on_shared_variable() {
+        let mut g = library();
+        g.add(
+            Term::iri(res::iri("Orhan Pamuk")),
+            Term::iri(dbont::iri("birthPlace")),
+            Term::iri(res::iri("Istanbul")),
+        );
+        let sols = select(
+            &g,
+            "SELECT ?b ?c { ?b dbont:writer ?w . ?w dbont:birthPlace ?c }",
+        );
+        assert_eq!(sols.rows.len(), 2); // both Pamuk books join to Istanbul
+    }
+}

@@ -1,0 +1,104 @@
+//! Solution sequences returned by `SELECT` queries.
+
+use relpat_rdf::Term;
+
+/// A table of variable bindings: one column per projected variable, one row
+/// per solution. Unbound projections are `None`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Solutions {
+    pub variables: Vec<String>,
+    pub rows: Vec<Vec<Option<Term>>>,
+}
+
+impl Solutions {
+    /// Number of solutions.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The binding of `var` in row `row`, if any.
+    pub fn get(&self, row: usize, var: &str) -> Option<&Term> {
+        let col = self.variables.iter().position(|v| v == var)?;
+        self.rows.get(row)?.get(col)?.as_ref()
+    }
+
+    /// All bindings of one variable across rows (skipping unbound).
+    pub fn column(&self, var: &str) -> Vec<&Term> {
+        let Some(col) = self.variables.iter().position(|v| v == var) else {
+            return Vec::new();
+        };
+        self.rows.iter().filter_map(|r| r[col].as_ref()).collect()
+    }
+
+    /// The single binding of the first projected variable of the first row —
+    /// the common "give me the answer" accessor for single-var queries.
+    pub fn first(&self) -> Option<&Term> {
+        self.rows.first()?.first()?.as_ref()
+    }
+
+    /// Renders an ASCII table, for examples and reports.
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "| {} |", self.variables.join(" | "));
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|t| t.as_ref().map_or("—".to_string(), relpat_rdf::render_term))
+                .collect();
+            let _ = writeln!(out, "| {} |", cells.join(" | "));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Solutions {
+        Solutions {
+            variables: vec!["x".into(), "y".into()],
+            rows: vec![
+                vec![Some(Term::iri("http://e/a")), None],
+                vec![Some(Term::iri("http://e/b")), Some(Term::literal("v"))],
+            ],
+        }
+    }
+
+    #[test]
+    fn get_by_name() {
+        let s = sample();
+        assert_eq!(s.get(0, "x"), Some(&Term::iri("http://e/a")));
+        assert_eq!(s.get(0, "y"), None);
+        assert_eq!(s.get(9, "x"), None);
+        assert_eq!(s.get(0, "zzz"), None);
+    }
+
+    #[test]
+    fn column_skips_unbound() {
+        let s = sample();
+        assert_eq!(s.column("y").len(), 1);
+        assert_eq!(s.column("x").len(), 2);
+        assert!(s.column("nope").is_empty());
+    }
+
+    #[test]
+    fn first_returns_first_binding() {
+        let s = sample();
+        assert_eq!(s.first(), Some(&Term::iri("http://e/a")));
+        assert_eq!(Solutions::default().first(), None);
+    }
+
+    #[test]
+    fn table_renders_every_row() {
+        let s = sample();
+        let table = s.to_table();
+        assert_eq!(table.lines().count(), 3);
+        assert!(table.contains("—"));
+    }
+}

@@ -1,0 +1,374 @@
+//! The embedded lexical database.
+//!
+//! A curated WordNet fragment covering the DBpedia-ontology vocabulary the
+//! question-answering pipeline touches: enough of the noun, verb and
+//! adjective hierarchies that Lin / Wu–Palmer scores over property names are
+//! meaningful. Counts are stylized corpus frequencies: generic concepts get
+//! large masses (low information content), leaves get small ones.
+
+use crate::db::{WnPos, WordNet, WordNetBuilder};
+use std::sync::OnceLock;
+
+/// The embedded database (built once, shared).
+pub fn embedded() -> &'static WordNet {
+    static DB: OnceLock<WordNet> = OnceLock::new();
+    DB.get_or_init(build)
+}
+
+fn build() -> WordNet {
+    let mut b = WordNetBuilder::new();
+    nouns(&mut b);
+    verbs(&mut b);
+    adjectives(&mut b);
+    b.build()
+}
+
+fn nouns(b: &mut WordNetBuilder) {
+    use WnPos::Noun as N;
+    // ---- upper ontology -------------------------------------------------
+    b.synset(&["entity"], N, &[], 2000);
+    b.synset(&["physical_entity"], N, &["entity"], 800);
+    b.synset(&["abstraction"], N, &["entity"], 800);
+    b.synset(&["object"], N, &["physical_entity"], 500);
+    b.synset(&["living_thing"], N, &["physical_entity"], 400);
+    b.synset(&["group"], N, &["entity"], 300);
+
+    // ---- places ----------------------------------------------------------
+    b.synset(&["location", "place"], N, &["object"], 300);
+    b.synset(&["region"], N, &["location"], 150);
+    b.synset(&["country", "nation", "state"], N, &["region"], 60);
+    b.synset(&["city", "town"], N, &["region"], 60);
+    b.synset(&["capital"], N, &["city"], 20);
+    b.synset(&["continent"], N, &["region"], 10);
+    b.synset(&["island"], N, &["region"], 10);
+    b.synset(&["mountain", "mount"], N, &["object"], 15);
+    b.synset(&["body_of_water"], N, &["object"], 40);
+    b.synset(&["river"], N, &["body_of_water"], 15);
+    b.synset(&["lake"], N, &["body_of_water"], 15);
+    b.synset(&["sea", "ocean"], N, &["body_of_water"], 10);
+    b.synset(&["desert"], N, &["region"], 5);
+
+    // ---- artifacts and works ----------------------------------------------
+    b.synset(&["artifact"], N, &["object"], 250);
+    b.synset(&["creation"], N, &["artifact"], 150);
+    b.synset(&["work", "piece"], N, &["creation"], 100);
+    b.synset(&["book", "volume"], N, &["work"], 30);
+    b.synset(&["novel"], N, &["book"], 10);
+    b.synset(&["film", "movie", "picture"], N, &["work"], 30);
+    b.synset(&["album", "record"], N, &["work"], 15);
+    b.synset(&["song", "track"], N, &["work"], 15);
+    b.synset(&["painting", "canvas"], N, &["work"], 10);
+    b.synset(&["game"], N, &["creation"], 15);
+    b.synset(&["building", "edifice"], N, &["artifact"], 60);
+    b.synset(&["museum"], N, &["building"], 10);
+    b.synset(&["stadium"], N, &["building"], 10);
+    b.synset(&["bridge"], N, &["artifact"], 10);
+    b.synset(&["tower"], N, &["building"], 10);
+    b.synset(&["castle", "palace"], N, &["building"], 10);
+    b.synset(&["church", "cathedral"], N, &["building"], 10);
+    b.synset(&["airport"], N, &["building"], 8);
+    b.synset(&["magazine", "newspaper"], N, &["work"], 10);
+    b.synset(&["website", "site"], N, &["creation"], 10);
+
+    // ---- people -----------------------------------------------------------
+    b.synset(&["organism"], N, &["living_thing"], 300);
+    b.synset(&["person", "individual", "human"], N, &["organism"], 250);
+    b.synset(&["creator"], N, &["person"], 90);
+    b.synset(&["writer", "author"], N, &["creator"], 25);
+    b.synset(&["poet"], N, &["writer"], 8);
+    b.synset(&["novelist"], N, &["writer"], 8);
+    b.synset(&["artist"], N, &["creator"], 30);
+    b.synset(&["painter"], N, &["artist"], 8);
+    b.synset(&["musician"], N, &["artist"], 15);
+    b.synset(&["composer"], N, &["musician"], 6);
+    b.synset(&["singer", "vocalist"], N, &["musician"], 8);
+    b.synset(&["director", "filmmaker"], N, &["creator"], 20);
+    b.synset(&["producer"], N, &["creator"], 10);
+    b.synset(&["architect", "designer"], N, &["creator"], 10);
+    b.synset(&["inventor"], N, &["creator"], 8);
+    b.synset(&["founder", "beginner"], N, &["creator"], 10);
+    b.synset(&["developer"], N, &["creator"], 8);
+    b.synset(&["leader"], N, &["person"], 60);
+    b.synset(&["president"], N, &["leader"], 15);
+    b.synset(&["mayor"], N, &["leader"], 10);
+    b.synset(&["monarch", "king", "queen"], N, &["leader"], 12);
+    b.synset(&["emperor"], N, &["monarch"], 5);
+    b.synset(&["chancellor"], N, &["leader"], 5);
+    b.synset(&["minister"], N, &["leader"], 8);
+    b.synset(&["governor"], N, &["leader"], 5);
+    b.synset(&["spouse", "partner", "mate"], N, &["person"], 25);
+    b.synset(&["wife"], N, &["spouse"], 10);
+    b.synset(&["husband"], N, &["spouse"], 10);
+    b.synset(&["relative"], N, &["person"], 40);
+    b.synset(&["child", "kid"], N, &["relative"], 15);
+    b.synset(&["daughter"], N, &["child"], 6);
+    b.synset(&["son"], N, &["child"], 6);
+    b.synset(&["parent"], N, &["relative"], 15);
+    b.synset(&["mother"], N, &["parent"], 6);
+    b.synset(&["father"], N, &["parent"], 6);
+    b.synset(&["worker"], N, &["person"], 60);
+    b.synset(&["actor", "actress", "player_thespian"], N, &["worker"], 15);
+    b.synset(&["player"], N, &["worker"], 15);
+    b.synset(&["scientist"], N, &["worker"], 20);
+    b.synset(&["physicist"], N, &["scientist"], 6);
+    b.synset(&["chemist"], N, &["scientist"], 6);
+    b.synset(&["engineer"], N, &["worker"], 10);
+    b.synset(&["philosopher"], N, &["person"], 8);
+    b.synset(&["astronaut"], N, &["worker"], 5);
+    b.synset(&["owner", "proprietor"], N, &["person"], 10);
+    b.synset(&["inhabitant", "resident", "dweller"], N, &["person"], 15);
+    b.synset(&["employee"], N, &["worker"], 15);
+
+    // ---- organizations ------------------------------------------------------
+    b.synset(&["organization", "organisation"], N, &["group"], 120);
+    b.synset(&["company", "firm", "corporation"], N, &["organization"], 40);
+    b.synset(&["university", "college"], N, &["organization"], 20);
+    b.synset(&["band", "ensemble"], N, &["organization"], 15);
+    b.synset(&["team", "squad"], N, &["organization"], 15);
+    b.synset(&["party"], N, &["organization"], 15);
+    b.synset(&["school"], N, &["organization"], 15);
+    b.synset(&["airline"], N, &["company"], 8);
+
+    // ---- attributes ----------------------------------------------------------
+    b.synset(&["attribute"], N, &["abstraction"], 300);
+    b.synset(&["property", "dimension"], N, &["attribute"], 150);
+    b.synset(&["height", "stature"], N, &["property"], 20);
+    b.synset(&["length"], N, &["property"], 15);
+    b.synset(&["depth"], N, &["property"], 12);
+    b.synset(&["width"], N, &["property"], 10);
+    b.synset(&["elevation", "altitude"], N, &["height"], 8);
+    b.synset(&["magnitude"], N, &["attribute"], 100);
+    b.synset(&["size"], N, &["magnitude"], 40);
+    b.synset(&["area", "expanse"], N, &["size"], 15);
+    b.synset(&["amount", "quantity"], N, &["magnitude"], 40);
+    b.synset(&["population"], N, &["amount"], 15);
+    b.synset(&["number", "count"], N, &["amount"], 20);
+    b.synset(&["age"], N, &["property"], 15);
+    b.synset(&["weight"], N, &["property"], 12);
+
+    // ---- events, time, communication ------------------------------------------
+    b.synset(&["event"], N, &["abstraction"], 250);
+    b.synset(&["birth", "nativity"], N, &["event"], 25);
+    b.synset(&["death", "decease"], N, &["event"], 25);
+    b.synset(&["marriage", "wedding"], N, &["event"], 15);
+    b.synset(&["war"], N, &["event"], 20);
+    b.synset(&["battle"], N, &["war"], 8);
+    b.synset(&["festival"], N, &["event"], 8);
+    b.synset(&["award", "prize"], N, &["event"], 12);
+    b.synset(&["time_period"], N, &["abstraction"], 150);
+    b.synset(&["date"], N, &["time_period"], 30);
+    b.synset(&["year"], N, &["time_period"], 30);
+    b.synset(&["birthday"], N, &["date"], 8);
+    b.synset(&["communication"], N, &["abstraction"], 200);
+    b.synset(&["language", "tongue"], N, &["communication"], 25);
+    b.synset(&["name"], N, &["communication"], 30);
+    b.synset(&["title"], N, &["name"], 10);
+    b.synset(&["abbreviation"], N, &["name"], 5);
+    b.synset(&["anthem", "hymn"], N, &["communication"], 5);
+    b.synset(&["genre", "kind", "type"], N, &["abstraction"], 30);
+    b.synset(&["religion", "faith"], N, &["abstraction"], 15);
+    b.synset(&["profession", "occupation", "job"], N, &["abstraction"], 20);
+    b.synset(&["currency", "money"], N, &["abstraction"], 15);
+    b.synset(&["flag"], N, &["artifact"], 8);
+    b.synset(&["border", "boundary"], N, &["location"], 15);
+    b.synset(&["headquarters", "seat"], N, &["location"], 10);
+    b.synset(&["residence", "home"], N, &["location"], 15);
+}
+
+fn verbs(b: &mut WordNetBuilder) {
+    use WnPos::Verb as V;
+    b.synset(&["act"], V, &[], 1500);
+
+    b.synset(&["create", "make"], V, &["act"], 300);
+    b.synset(&["write", "author", "compose", "pen"], V, &["create"], 40);
+    b.synset(&["produce"], V, &["create"], 40);
+    b.synset(&["publish", "release"], V, &["produce"], 15);
+    b.synset(&["record"], V, &["produce"], 12);
+    b.synset(&["direct"], V, &["create"], 25);
+    b.synset(&["invent", "devise"], V, &["create"], 12);
+    b.synset(&["design"], V, &["create"], 12);
+    b.synset(&["build", "construct"], V, &["create"], 20);
+    b.synset(&["found", "establish"], V, &["create"], 20);
+    b.synset(&["develop"], V, &["create"], 15);
+    b.synset(&["paint"], V, &["create"], 10);
+    b.synset(&["draw"], V, &["create"], 10);
+
+    b.synset(&["change"], V, &["act"], 250);
+    b.synset(&["die", "decease", "perish"], V, &["change"], 30);
+    b.synset(&["bear", "birth", "deliver"], V, &["change"], 30);
+    b.synset(&["begin", "start"], V, &["change"], 25);
+    b.synset(&["end", "finish"], V, &["change"], 25);
+    b.synset(&["grow"], V, &["change"], 15);
+
+    b.synset(&["be", "exist"], V, &["act"], 250);
+    b.synset(&["live", "reside", "dwell", "inhabit"], V, &["be"], 40);
+    b.synset(&["locate", "situate"], V, &["be"], 25);
+
+    b.synset(&["connect", "link"], V, &["act"], 120);
+    b.synset(&["border", "adjoin"], V, &["connect"], 15);
+    b.synset(&["marry", "wed", "espouse"], V, &["connect"], 20);
+    b.synset(&["join"], V, &["connect"], 15);
+    b.synset(&["cross"], V, &["connect"], 10);
+
+    b.synset(&["compete"], V, &["act"], 100);
+    b.synset(&["win"], V, &["compete"], 20);
+    b.synset(&["play"], V, &["compete"], 25);
+    b.synset(&["star", "feature"], V, &["act"], 15);
+
+    b.synset(&["move"], V, &["act"], 150);
+    b.synset(&["flow", "run"], V, &["move"], 20);
+    b.synset(&["fly"], V, &["move"], 12);
+
+    b.synset(&["communicate"], V, &["act"], 150);
+    b.synset(&["speak", "talk"], V, &["communicate"], 25);
+    b.synset(&["sing"], V, &["communicate"], 12);
+    b.synset(&["say", "tell"], V, &["communicate"], 25);
+
+    b.synset(&["have", "own", "possess"], V, &["act"], 120);
+    b.synset(&["control"], V, &["act"], 100);
+    b.synset(&["lead", "head"], V, &["control"], 25);
+    b.synset(&["govern", "rule"], V, &["control"], 20);
+    b.synset(&["work"], V, &["act"], 40);
+    b.synset(&["study"], V, &["act"], 20);
+    b.synset(&["give"], V, &["act"], 30);
+    b.synset(&["take"], V, &["act"], 30);
+}
+
+fn adjectives(b: &mut WordNetBuilder) {
+    use WnPos::Adjective as A;
+    // A flat adjective layer; similarity between adjectives is not needed,
+    // only their attribute mapping — but synsets keep synonyms addressable.
+    b.synset(&["tall", "high"], A, &[], 20);
+    b.synset(&["long"], A, &[], 15);
+    b.synset(&["deep"], A, &[], 10);
+    b.synset(&["wide", "broad"], A, &[], 10);
+    b.synset(&["large", "big"], A, &[], 25);
+    b.synset(&["small", "little"], A, &[], 20);
+    b.synset(&["old"], A, &[], 20);
+    b.synset(&["young"], A, &[], 15);
+    b.synset(&["heavy"], A, &[], 10);
+    b.synset(&["populous"], A, &[], 5);
+    b.synset(&["alive", "living"], A, &[], 10);
+    b.synset(&["dead", "deceased"], A, &[], 10);
+
+    // JAWS-style adjective → attribute-noun pairs (paper §2.2.2:
+    // "tall" → dbont:height).
+    b.attribute("tall", "height");
+    b.attribute("high", "height");
+    b.attribute("long", "length");
+    b.attribute("deep", "depth");
+    b.attribute("wide", "width");
+    b.attribute("large", "area");
+    b.attribute("big", "area");
+    b.attribute("small", "size");
+    b.attribute("old", "age");
+    b.attribute("young", "age");
+    b.attribute("heavy", "weight");
+    b.attribute("populous", "population");
+
+    // Noun attribute aliases used by data-property matching ("population of"
+    // → populationTotal is handled by string similarity; these cover the
+    // adjective path only).
+}
+
+/// Derivationally related event noun of a verb (`bear` → `birth`,
+/// `die` → `death`) — WordNet's derivational links, used to map verbs onto
+/// data properties whose labels contain the event noun (`birth date`).
+pub fn derived_noun(verb_lemma: &str) -> Option<&'static str> {
+    Some(match verb_lemma {
+        "bear" => "birth",
+        "die" => "death",
+        "marry" => "marriage",
+        "found" | "establish" => "founding",
+        "release" | "publish" => "release",
+        "begin" | "start" => "beginning",
+        "end" => "ending",
+        "grow" => "growth",
+        "live" | "reside" => "residence",
+        "elect" => "election",
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::WnPos;
+
+    #[test]
+    fn embedded_database_builds() {
+        let wn = embedded();
+        assert!(wn.len() > 150, "expected a substantial database, got {}", wn.len());
+    }
+
+    #[test]
+    fn writer_author_are_synonyms() {
+        let wn = embedded();
+        assert_eq!(wn.lin("writer", "author", WnPos::Noun), Some(1.0));
+        assert_eq!(wn.wup("writer", "author", WnPos::Noun), Some(1.0));
+    }
+
+    #[test]
+    fn paper_thresholds_hold_for_intended_merges() {
+        // The paper merges property pairs when Lin ≥ 0.75 AND WuP ≥ 0.85.
+        let wn = embedded();
+        for (a, b) in [
+            ("writer", "author"),
+            ("film", "movie"),
+            ("location", "place"),
+            ("spouse", "partner"),
+        ] {
+            assert!(wn.lin(a, b, WnPos::Noun).unwrap() >= 0.75, "{a}/{b} lin");
+            assert!(wn.wup(a, b, WnPos::Noun).unwrap() >= 0.85, "{a}/{b} wup");
+        }
+        for (a, b) in [("live", "reside"), ("found", "establish"), ("die", "decease")] {
+            assert!(wn.lin(a, b, WnPos::Verb).unwrap() >= 0.75, "{a}/{b} lin");
+            assert!(wn.wup(a, b, WnPos::Verb).unwrap() >= 0.85, "{a}/{b} wup");
+        }
+    }
+
+    #[test]
+    fn paper_thresholds_reject_unintended_merges() {
+        let wn = embedded();
+        for (a, b) in [
+            ("writer", "director"),
+            ("birth", "death"),
+            ("height", "population"),
+            ("city", "person"),
+        ] {
+            let lin = wn.lin(a, b, WnPos::Noun).unwrap();
+            let wup = wn.wup(a, b, WnPos::Noun).unwrap();
+            assert!(
+                lin < 0.75 || wup < 0.85,
+                "{a}/{b} unexpectedly similar: lin={lin:.2} wup={wup:.2}"
+            );
+        }
+        let lin = wn.lin("write", "die", WnPos::Verb).unwrap();
+        assert!(lin < 0.75, "write/die lin={lin}");
+    }
+
+    #[test]
+    fn adjective_attributes_match_paper_example() {
+        let wn = embedded();
+        assert_eq!(wn.attribute_noun("tall"), Some("height"));
+        assert_eq!(wn.attribute_noun("populous"), Some("population"));
+        assert!(wn.attribute_pairs().count() >= 10);
+    }
+
+    #[test]
+    fn hierarchy_sanity_specific_beats_generic() {
+        let wn = embedded();
+        let wife_spouse = wn.wup("wife", "spouse", WnPos::Noun).unwrap();
+        let wife_person = wn.wup("wife", "person", WnPos::Noun).unwrap();
+        assert!(wife_spouse > wife_person);
+    }
+
+    #[test]
+    fn verbs_and_nouns_are_separate_spaces() {
+        let wn = embedded();
+        // "author" exists in both spaces; they must not interfere.
+        assert!(!wn.synsets_of("author", WnPos::Noun).is_empty());
+        assert!(!wn.synsets_of("author", WnPos::Verb).is_empty());
+        assert_eq!(wn.lin("author", "zzz", WnPos::Verb), None);
+    }
+}

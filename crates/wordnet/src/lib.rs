@@ -1,0 +1,21 @@
+//! # relpat-wordnet — mini WordNet with Lin and Wu–Palmer similarity
+//!
+//! A self-contained stand-in for WordNet + WordNet::Similarity + JAWS as the
+//! paper uses them (§2.2.1–2.2.2): synsets in a hypernym DAG with corpus
+//! counts, the **Lin** and **Wu–Palmer** similarity metrics, and the
+//! adjective → attribute-noun table (`tall` → `height`).
+//!
+//! ```
+//! use relpat_wordnet::{embedded, WnPos};
+//!
+//! let wn = embedded();
+//! // The paper's example: dbont:writer has similar meaning to dbont:author.
+//! assert_eq!(wn.lin("writer", "author", WnPos::Noun), Some(1.0));
+//! assert_eq!(wn.attribute_noun("tall"), Some("height"));
+//! ```
+
+mod data;
+mod db;
+
+pub use data::{derived_noun, embedded};
+pub use db::{Synset, SynsetId, WnPos, WordNet, WordNetBuilder};

@@ -1,0 +1,79 @@
+//! The extended system: the paper's §5/§6 future work in action.
+//!
+//! Runs the same questions through the faithful paper configuration and the
+//! extended configuration side by side, showing exactly what each extension
+//! buys (existence checks, superlatives, counts, data-property patterns).
+//!
+//! ```sh
+//! cargo run --release --example extensions_demo
+//! ```
+
+use relpat::kb::{generate, KbConfig};
+use relpat::qa::{Pipeline, Stage};
+
+fn main() {
+    println!("Building knowledge base and both pipelines…\n");
+    let kb = generate(&KbConfig::default());
+    let paper = Pipeline::new(&kb);
+    let extended = Pipeline::extended(&kb);
+
+    let showcase: &[(&str, &str)] = &[
+        (
+            "Is Frank Herbert still alive?",
+            "the paper's own §5 failure: 'alive' maps to no property; the \
+             extension compiles it to a deathDate existence check",
+        ),
+        (
+            "What is the highest mountain?",
+            "superlative: ORDER BY DESC(elevation) LIMIT 1 via the \
+             adjective→attribute map (high → height ≈ elevation)",
+        ),
+        (
+            "What is the longest river?",
+            "superlative over dbont:length",
+        ),
+        (
+            "How many books did Orhan Pamuk write?",
+            "count question compiled to SPARQL COUNT (engine extension)",
+        ),
+        (
+            "How many employees does Vertex Systems have?",
+            "count noun resolved to the numeric data property numberOfEmployees",
+        ),
+        (
+            "How many people live in Turkey?",
+            "data-property relational pattern ('$v person live in' → \
+             populationTotal) — the §5 research gap",
+        ),
+    ];
+
+    for (question, why) in showcase {
+        println!("Q: {question}");
+        println!("   ({why})");
+        let before = paper.answer(question);
+        let after = extended.answer(question);
+        println!(
+            "   paper system:    {}",
+            match before.stage {
+                Stage::Answered => before.answer_texts(&kb).join(", "),
+                stage => format!("no answer ({stage:?})"),
+            }
+        );
+        println!(
+            "   extended system: {}",
+            match after.stage {
+                Stage::Answered => after.answer_texts(&kb).join(", "),
+                stage => format!("no answer ({stage:?})"),
+            }
+        );
+        if let Some(ans) = &after.answer {
+            println!("   via {}", ans.sparql);
+        }
+        println!();
+    }
+
+    println!("A question neither system should attempt (sanity check):");
+    let q = "Which films starring James Cameron were released after 2000?";
+    let r = extended.answer(q);
+    println!("Q: {q}\n   extended system: {:?}\n", r.stage);
+}

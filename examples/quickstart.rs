@@ -1,0 +1,56 @@
+//! Quickstart: build the knowledge base, mine patterns, ask one question.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use relpat::kb::{generate, KbConfig};
+use relpat::qa::{AnswerValue, Pipeline};
+
+fn main() {
+    // 1. A deterministic DBpedia-style knowledge base (≈10k triples).
+    println!("Generating knowledge base…");
+    let kb = generate(&KbConfig::default());
+    println!("  {} triples, {} entities\n", kb.len(), kb.entity_count());
+
+    // 2. The pipeline: mines relational patterns from a synthesized corpus
+    //    and precomputes the WordNet similar-property list.
+    println!("Building QA pipeline (mining relational patterns)…");
+    let qa = Pipeline::new(&kb);
+    println!("  {} distinct patterns mined\n", qa.patterns().pattern_count());
+
+    // 3. Ask the paper's running example.
+    let question = "Which book is written by Orhan Pamuk?";
+    println!("Q: {question}");
+    let response = qa.answer(question);
+
+    // What the pipeline did, step by step:
+    if let Some(analysis) = &response.analysis {
+        println!("\nTriple bucket (§2.1):");
+        print!("{}", analysis.to_bucket_string());
+    }
+    println!("\nTop candidate queries (§2.3):");
+    for q in response.queries.iter().take(3) {
+        println!("  [{:>7.1}] {}", q.score, q.sparql);
+    }
+
+    match &response.answer {
+        Some(ans) => {
+            println!("\nA: (from {})", ans.sparql);
+            match &ans.value {
+                AnswerValue::Terms(terms) => {
+                    for t in terms {
+                        let text = t
+                            .as_iri()
+                            .and_then(|i| kb.label_of(i))
+                            .map(str::to_string)
+                            .unwrap_or_else(|| t.to_string());
+                        println!("   • {text}");
+                    }
+                }
+                AnswerValue::Boolean(b) => println!("   • {b}"),
+            }
+        }
+        None => println!("\nA: no answer (stage {:?})", response.stage),
+    }
+}

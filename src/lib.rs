@@ -1,0 +1,41 @@
+//! # relpat — Semantic Question Answering over Linked Data using Relational Patterns
+//!
+//! A from-scratch Rust reproduction of Hakimov, Tunc, Akimaliev & Dogdu
+//! (EDBT/ICDT 2013 workshops): a pipeline that translates natural-language
+//! questions into SPARQL queries over a DBpedia-style knowledge base using
+//! the question's dependency graph, string similarity, WordNet-derived
+//! property lists and PATTY-style relational patterns.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`rdf`] | `relpat-rdf` | RDF model + indexed triple store |
+//! | [`sparql`] | `relpat-sparql` | SPARQL subset engine |
+//! | [`nlp`] | `relpat-nlp` | tokenizer, POS tagger, dependency parser |
+//! | [`wordnet`] | `relpat-wordnet` | mini WordNet with Lin / Wu–Palmer |
+//! | [`patterns`] | `relpat-patterns` | PATTY-style pattern mining |
+//! | [`kb`] | `relpat-kb` | synthetic DBpedia + QALD benchmark |
+//! | [`qa`] | `relpat-qa` | the paper's QA pipeline |
+//! | [`eval`] | `relpat-eval` | Table-2 metrics, runner, ablations |
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use relpat::kb::{generate, KbConfig};
+//! use relpat::qa::Pipeline;
+//!
+//! let kb = generate(&KbConfig::default());
+//! let qa = Pipeline::new(&kb);
+//! let response = qa.answer("Which book is written by Orhan Pamuk?");
+//! println!("{:?}", response.answer);
+//! ```
+
+pub use relpat_eval as eval;
+pub use relpat_kb as kb;
+pub use relpat_nlp as nlp;
+pub use relpat_patterns as patterns;
+pub use relpat_qa as qa;
+pub use relpat_rdf as rdf;
+pub use relpat_sparql as sparql;
+pub use relpat_wordnet as wordnet;

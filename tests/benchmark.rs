@@ -1,0 +1,108 @@
+//! Benchmark-level integration: Table-2 shape and ablation ordering on the
+//! fast (tiny) configuration. The full-scale numbers live in
+//! `repro-table2`/`repro-ablations` and EXPERIMENTS.md.
+
+use relpat::eval::{run_benchmark, run_selected, Ablation};
+use relpat::kb::{evaluated_subset, generate, qald_questions, KbConfig, KnowledgeBase};
+use relpat::qa::{MappingConfig, Pipeline, PipelineConfig};
+use std::sync::OnceLock;
+
+fn kb() -> &'static KnowledgeBase {
+    static KB: OnceLock<KnowledgeBase> = OnceLock::new();
+    KB.get_or_init(|| generate(&KbConfig::tiny()))
+}
+
+#[test]
+fn benchmark_partitions_100_into_55_and_45() {
+    let questions = qald_questions(kb());
+    assert_eq!(questions.len(), 100);
+    assert_eq!(evaluated_subset(&questions).len(), 55);
+}
+
+#[test]
+fn table2_shape_holds_on_tiny_kb() {
+    let pipeline = Pipeline::new(kb());
+    let report = run_benchmark(&pipeline, &qald_questions(kb()));
+    let c = &report.counts;
+    // Paper: P 83 %, R 32 %, F1 46 %. The shape must hold at any KB scale:
+    // high precision, low-to-moderate recall, precision strictly dominant.
+    assert!(c.precision() >= 0.70, "precision {:.2}", c.precision());
+    assert!((0.20..=0.55).contains(&c.recall()), "recall {:.2}", c.recall());
+    assert!(c.precision() > c.recall());
+    assert!(c.f1() > c.recall() && c.f1() < c.precision());
+}
+
+#[test]
+fn per_question_judgements_are_consistent() {
+    let pipeline = Pipeline::new(kb());
+    let report = run_benchmark(&pipeline, &qald_questions(kb()));
+    for r in &report.results {
+        if r.correct {
+            assert!(r.answered, "q{} correct but not answered", r.id);
+            assert!(!r.answer.is_empty());
+            assert!(r.query.is_some());
+        }
+        if !r.answered {
+            assert!(r.answer.is_empty());
+            assert_ne!(r.stage, "Answered");
+        }
+    }
+}
+
+#[test]
+fn patterns_ablation_costs_recall_not_precision_shape() {
+    let kb = kb();
+    let questions = qald_questions(kb);
+    let suite: Vec<Ablation> = relpat::eval::ablation_suite()
+        .into_iter()
+        .filter(|a| matches!(a.name, "full" | "A1-no-patterns" | "A2-no-wordnet"))
+        .collect();
+    let results = run_selected(kb, &questions, &suite);
+    let full = results.iter().find(|r| r.name == "full").unwrap();
+    let no_pat = results.iter().find(|r| r.name == "A1-no-patterns").unwrap();
+    let no_wn = results.iter().find(|r| r.name == "A2-no-wordnet").unwrap();
+
+    assert!(no_pat.counts.answered < full.counts.answered,
+        "patterns must contribute coverage: {} vs {}", no_pat.counts.answered, full.counts.answered);
+    assert!(no_wn.counts.answered <= full.counts.answered);
+}
+
+#[test]
+fn threshold_sweep_is_monotone_in_coverage() {
+    // A higher string-similarity threshold can only shrink the candidate
+    // sets, so answered-question counts must be non-increasing.
+    let kb = kb();
+    let questions = qald_questions(kb);
+    let mut suite = Vec::new();
+    for (name, t) in [("lo", 0.5), ("mid", 0.7), ("hi", 0.95)] {
+        suite.push(Ablation {
+            name: if name == "lo" { "lo" } else if name == "mid" { "mid" } else { "hi" },
+            description: "sweep",
+            config: PipelineConfig {
+                mapping: MappingConfig { string_sim_threshold: t, ..MappingConfig::default() },
+                ..PipelineConfig::standard()
+            },
+        });
+    }
+    let results = run_selected(kb, &questions, &suite);
+    assert!(results[0].counts.answered >= results[1].counts.answered);
+    assert!(results[1].counts.answered >= results[2].counts.answered);
+}
+
+#[test]
+fn baselines_cover_less_than_pipeline() {
+    let kb = kb();
+    let questions = qald_questions(kb);
+    let evaluated = evaluated_subset(&questions);
+    let pipeline = Pipeline::new(kb);
+    let report = run_benchmark(&pipeline, &questions);
+
+    let template = relpat::qa::TemplateBaseline::new(kb);
+    let template_answered =
+        evaluated.iter().filter(|q| template.answer(&q.text).is_some()).count();
+    assert!(
+        template_answered < report.counts.answered,
+        "template baseline ({template_answered}) should trail the pipeline ({})",
+        report.counts.answered
+    );
+}

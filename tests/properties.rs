@@ -1,0 +1,248 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: triple-store index coherence, SPARQL-vs-naive-scan agreement,
+//! Turtle round-trips, LCS metric properties, tokenizer and lemmatizer
+//! stability, and similarity-metric bounds.
+
+use proptest::prelude::*;
+use relpat::nlp::{lemmatize, tokenize, PosTag};
+use relpat::qa::{lcs_len, lcs_score};
+use relpat::rdf::{load_turtle, to_turtle, Graph, Literal, Term, Triple};
+use relpat::sparql::query;
+use relpat::wordnet::{embedded, WnPos};
+
+// ---------------------------------------------------------------- generators
+
+fn arb_iri() -> impl Strategy<Value = Term> {
+    "[a-z]{1,6}".prop_map(|s| Term::iri(format!("http://example.org/{s}")))
+}
+
+fn arb_literal() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        "[a-zA-Z0-9 ]{0,12}".prop_map(Term::literal),
+        any::<i32>().prop_map(|n| Term::Literal(Literal::integer(n as i64))),
+        (1900i32..2100, 1u32..13, 1u32..29)
+            .prop_map(|(y, m, d)| Term::Literal(Literal::date(y, m, d))),
+    ]
+}
+
+fn arb_triple() -> impl Strategy<Value = Triple> {
+    (arb_iri(), arb_iri(), prop_oneof![arb_iri(), arb_literal()])
+        .prop_map(|(s, p, o)| Triple::new(s, p, o))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ------------------------------------------------------------- rdf store
+
+    #[test]
+    fn store_membership_matches_inserted_set(triples in prop::collection::vec(arb_triple(), 0..40)) {
+        let mut g = Graph::new();
+        for t in &triples {
+            g.insert(t);
+        }
+        // Set semantics: length equals the number of distinct triples.
+        let mut distinct = triples.clone();
+        distinct.sort();
+        distinct.dedup();
+        prop_assert_eq!(g.len(), distinct.len());
+        for t in &distinct {
+            prop_assert!(g.contains(t));
+        }
+        // Full iteration returns exactly the distinct set.
+        let mut iterated: Vec<Triple> = g.iter().collect();
+        iterated.sort();
+        prop_assert_eq!(iterated, distinct);
+    }
+
+    #[test]
+    fn store_pattern_scans_agree_with_naive_filter(
+        triples in prop::collection::vec(arb_triple(), 1..30),
+        probe in 0usize..30,
+    ) {
+        let mut g = Graph::new();
+        for t in &triples {
+            g.insert(t);
+        }
+        let probe = &triples[probe % triples.len()];
+        let all: Vec<Triple> = g.iter().collect();
+
+        // Every one of the 8 bound/unbound shapes must equal a naive filter.
+        for mask in 0..8u8 {
+            let s = (mask & 1 != 0).then_some(&probe.subject);
+            let p = (mask & 2 != 0).then_some(&probe.predicate);
+            let o = (mask & 4 != 0).then_some(&probe.object);
+            let mut expected: Vec<Triple> = all
+                .iter()
+                .filter(|t| {
+                    s.is_none_or(|x| &t.subject == x)
+                        && p.is_none_or(|x| &t.predicate == x)
+                        && o.is_none_or(|x| &t.object == x)
+                })
+                .cloned()
+                .collect();
+            expected.sort();
+            let mut got = g.triples_matching(s, p, o);
+            got.sort();
+            prop_assert_eq!(got, expected, "mask {}", mask);
+        }
+    }
+
+    #[test]
+    fn store_remove_is_inverse_of_insert(triples in prop::collection::vec(arb_triple(), 1..25)) {
+        let mut g = Graph::new();
+        for t in &triples {
+            g.insert(t);
+        }
+        for t in &triples {
+            g.remove(t);
+        }
+        prop_assert!(g.is_empty());
+        prop_assert!(g.triples_matching(None, None, None).is_empty());
+    }
+
+    // ------------------------------------------------------------------ sparql
+
+    #[test]
+    fn sparql_spo_query_agrees_with_store(triples in prop::collection::vec(arb_triple(), 1..25)) {
+        let mut g = Graph::new();
+        for t in &triples {
+            g.insert(t);
+        }
+        let sols = query(&g, "SELECT ?s ?p ?o { ?s ?p ?o }").unwrap().expect_solutions();
+        prop_assert_eq!(sols.len(), g.len());
+        // A bound-subject query returns exactly that subject's triples.
+        let subject = &triples[0].subject;
+        let q = format!("SELECT ?p ?o {{ <{}> ?p ?o }}", subject.as_iri().unwrap().as_str());
+        let bound = query(&g, &q).unwrap().expect_solutions();
+        prop_assert_eq!(bound.len(), g.triples_matching(Some(subject), None, None).len());
+    }
+
+    #[test]
+    fn sparql_limit_caps_results(
+        triples in prop::collection::vec(arb_triple(), 1..25),
+        limit in 0usize..10,
+    ) {
+        let mut g = Graph::new();
+        for t in &triples {
+            g.insert(t);
+        }
+        let sols = query(&g, &format!("SELECT ?s {{ ?s ?p ?o }} LIMIT {limit}"))
+            .unwrap()
+            .expect_solutions();
+        prop_assert!(sols.len() <= limit);
+        prop_assert_eq!(sols.len(), limit.min(g.len()));
+    }
+
+    // ------------------------------------------------------------------ turtle
+
+    #[test]
+    fn turtle_round_trip_preserves_graph(triples in prop::collection::vec(arb_triple(), 0..25)) {
+        let mut g = Graph::new();
+        for t in &triples {
+            g.insert(t);
+        }
+        let ttl = to_turtle(&g);
+        let mut g2 = Graph::new();
+        load_turtle(&mut g2, &ttl).unwrap();
+        prop_assert_eq!(g.len(), g2.len());
+        for t in g.iter() {
+            prop_assert!(g2.contains(&t), "lost {}", t);
+        }
+    }
+
+    // ------------------------------------------------------------- similarity
+
+    #[test]
+    fn lcs_is_symmetric_and_bounded(a in "[a-zA-Z]{0,14}", b in "[a-zA-Z]{0,14}") {
+        let ab = lcs_score(&a, &b);
+        let ba = lcs_score(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert!(lcs_len(&a, &b) <= a.len().min(b.len()));
+    }
+
+    #[test]
+    fn lcs_identity_scores_one(a in "[a-z]{1,14}") {
+        prop_assert_eq!(lcs_score(&a, &a), 1.0);
+        prop_assert_eq!(lcs_len(&a, &a), a.len());
+    }
+
+    #[test]
+    fn lcs_monotone_under_concatenation(a in "[a-z]{1,8}", b in "[a-z]{1,8}") {
+        // A common subsequence can only grow when one side gains characters.
+        let base = lcs_len(&a, &b);
+        let extended = lcs_len(&a, &format!("{b}{a}"));
+        prop_assert!(extended >= base);
+        prop_assert!(extended >= a.len()); // a is a subsequence of b+a
+    }
+
+    // ---------------------------------------------------------------- parser
+
+    /// The SPARQL parser must be total: random input either parses or
+    /// returns an error, never panics — and parsed queries re-render and
+    /// re-parse to the same AST (serializer round trip).
+    #[test]
+    fn sparql_parser_total_and_round_trips(s in "[A-Za-z0-9?{}<>.:/ \"=]{0,80}") {
+        if let Ok(q) = relpat::sparql::parse_query(&s) {
+            let rendered = q.to_string();
+            let reparsed = relpat::sparql::parse_query(&rendered)
+                .unwrap_or_else(|e| panic!("reparse of {rendered:?} failed: {e}"));
+            prop_assert_eq!(q, reparsed);
+        }
+    }
+
+    /// Turtle parser totality on arbitrary input.
+    #[test]
+    fn turtle_parser_total(s in "[A-Za-z0-9@<>.;, \"]{0,80}") {
+        let _ = relpat::rdf::parse_turtle(&s); // must not panic
+    }
+
+    // ----------------------------------------------------------------- nlp
+
+    #[test]
+    fn tokenizer_never_loses_alphanumerics(s in "[a-zA-Z0-9 ,.?!']{0,60}") {
+        let tokens = tokenize(&s);
+        let kept: String = tokens.join("").chars().filter(|c| c.is_alphanumeric()).collect();
+        let original: String = s.chars().filter(|c| c.is_alphanumeric()).collect();
+        prop_assert_eq!(kept, original);
+    }
+
+    #[test]
+    fn lemmatizer_is_idempotent_for_nouns(w in "[a-z]{2,12}") {
+        let once = lemmatize(&w, PosTag::Nn);
+        let twice = lemmatize(&once, PosTag::Nn);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn lemmas_are_lowercase_and_nonempty(w in "[a-zA-Z]{1,12}") {
+        for pos in [PosTag::Nn, PosTag::Nns, PosTag::Vb, PosTag::Vbd, PosTag::Jj, PosTag::In] {
+            let lemma = lemmatize(&w, pos);
+            prop_assert!(!lemma.is_empty());
+            prop_assert_eq!(lemma.clone(), lemma.to_lowercase());
+        }
+    }
+
+    // --------------------------------------------------------------- wordnet
+
+    #[test]
+    fn wordnet_metrics_bounded_and_reflexive(idx in 0usize..8) {
+        let words = ["writer", "author", "city", "person", "height", "book", "film", "place"];
+        let w = words[idx];
+        let wn = embedded();
+        prop_assert_eq!(wn.lin(w, w, WnPos::Noun), Some(1.0));
+        prop_assert_eq!(wn.wup(w, w, WnPos::Noun), Some(1.0));
+        for other in words {
+            if let (Some(lin), Some(wup)) =
+                (wn.lin(w, other, WnPos::Noun), wn.wup(w, other, WnPos::Noun))
+            {
+                prop_assert!((0.0..=1.0).contains(&lin));
+                prop_assert!((0.0..=1.0).contains(&wup));
+                // Symmetry.
+                prop_assert_eq!(wn.lin(other, w, WnPos::Noun), Some(lin));
+                prop_assert_eq!(wn.wup(other, w, WnPos::Noun), Some(wup));
+            }
+        }
+    }
+}
