@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Repository CI gate: release build, full test suite, and lint-clean clippy
+# across every target (libs, bins, tests, benches). The workspace has zero
+# external dependencies, so this runs fully offline.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "=== cargo build --release ==="
+cargo build --release
+
+echo "=== cargo test -q (workspace) ==="
+cargo test -q --workspace
+
+echo "=== cargo clippy --all-targets -- -D warnings ==="
+cargo clippy --all-targets --workspace -- -D warnings
+
+echo "CI OK"

@@ -2,7 +2,7 @@
 //! (Quality impact is measured by `repro-ablations`; this bench shows the
 //! *time* side of each trade-off on the same configurations.)
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use relpat_bench::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use relpat_eval::ablation_suite;
 use relpat_kb::{generate, KbConfig, KnowledgeBase};
 use relpat_patterns::{mine, CorpusConfig};

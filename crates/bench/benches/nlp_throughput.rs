@@ -4,7 +4,7 @@
 //! substitute must be fast enough that parsing never dominates end-to-end
 //! latency. Reports per-question cost of each layer.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use relpat_bench::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use relpat_nlp::{parse, parse_sentence, tag, tag_sentence, tokenize};
 
 fn question_batch() -> Vec<&'static str> {

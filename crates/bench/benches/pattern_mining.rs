@@ -2,7 +2,7 @@
 //! mention detection + distant supervision, store/taxonomy construction —
 //! as a function of corpus size.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use relpat_bench::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use relpat_kb::{generate, KbConfig};
 use relpat_patterns::{extract_occurrences, generate_corpus, mine, CorpusConfig, PatternStore};
 

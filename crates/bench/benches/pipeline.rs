@@ -2,7 +2,7 @@
 //! mapping (§2.2), query construction + answer extraction (§2.3) — and the
 //! full pipeline against both baselines.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use relpat_bench::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use relpat_kb::{generate, KbConfig, KnowledgeBase};
 use relpat_patterns::{mine, CorpusConfig};
 use relpat_qa::{

@@ -2,7 +2,7 @@
 //! size. Generates the synthetic DBpedia at growing scales and measures
 //! representative query shapes (the ones the QA pipeline emits).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use relpat_bench::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use relpat_kb::{generate, KbConfig};
 
 const QUERIES: &[(&str, &str)] = &[

@@ -1,0 +1,53 @@
+//! Profiles one full QALD benchmark run through the observability layer
+//! (`relpat-obs`): per-stage latency percentiles, pipeline counters, the
+//! process-global metrics snapshot, and one complete per-question trace.
+//!
+//! Run with: `cargo run --release -p relpat-bench --bin repro-profile`
+//!
+//! Flags:
+//! - `--trace "<question>"` — trace this question instead of the default
+//!   Figure-1 question;
+//! - `--json <path>` — also write the full report JSON (counts +
+//!   observability block + per-question results) to `path`.
+
+use relpat_eval::run_benchmark;
+use relpat_kb::{generate, qald_questions, KbConfig};
+use relpat_qa::Pipeline;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag_value = |flag: &str| {
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    };
+    let trace_question = flag_value("--trace")
+        .unwrap_or_else(|| "Which book is written by Orhan Pamuk?".to_string());
+    let json_path = flag_value("--json");
+
+    println!("=== Pipeline profile (observability layer) ===\n");
+    let kb = generate(&KbConfig::default());
+    println!("Knowledge base: {} triples, {} labeled entities", kb.len(), kb.entity_count());
+
+    let pipeline = Pipeline::new(&kb);
+    let questions = qald_questions(&kb);
+    let report = run_benchmark(&pipeline, &questions);
+
+    println!(
+        "Benchmark: {} questions evaluated, {} answered, {} correct\n",
+        report.counts.total, report.counts.answered, report.counts.correct
+    );
+    println!("--- Stage latency / counters (aggregated from question traces) ---\n");
+    println!("{}", report.stats.render());
+
+    println!("--- Process-global metrics snapshot ---\n");
+    let snapshot = relpat_obs::global().snapshot();
+    println!("{}", snapshot.to_json().to_pretty());
+
+    println!("\n--- Question trace: {trace_question:?} ---\n");
+    let response = pipeline.answer(&trace_question);
+    println!("{}", response.trace.to_json().to_pretty());
+
+    if let Some(path) = &json_path {
+        std::fs::write(path, report.to_json()).expect("write JSON report");
+        println!("\nJSON report written to {path}");
+    }
+}

@@ -65,6 +65,17 @@ impl Default for AnswerConfig {
     }
 }
 
+/// Execution statistics for one batch of candidate queries (feeds the
+/// per-question [`relpat_obs::QuestionTrace`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Queries actually sent to the SPARQL engine.
+    pub executed: u64,
+    /// Queries whose results survived execution + type checking (for `ASK`:
+    /// candidates that evaluated to `true`).
+    pub survived: u64,
+}
+
 /// Runs the candidate queries and picks the answer.
 ///
 /// `SELECT`: the highest-scored query whose type-checked result set is
@@ -78,32 +89,56 @@ pub fn extract_answer(
     queries: &[BuiltQuery],
     config: &AnswerConfig,
 ) -> Option<Answer> {
+    extract_answer_traced(kb, expected, ask, queries, config).0
+}
+
+/// [`extract_answer`] plus the execution statistics the trace records.
+pub fn extract_answer_traced(
+    kb: &KnowledgeBase,
+    expected: ExpectedType,
+    ask: bool,
+    queries: &[BuiltQuery],
+    config: &AnswerConfig,
+) -> (Option<Answer>, ExecStats) {
     if queries.is_empty() {
-        return None;
+        return (None, ExecStats::default());
     }
     let results = run_all(kb, queries, config);
+    let mut stats = ExecStats { executed: queries.len() as u64, survived: 0 };
 
     if ask {
+        let mut answer: Option<Answer> = None;
+        let mut first_false: Option<&BuiltQuery> = None;
         for (query, outcome) in queries.iter().zip(results.iter()) {
-            if let Outcome::Boolean(true) = outcome {
-                return Some(Answer {
-                    value: AnswerValue::Boolean(true),
-                    sparql: query.sparql.clone(),
-                    score: query.score,
-                });
+            match outcome {
+                Outcome::Boolean(true) => {
+                    stats.survived += 1;
+                    if answer.is_none() {
+                        answer = Some(Answer {
+                            value: AnswerValue::Boolean(true),
+                            sparql: query.sparql.clone(),
+                            score: query.score,
+                        });
+                    }
+                }
+                Outcome::Boolean(false) if first_false.is_none() => {
+                    first_false = Some(query);
+                }
+                _ => {}
             }
         }
         // All readings evaluated to false.
-        let any_ran = queries.iter().zip(results.iter()).find(|(_, o)| {
-            matches!(o, Outcome::Boolean(false))
+        let answer = answer.or_else(|| {
+            first_false.map(|query| Answer {
+                value: AnswerValue::Boolean(false),
+                sparql: query.sparql.clone(),
+                score: query.score,
+            })
         });
-        return any_ran.map(|(query, _)| Answer {
-            value: AnswerValue::Boolean(false),
-            sparql: query.sparql.clone(),
-            score: query.score,
-        });
+        return (answer, stats);
     }
 
+    let mut answer: Option<Answer> = None;
     for (query, outcome) in queries.iter().zip(results.iter()) {
         let Outcome::Terms(terms) = outcome else { continue };
         let filtered: Vec<Term> = terms
@@ -112,14 +147,17 @@ pub fn extract_answer(
             .cloned()
             .collect();
         if !filtered.is_empty() {
-            return Some(Answer {
-                value: AnswerValue::Terms(filtered),
-                sparql: query.sparql.clone(),
-                score: query.score,
-            });
+            stats.survived += 1;
+            if answer.is_none() {
+                answer = Some(Answer {
+                    value: AnswerValue::Terms(filtered),
+                    sparql: query.sparql.clone(),
+                    score: query.score,
+                });
+            }
         }
     }
-    None
+    (answer, stats)
 }
 
 #[derive(Debug)]
@@ -147,8 +185,8 @@ fn run_one(kb: &KnowledgeBase, query: &BuiltQuery) -> Outcome {
     }
 }
 
-/// Evaluates every query, sequentially or via crossbeam scoped threads.
-/// Results come back in input order either way, so the ranked selection is
+/// Evaluates every query, sequentially or via std scoped threads. Results
+/// come back in input order either way, so the ranked selection is
 /// deterministic.
 fn run_all(kb: &KnowledgeBase, queries: &[BuiltQuery], config: &AnswerConfig) -> Vec<Outcome> {
     if !config.parallel || queries.len() < 4 {
@@ -157,18 +195,17 @@ fn run_all(kb: &KnowledgeBase, queries: &[BuiltQuery], config: &AnswerConfig) ->
     let workers = std::thread::available_parallelism().map(usize::from).unwrap_or(4).min(8);
     let chunk = queries.len().div_ceil(workers);
     let mut results: Vec<Outcome> = Vec::with_capacity(queries.len());
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = queries
             .chunks(chunk)
             .map(|slice| {
-                scope.spawn(move |_| slice.iter().map(|q| run_one(kb, q)).collect::<Vec<_>>())
+                scope.spawn(move || slice.iter().map(|q| run_one(kb, q)).collect::<Vec<_>>())
             })
             .collect();
         for h in handles {
             results.extend(h.join().expect("query worker panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
     results
 }
 

@@ -75,14 +75,37 @@ pub fn try_answer(
     None
 }
 
-fn answered(question: &str, prior: &Response, sparql: String, value: AnswerValue) -> Response {
+fn answered(
+    mapper: &Mapper<'_>,
+    question: &str,
+    prior: &Response,
+    sparql: String,
+    value: AnswerValue,
+) -> Response {
+    let answer = Answer { value, sparql, score: 1.0 };
+    // Rebuild the trace for the upgraded stage/answer; timings, lookup
+    // deltas and execution stats from the standard attempt carry over.
+    let mut trace = crate::pipeline::trace_for(
+        mapper.kb,
+        question,
+        Stage::Answered,
+        prior.analysis.as_ref(),
+        prior.mapped.as_ref(),
+        &prior.queries,
+        Some(&answer),
+    );
+    trace.queries_executed = prior.trace.queries_executed;
+    trace.queries_survived = prior.trace.queries_survived;
+    trace.pattern_lookups = prior.trace.pattern_lookups;
+    trace.stages = prior.trace.stages.clone();
     Response {
         question: question.to_string(),
         stage: Stage::Answered,
         analysis: prior.analysis.clone(),
         mapped: prior.mapped.clone(),
         queries: prior.queries.clone(),
-        answer: Some(Answer { value, sparql, score: 1.0 }),
+        answer: Some(answer),
+        trace,
     }
 }
 
@@ -121,7 +144,7 @@ fn existence_question(
         _ => return None,
     };
     let verdict = if alive { !has_death_date } else { has_death_date };
-    Some(answered(question, prior, sparql, AnswerValue::Boolean(verdict)))
+    Some(answered(mapper, question, prior, sparql, AnswerValue::Boolean(verdict)))
 }
 
 /// Adjectives whose superlative asks for the *smallest* value.
@@ -171,8 +194,9 @@ fn superlative_question(
         mapped: None,
         queries: Vec::new(),
         answer: None,
+        trace: relpat_obs::QuestionTrace::new(question),
     };
-    Some(answered(question, &empty, sparql, AnswerValue::Terms(terms)))
+    Some(answered(mapper, question, &empty, sparql, AnswerValue::Terms(terms)))
 }
 
 /// The data property carrying attribute `attr` for instances of `class`:
@@ -273,7 +297,7 @@ fn count_question(
         let numeric =
             terms.iter().all(|t| t.as_literal().is_some_and(|l| l.is_numeric()));
         if numeric {
-            return Some(answered(question, prior, sparql, AnswerValue::Terms(terms)));
+            return Some(answered(mapper, question, prior, sparql, AnswerValue::Terms(terms)));
         }
     }
     None
@@ -319,7 +343,7 @@ fn count_by_class(
                     .and_then(Literal::as_i64)
                     .is_some_and(|n| n > 0);
                 if positive {
-                    return Some(answered(question, prior, sparql, AnswerValue::Terms(terms)));
+                    return Some(answered(mapper, question, prior, sparql, AnswerValue::Terms(terms)));
                 }
             }
         }

@@ -17,7 +17,7 @@ use relpat_kb::{normalize_label, KnowledgeBase};
 use relpat_patterns::PatternStore;
 use relpat_rdf::Iri;
 use relpat_wordnet::{derived_noun, WnPos, WordNet};
-use rustc_hash::FxHashMap;
+use relpat_obs::fx::FxHashMap;
 
 use crate::similarity::{lcs_score, property_name_score};
 use crate::triples::{PatternTriple, PredKind, PredicateSlot, QuestionAnalysis, SlotTerm};
@@ -275,6 +275,8 @@ impl Mapper<'_> {
     /// mentions in the question and (b) a global page-degree prior.
     pub fn resolve_entity(&self, text: &str, pools: &[Vec<Iri>]) -> Option<ResolvedEntity> {
         let candidates = self.entity_pool(text);
+        relpat_obs::counter!("qa.map.entity_lookups");
+        relpat_obs::counter!("qa.map.entity_candidates", candidates.len() as u64);
         if candidates.is_empty() {
             return None;
         }
@@ -339,7 +341,10 @@ impl Mapper<'_> {
                 self.pattern_candidates(lemma, &mut out);
             }
         }
-        dedup_candidates(out)
+        let out = dedup_candidates(out);
+        relpat_obs::counter!("qa.map.slots");
+        relpat_obs::counter!("qa.map.candidates", out.len() as u64);
+        out
     }
 
     /// §2.2.1: verbs against object properties by LCS score.

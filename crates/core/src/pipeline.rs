@@ -6,13 +6,16 @@
 //! paper's "not attempted" bucket).
 
 use relpat_kb::KnowledgeBase;
+use relpat_obs::fx::FxHashMap;
+use relpat_obs::{QuestionTrace, TraceAnswer, TraceCandidate, TraceTriple};
 use relpat_patterns::{mine, CorpusConfig, PatternStore};
 use relpat_wordnet::{embedded, WordNet};
-use rustc_hash::FxHashMap;
 
-use crate::answer::{extract_answer, Answer, AnswerConfig};
+use crate::answer::{extract_answer_traced, Answer, AnswerConfig, AnswerValue, ExecStats};
 use crate::extensions::ExtensionConfig;
-use crate::mapping::{similar_property_pairs, MappedQuestion, MappedTriple, Mapper, MappingConfig};
+use crate::mapping::{
+    similar_property_pairs, MappedQuestion, MappedSlot, MappedTriple, Mapper, MappingConfig,
+};
 use crate::queries::{build_queries, BuiltQuery};
 use crate::triples::{extract, QuestionAnalysis};
 
@@ -72,6 +75,10 @@ pub struct Response {
     /// Ranked candidate queries (§2.3).
     pub queries: Vec<BuiltQuery>,
     pub answer: Option<Answer>,
+    /// Structured record of the run: extracted patterns, candidate counts,
+    /// query counts, pattern-store hits/misses, per-stage durations.
+    /// Serialize with `trace.to_json()`.
+    pub trace: QuestionTrace,
 }
 
 impl Response {
@@ -85,99 +92,98 @@ impl Response {
     /// unanswered; `["true"|"false"]` for polar questions).
     pub fn answer_texts(&self, kb: &KnowledgeBase) -> Vec<String> {
         match &self.answer {
-            Some(ans) => match &ans.value {
-                crate::answer::AnswerValue::Terms(terms) => terms
-                    .iter()
-                    .map(|t| match t {
-                        relpat_rdf::Term::Iri(iri) => {
-                            kb.label_of(iri).unwrap_or(iri.local_name()).to_string()
-                        }
-                        relpat_rdf::Term::Literal(l) => l.lexical_form().to_string(),
-                        other => other.to_string(),
-                    })
-                    .collect(),
-                crate::answer::AnswerValue::Boolean(b) => vec![b.to_string()],
-            },
+            Some(ans) => answer_value_texts(kb, &ans.value),
             None => Vec::new(),
         }
     }
 
-    /// Renders a step-by-step trace of what the pipeline did — the paper's
-    /// §2 walkthrough for this question.
-    pub fn explain(&self, kb: &KnowledgeBase) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::new();
-        let _ = writeln!(out, "Question: {}", self.question);
-        match &self.analysis {
-            Some(a) => {
-                let _ = writeln!(out, "\n§2.1 Triple pattern extraction ({:?}):", a.kind);
-                out.push_str(&a.to_bucket_string());
-                let _ = writeln!(out, "Expected answer type: {:?}", a.expected);
-            }
-            None => {
-                let _ = writeln!(
-                    out,
-                    "\n§2.1 Triple pattern extraction: FAILED — question structure not covered"
-                );
-            }
-        }
-        match &self.mapped {
-            Some(m) => {
-                let _ = writeln!(out, "\n§2.2 Entity & property mapping:");
-                for t in &m.triples {
-                    match t {
-                        MappedTriple::Type { class } => {
-                            let _ = writeln!(out, "  ?x rdf:type dbont:{class}");
-                        }
-                        MappedTriple::Relation { subject, object, candidates } => {
-                            let render = |s: &crate::mapping::MappedSlot| match s {
-                                crate::mapping::MappedSlot::Var => "?x".to_string(),
-                                crate::mapping::MappedSlot::Entity(e) => {
-                                    format!("{} <{}>", e.label, e.iri.as_str())
-                                }
-                            };
-                            let _ = writeln!(
-                                out,
-                                "  [{}] —?— [{}], candidates:",
-                                render(subject),
-                                render(object)
-                            );
-                            for c in candidates.iter().take(6) {
-                                let _ = writeln!(
-                                    out,
-                                    "     dbont:{:<18} w={:<7.1} {:?}",
-                                    c.property, c.weight, c.source
-                                );
-                            }
-                        }
+    /// Renders a step-by-step walkthrough of what the pipeline did — the
+    /// paper's §2 narrative for this question.
+    ///
+    /// Defined as exactly [`QuestionTrace::render`] over [`Self::trace`],
+    /// so the explanation can never drift from the structured trace. The
+    /// `kb` parameter is kept for API stability (answer labels are resolved
+    /// into the trace when the response is built).
+    pub fn explain(&self, _kb: &KnowledgeBase) -> String {
+        self.trace.render()
+    }
+}
+
+/// Renders answer terms to display text (labels for IRIs, lexical forms for
+/// literals, `true`/`false` for booleans).
+fn answer_value_texts(kb: &KnowledgeBase, value: &AnswerValue) -> Vec<String> {
+    match value {
+        AnswerValue::Terms(terms) => terms
+            .iter()
+            .map(|t| match t {
+                relpat_rdf::Term::Iri(iri) => {
+                    kb.label_of(iri).unwrap_or(iri.local_name()).to_string()
+                }
+                relpat_rdf::Term::Literal(l) => l.lexical_form().to_string(),
+                other => other.to_string(),
+            })
+            .collect(),
+        AnswerValue::Boolean(b) => vec![b.to_string()],
+    }
+}
+
+/// Builds the derivable part of a [`QuestionTrace`] from response contents.
+/// Callers fill in execution stats, pattern-lookup deltas and stage timings.
+pub(crate) fn trace_for(
+    kb: &KnowledgeBase,
+    question: &str,
+    stage: Stage,
+    analysis: Option<&QuestionAnalysis>,
+    mapped: Option<&MappedQuestion>,
+    queries: &[BuiltQuery],
+    answer: Option<&Answer>,
+) -> QuestionTrace {
+    let mut trace = QuestionTrace::new(question);
+    trace.stage = format!("{stage:?}");
+    if let Some(a) = analysis {
+        trace.kind = Some(format!("{:?}", a.kind));
+        trace.expected = Some(format!("{:?}", a.expected));
+        trace.extraction = Some(a.to_bucket_string());
+    }
+    if let Some(m) = mapped {
+        trace.triples = m
+            .triples
+            .iter()
+            .map(|t| match t {
+                MappedTriple::Type { class } => TraceTriple {
+                    head: format!("?x rdf:type dbont:{class}"),
+                    candidates: Vec::new(),
+                },
+                MappedTriple::Relation { subject, object, candidates } => {
+                    let render = |s: &MappedSlot| match s {
+                        MappedSlot::Var => "?x".to_string(),
+                        MappedSlot::Entity(e) => format!("{} <{}>", e.label, e.iri.as_str()),
+                    };
+                    TraceTriple {
+                        head: format!("[{}] —?— [{}]", render(subject), render(object)),
+                        candidates: candidates
+                            .iter()
+                            .map(|c| TraceCandidate {
+                                property: c.property.clone(),
+                                weight: c.weight,
+                                source: format!("{:?}", c.source),
+                            })
+                            .collect(),
                     }
                 }
-            }
-            None if self.analysis.is_some() => {
-                let _ = writeln!(out, "\n§2.2 Entity & property mapping: FAILED");
-            }
-            None => {}
-        }
-        if !self.queries.is_empty() {
-            let _ = writeln!(out, "\n§2.3 Candidate queries ({}):", self.queries.len());
-            for q in self.queries.iter().take(5) {
-                let _ = writeln!(out, "  [{:>8.1}] {}", q.score, q.sparql);
-            }
-        }
-        match &self.answer {
-            Some(ans) => {
-                let _ = writeln!(out, "\nAnswer (score {:.1}):", ans.score);
-                for text in self.answer_texts(kb) {
-                    let _ = writeln!(out, "  • {text}");
-                }
-                let _ = writeln!(out, "  via {}", ans.sparql);
-            }
-            None => {
-                let _ = writeln!(out, "\nNo answer — stage {:?}", self.stage);
-            }
-        }
-        out
+            })
+            .collect();
     }
+    trace.queries_built = queries.len() as u64;
+    trace.top_queries = queries.iter().take(5).map(|q| (q.score, q.sparql.clone())).collect();
+    if let Some(ans) = answer {
+        trace.answer = Some(TraceAnswer {
+            texts: answer_value_texts(kb, &ans.value),
+            score: ans.score,
+            sparql: ans.sparql.clone(),
+        });
+    }
+    trace
 }
 
 /// The question answering system.
@@ -261,6 +267,7 @@ impl<'kb> Pipeline<'kb> {
 
     /// Answers a natural-language question.
     pub fn answer(&self, question: &str) -> Response {
+        let _timer = relpat_obs::span!("qa.total");
         let graph = relpat_nlp::parse_sentence(question);
         let response = self.standard_answer(question, &graph);
         if response.stage != Stage::Answered && self.config.extensions.any() {
@@ -277,52 +284,127 @@ impl<'kb> Pipeline<'kb> {
         response
     }
 
-    /// The paper's three-stage pipeline (no extensions).
+    /// The paper's three-stage pipeline (no extensions), instrumented: each
+    /// stage is timed into the global `qa.*` histograms and recorded in the
+    /// response's [`QuestionTrace`], and pattern-store lookups during
+    /// mapping are attributed to this question by sampling the store's
+    /// counters around the stage (accurate under the sequential
+    /// one-question-at-a-time evaluation loop).
     fn standard_answer(&self, question: &str, graph: &relpat_nlp::DepGraph) -> Response {
-        let Some(analysis) = extract(graph) else {
-            return Response {
-                question: question.to_string(),
-                stage: Stage::ExtractionFailed,
-                analysis: None,
-                mapped: None,
-                queries: Vec::new(),
-                answer: None,
-            };
+        let mut timings: Vec<(&'static str, u64)> = Vec::new();
+        let lookups_before = self.patterns.lookup_stats();
+
+        let timer = relpat_obs::span!("qa.extract");
+        let analysis = extract(graph);
+        timings.push(("extract", timer.finish()));
+        let Some(analysis) = analysis else {
+            return self.finish(
+                question,
+                Stage::ExtractionFailed,
+                None,
+                None,
+                Vec::new(),
+                None,
+                ExecStats::default(),
+                &lookups_before,
+                timings,
+            );
         };
 
-        let Some(mapped) = self.mapper().map(&analysis) else {
-            return Response {
-                question: question.to_string(),
-                stage: Stage::MappingFailed,
-                analysis: Some(analysis),
-                mapped: None,
-                queries: Vec::new(),
-                answer: None,
-            };
+        let timer = relpat_obs::span!("qa.map");
+        let mapped = self.mapper().map(&analysis);
+        timings.push(("map", timer.finish()));
+        let Some(mapped) = mapped else {
+            return self.finish(
+                question,
+                Stage::MappingFailed,
+                Some(analysis),
+                None,
+                Vec::new(),
+                None,
+                ExecStats::default(),
+                &lookups_before,
+                timings,
+            );
         };
 
+        let timer = relpat_obs::span!("qa.build");
         let queries = build_queries(self.kb, &analysis, &mapped, self.config.max_queries.max(1));
+        timings.push(("build", timer.finish()));
         if queries.is_empty() {
-            return Response {
-                question: question.to_string(),
-                stage: Stage::MappingFailed,
-                analysis: Some(analysis),
-                mapped: Some(mapped),
+            return self.finish(
+                question,
+                Stage::MappingFailed,
+                Some(analysis),
+                Some(mapped),
                 queries,
-                answer: None,
-            };
+                None,
+                ExecStats::default(),
+                &lookups_before,
+                timings,
+            );
         }
 
-        let answer =
-            extract_answer(self.kb, analysis.expected, analysis.ask, &queries, &self.config.answer);
+        let timer = relpat_obs::span!("qa.answer");
+        let (answer, exec) = extract_answer_traced(
+            self.kb,
+            analysis.expected,
+            analysis.ask,
+            &queries,
+            &self.config.answer,
+        );
+        timings.push(("answer", timer.finish()));
         let stage = if answer.is_some() { Stage::Answered } else { Stage::NoAnswer };
+        self.finish(
+            question,
+            stage,
+            Some(analysis),
+            Some(mapped),
+            queries,
+            answer,
+            exec,
+            &lookups_before,
+            timings,
+        )
+    }
+
+    /// Assembles the response plus its trace.
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        &self,
+        question: &str,
+        stage: Stage,
+        analysis: Option<QuestionAnalysis>,
+        mapped: Option<MappedQuestion>,
+        queries: Vec<BuiltQuery>,
+        answer: Option<Answer>,
+        exec: ExecStats,
+        lookups_before: &relpat_obs::PatternLookupStats,
+        timings: Vec<(&'static str, u64)>,
+    ) -> Response {
+        let mut trace = trace_for(
+            self.kb,
+            question,
+            stage,
+            analysis.as_ref(),
+            mapped.as_ref(),
+            &queries,
+            answer.as_ref(),
+        );
+        trace.queries_executed = exec.executed;
+        trace.queries_survived = exec.survived;
+        trace.pattern_lookups = self.patterns.lookup_stats().delta_since(lookups_before);
+        for (name, nanos) in timings {
+            trace.add_stage(name, nanos);
+        }
         Response {
             question: question.to_string(),
             stage,
-            analysis: Some(analysis),
-            mapped: Some(mapped),
+            analysis,
+            mapped,
             queries,
             answer,
+            trace,
         }
     }
 }

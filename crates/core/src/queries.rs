@@ -206,7 +206,7 @@ mod tests {
     use relpat_kb::{generate, KbConfig, KnowledgeBase};
     use relpat_patterns::{mine, CorpusConfig, PatternStore};
     use relpat_wordnet::embedded;
-    use rustc_hash::FxHashMap;
+    use relpat_obs::fx::FxHashMap;
     use std::sync::OnceLock;
 
     struct Fixture {

@@ -12,7 +12,6 @@
 use relpat_kb::{KnowledgeBase, QaldQuestion};
 use relpat_patterns::{mine, CorpusConfig};
 use relpat_qa::{AnswerConfig, MappingConfig, Pipeline, PipelineConfig};
-use serde::Serialize;
 
 use crate::metrics::Counts;
 use crate::runner::run_benchmark;
@@ -26,7 +25,7 @@ pub struct Ablation {
 }
 
 /// Outcome of one ablation run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AblationResult {
     pub name: String,
     pub description: String,

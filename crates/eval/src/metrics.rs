@@ -7,10 +7,10 @@
 //! coverage of the question set. We implement exactly those, plus the
 //! stricter `accuracy` (correct / total) for completeness.
 
-use serde::Serialize;
+use relpat_obs::Json;
 
 /// Aggregate counts over an evaluation run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Counts {
     /// Questions in the evaluated set.
     pub total: usize,
@@ -49,6 +49,18 @@ impl Counts {
     /// Strict accuracy: correct / total.
     pub fn accuracy(&self) -> f64 {
         ratio(self.correct, self.total)
+    }
+
+    /// Serializes counts plus the derived ratios.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("total", self.total)
+            .set("answered", self.answered)
+            .set("correct", self.correct)
+            .set("precision", Json::Num(self.precision()))
+            .set("recall", Json::Num(self.recall()))
+            .set("f1", Json::Num(self.f1()))
+            .set("accuracy", Json::Num(self.accuracy()))
     }
 
     /// Renders the paper's Table 2 row.

@@ -2,14 +2,14 @@
 //! judge answers against gold, aggregate Table-2 counts.
 
 use relpat_kb::{evaluated_subset, KnowledgeBase, QaldQuestion};
+use relpat_obs::{HistogramSummary, Json, MetricsRegistry};
 use relpat_qa::{AnswerValue, Pipeline, Stage};
 use relpat_rdf::Term;
-use serde::Serialize;
 
 use crate::metrics::Counts;
 
 /// Per-question outcome.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct QuestionResult {
     pub id: u32,
     pub text: String,
@@ -25,15 +25,79 @@ pub struct QuestionResult {
     pub query: Option<String>,
 }
 
+/// Aggregated observability over one benchmark run: per-stage latency
+/// percentiles plus pipeline counters, built from the per-question
+/// [`relpat_obs::QuestionTrace`]s (so parallel test runs cannot bleed into
+/// each other through the global registry).
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Latency digest per pipeline stage, in pipeline order
+    /// (`extract`, `map`, `build`, `answer`, `total`). Units: nanoseconds.
+    pub stage_latencies: Vec<HistogramSummary>,
+    /// Summed pipeline counters (`queries.built`, `patterns.phrase_hits`, ...).
+    pub counters: Vec<(String, u64)>,
+}
+
+impl RunStats {
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v)
+    }
+
+    pub fn stage(&self, name: &str) -> Option<&HistogramSummary> {
+        self.stage_latencies.iter().find(|h| h.name == name)
+    }
+
+    pub fn to_json(&self) -> Json {
+        let mut counters = Json::obj();
+        for (name, value) in &self.counters {
+            counters = counters.set(name, *value);
+        }
+        Json::obj().set("counters", counters).set(
+            "stage_latency_ns",
+            Json::Arr(self.stage_latencies.iter().map(HistogramSummary::to_json).collect()),
+        )
+    }
+
+    /// Renders the profile table (stage | count | p50 | p90 | p99 | max, µs).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "| stage | n | p50 µs | p90 µs | p99 µs | max µs |\n|---|---|---|---|---|---|"
+        );
+        let us = |ns: u64| ns as f64 / 1_000.0;
+        for h in &self.stage_latencies {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {:.1} | {:.1} | {:.1} | {:.1} |",
+                h.name,
+                h.count,
+                us(h.p50),
+                us(h.p90),
+                us(h.p99),
+                us(h.max)
+            );
+        }
+        let _ = writeln!(out, "\nCounters:");
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "  {name:<28} {value}");
+        }
+        out
+    }
+}
+
 /// Full evaluation report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Report {
     pub counts: Counts,
     pub results: Vec<QuestionResult>,
+    /// Stage-latency percentiles and counters aggregated over the run.
+    pub stats: RunStats,
 }
 
 /// Aggregated failure breakdown (see [`Report::error_analysis`]).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ErrorAnalysis {
     pub unanswered_by_stage: Vec<(String, usize)>,
     pub wrong_by_question_word: Vec<(String, usize)>,
@@ -41,9 +105,34 @@ pub struct ErrorAnalysis {
 
 impl Report {
     /// Writes the full report as JSON (for archiving runs and diffing
-    /// configurations).
+    /// configurations), including the observability block.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serializes")
+        let results = self
+            .results
+            .iter()
+            .map(|r| {
+                Json::obj()
+                    .set("id", r.id)
+                    .set("text", r.text.as_str())
+                    .set("stage", r.stage.as_str())
+                    .set("answered", r.answered)
+                    .set("correct", r.correct)
+                    .set("answer", r.answer.as_str())
+                    .set("gold", r.gold.as_str())
+                    .set(
+                        "query",
+                        match &r.query {
+                            Some(q) => Json::from(q.as_str()),
+                            None => Json::Null,
+                        },
+                    )
+            })
+            .collect();
+        Json::obj()
+            .set("counts", self.counts.to_json())
+            .set("observability", self.stats.to_json())
+            .set("results", Json::Arr(results))
+            .to_pretty()
     }
 
     /// Error analysis: `(stage, count)` over unanswered questions plus
@@ -128,7 +217,8 @@ fn render_terms(kb: &KnowledgeBase, terms: &[Term]) -> String {
         .join(", ")
 }
 
-/// Runs the pipeline over the evaluated (non-excluded) questions.
+/// Runs the pipeline over the evaluated (non-excluded) questions,
+/// aggregating each question's trace into the report's [`RunStats`].
 pub fn run_benchmark(
     pipeline: &Pipeline<'_>,
     questions: &[QaldQuestion],
@@ -138,9 +228,41 @@ pub fn run_benchmark(
     let mut results = Vec::with_capacity(evaluated.len());
     let mut answered = 0usize;
     let mut correct = 0usize;
+    // Local registry: aggregation stays isolated per run even when several
+    // benchmarks execute concurrently in one process.
+    let local = MetricsRegistry::new();
+    let mut counter_names: Vec<&str> = Vec::new();
+    let mut stage_order: Vec<String> = Vec::new();
 
     for q in &evaluated {
         let response = pipeline.answer(&q.text);
+        let trace = &response.trace;
+        for s in &trace.stages {
+            let key = format!("stage.{}", s.name);
+            if !stage_order.contains(&key) {
+                stage_order.push(key.clone());
+            }
+            local.histogram(&key).record(s.nanos);
+        }
+        let total_key = "stage.total".to_string();
+        if !stage_order.contains(&total_key) {
+            stage_order.push(total_key.clone());
+        }
+        local.histogram(&total_key).record(trace.total_nanos());
+        for (name, value) in [
+            ("queries.built", trace.queries_built),
+            ("queries.executed", trace.queries_executed),
+            ("queries.survived", trace.queries_survived),
+            ("patterns.phrase_hits", trace.pattern_lookups.phrase_hits),
+            ("patterns.phrase_misses", trace.pattern_lookups.phrase_misses),
+            ("patterns.word_hits", trace.pattern_lookups.word_hits),
+            ("patterns.word_misses", trace.pattern_lookups.word_misses),
+        ] {
+            if !counter_names.contains(&name) {
+                counter_names.push(name);
+            }
+            local.counter(name).add(value);
+        }
         let gold = q.gold_answers(kb);
         let (is_answered, is_correct, answer_text, query) = match (&response.answer, response.stage)
         {
@@ -168,7 +290,14 @@ pub fn run_benchmark(
         });
     }
 
-    Report { counts: Counts::new(evaluated.len(), answered, correct), results }
+    let stats = RunStats {
+        stage_latencies: stage_order.iter().map(|key| local.histogram(key).summary()).collect(),
+        counters: counter_names
+            .iter()
+            .map(|name| (name.to_string(), local.counter_value(name)))
+            .collect(),
+    };
+    Report { counts: Counts::new(evaluated.len(), answered, correct), results, stats }
 }
 
 #[cfg(test)]
@@ -282,18 +411,59 @@ mod tests {
     fn json_round_trips_counts() {
         let r = report();
         let json = r.to_json();
-        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let value = Json::parse(&json).unwrap();
         assert_eq!(
-            value["counts"]["total"].as_u64().unwrap() as usize,
+            value.get("counts").and_then(|c| c.get("total")).and_then(Json::as_u64).unwrap()
+                as usize,
             r.counts.total
         );
-        assert_eq!(value["results"].as_array().unwrap().len(), r.results.len());
+        assert_eq!(
+            value.get("results").and_then(Json::as_array).unwrap().len(),
+            r.results.len()
+        );
     }
 
     #[test]
     fn report_serializes_to_json() {
         let r = report();
-        let json = serde_json::to_string(r).unwrap();
+        let json = r.to_json();
         assert!(json.contains("\"counts\""));
+        assert!(json.contains("\"observability\""));
+    }
+
+    #[test]
+    fn report_surfaces_stage_latencies_and_counters() {
+        let r = report();
+        // Every question was traced, so each stage histogram holds at least
+        // one sample and p50 <= p99.
+        let total = r.stats.stage("stage.total").expect("total stage present");
+        assert_eq!(total.count as usize, r.counts.total);
+        assert!(total.p50 > 0, "zero p50 latency");
+        assert!(total.p50 <= total.p90 && total.p90 <= total.p99);
+        let extract = r.stats.stage("stage.extract").expect("extract stage present");
+        assert_eq!(extract.count as usize, r.counts.total);
+        // The benchmark executes queries and hits the pattern store.
+        assert!(r.stats.counter("queries.built") > 0);
+        assert!(r.stats.counter("queries.executed") > 0);
+        assert!(
+            r.stats.counter("patterns.phrase_hits") + r.stats.counter("patterns.word_hits") > 0
+        );
+        // The JSON view carries the same numbers.
+        let value = Json::parse(&r.to_json()).unwrap();
+        let obs = value.get("observability").unwrap();
+        assert_eq!(
+            obs.get("counters")
+                .and_then(|c| c.get("queries.built"))
+                .and_then(Json::as_u64)
+                .unwrap(),
+            r.stats.counter("queries.built")
+        );
+        let stages = obs.get("stage_latency_ns").and_then(Json::as_array).unwrap();
+        assert!(stages.iter().any(|s| s.get("name").and_then(Json::as_str)
+            == Some("stage.total")));
+        // Text rendering contains the percentile table.
+        let text = r.stats.render();
+        assert!(text.contains("p99"));
+        assert!(text.contains("queries.built"));
     }
 }

@@ -7,11 +7,10 @@
 //! death place, Michael Jackson born in Gary, Frank Herbert's death date),
 //! and bulk entities scale the store to a realistic size.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use relpat_obs::Rng;
 use relpat_rdf::vocab::{self, dbont, rdf, rdfs, res};
 use relpat_rdf::{Graph, Iri, Literal, Term};
-use rustc_hash::FxHashSet;
+use relpat_obs::fx::FxHashSet;
 
 use crate::kb::KnowledgeBase;
 use crate::names;
@@ -125,7 +124,7 @@ pub fn generate(config: &KbConfig) -> KnowledgeBase {
 
 struct Generator {
     config: KbConfig,
-    rng: StdRng,
+    rng: Rng,
     graph: Graph,
     used_iris: FxHashSet<String>,
     // Entity registries used for cross-links while generating.
@@ -145,7 +144,7 @@ impl Generator {
         let mut graph = Graph::new();
         Ontology::dbpedia().materialize(&mut graph);
         Generator {
-            rng: StdRng::seed_from_u64(config.seed),
+            rng: Rng::seed_from_u64(config.seed),
             config,
             graph,
             used_iris: FxHashSet::default(),
@@ -767,7 +766,7 @@ impl Generator {
 }
 
 /// Uniformly picks one IRI from a pool (disjoint-borrow-friendly helper).
-fn pick_from(rng: &mut StdRng, pool: &[Iri]) -> Iri {
+fn pick_from(rng: &mut Rng, pool: &[Iri]) -> Iri {
     pool[rng.gen_range(0..pool.len())].clone()
 }
 

@@ -3,7 +3,7 @@
 use relpat_rdf::vocab::{self, rdf, rdfs, res};
 use relpat_rdf::{Graph, Iri, Term};
 use relpat_sparql::{query, QueryResult, SparqlError};
-use rustc_hash::{FxHashMap, FxHashSet};
+use relpat_obs::fx::{FxHashMap, FxHashSet};
 
 use crate::ontology::Ontology;
 

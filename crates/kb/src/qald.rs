@@ -11,12 +11,11 @@
 //! stays consistent under any generator configuration.
 
 use relpat_rdf::Term;
-use serde::Serialize;
 
 use crate::kb::KnowledgeBase;
 
 /// Why a question is excluded from the evaluated subset (paper §3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Exclusion {
     /// Gold query requires a YAGO class (e.g. `yago:FemaleAstronauts`).
     YagoClass,
@@ -27,7 +26,7 @@ pub enum Exclusion {
 }
 
 /// One benchmark question.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct QaldQuestion {
     pub id: u32,
     pub text: String,

@@ -4,13 +4,13 @@
 
 use relpat_rdf::vocab::{dbont, res};
 use relpat_rdf::Term;
-use rustc_hash::FxHashMap;
-use serde::Serialize;
+use relpat_obs::fx::FxHashMap;
+use relpat_obs::Json;
 
 use crate::kb::KnowledgeBase;
 
 /// Aggregate statistics over a knowledge base.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct KbStats {
     pub triples: usize,
     pub entities: usize,
@@ -77,6 +77,26 @@ impl KbStats {
             .flat_map(|(_, iris)| iris.iter())
             .filter(|iri| kb.is_instance_of(iri, class))
             .count()
+    }
+
+    /// Serializes the statistics as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let counted = |pairs: &[(String, usize)]| {
+            let mut obj = Json::obj();
+            for (name, n) in pairs {
+                obj = obj.set(name, *n);
+            }
+            obj
+        };
+        Json::obj()
+            .set("triples", self.triples)
+            .set("entities", self.entities)
+            .set("instances_per_class", counted(&self.instances_per_class))
+            .set("facts_per_property", counted(&self.facts_per_property))
+            .set("degree_min", self.degree_min)
+            .set("degree_median", self.degree_median)
+            .set("degree_max", self.degree_max)
+            .set("ambiguous_labels", self.ambiguous_labels)
     }
 
     /// Renders a DBpedia-release-style summary paragraph.
@@ -169,7 +189,7 @@ mod tests {
         let s = stats.summary();
         assert!(s.contains("triples"));
         assert!(s.contains("Largest classes"));
-        assert!(serde_json::to_string(&stats).unwrap().contains("instances_per_class"));
+        assert!(stats.to_json().to_string().contains("instances_per_class"));
     }
 
     #[test]

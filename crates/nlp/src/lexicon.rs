@@ -5,7 +5,7 @@
 //! vocabulary that question sets and the synthetic corpus use. Unknown words
 //! fall through to the tagger's morphology rules.
 
-use rustc_hash::FxHashMap;
+use relpat_obs::fx::FxHashMap;
 use std::sync::OnceLock;
 
 use crate::tokens::PosTag;

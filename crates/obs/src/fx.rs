@@ -1,0 +1,122 @@
+//! Fast non-cryptographic hashing (FxHash-style), replacing the
+//! `rustc-hash` dependency so the workspace builds offline.
+//!
+//! The algorithm is the rustc/Firefox multiply-rotate-xor hash: fold each
+//! machine word of input into the state with `rotate ^ word`, then multiply
+//! by a constant with good bit dispersion. It is not DoS-resistant — every
+//! map in this workspace is keyed by trusted, internally-generated data.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// Odd constant with well-spread bits (the 64-bit FxHash multiplier).
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-rotate-xor hasher over 8-byte words.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_word(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_word(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_word(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_word(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_word(n as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(s: &str) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(s.as_bytes());
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        assert_eq!(hash_of("deathPlace"), hash_of("deathPlace"));
+        assert_ne!(hash_of("deathPlace"), hash_of("birthPlace"));
+        assert_ne!(hash_of(""), hash_of("a"));
+        assert_ne!(hash_of("ab"), hash_of("ba"));
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<String, usize> = FxHashMap::default();
+        m.insert("a".into(), 1);
+        m.insert("b".into(), 2);
+        assert_eq!(m.get("a"), Some(&1));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..1000 {
+            s.insert(i);
+        }
+        assert_eq!(s.len(), 1000);
+    }
+
+    #[test]
+    fn spread_over_buckets() {
+        // Sequential integers should not collide in the low bits en masse.
+        let mut low_bits: FxHashSet<u64> = FxHashSet::default();
+        for i in 0u64..256 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            low_bits.insert(h.finish() & 0xFF);
+        }
+        assert!(low_bits.len() > 128, "only {} distinct low bytes", low_bits.len());
+    }
+}

@@ -1,0 +1,50 @@
+//! # relpat-obs — observability substrate
+//!
+//! The measurement backbone every perf-oriented PR reports against, plus
+//! the small runtime utilities the workspace previously pulled from
+//! crates.io. The crate has **zero dependencies** (std only) so the whole
+//! workspace builds in offline/sandboxed environments.
+//!
+//! ## Observability
+//!
+//! - [`MetricsRegistry`] — thread-safe named [`Counter`]s and log-scale
+//!   latency [`Histogram`]s (p50/p90/p99 extraction), built on relaxed
+//!   atomics. A disabled registry short-circuits every record call to a
+//!   no-op without allocating.
+//! - [`Span`] / [`span!`] — RAII stage timers recording monotonic-clock
+//!   durations into a histogram on drop.
+//! - [`QuestionTrace`] — the per-question pipeline trace: extracted triple
+//!   patterns, candidate counts per slot, query counts, pattern-store
+//!   hit/miss counts and per-stage durations, serializable to JSON.
+//!
+//! ## Support utilities
+//!
+//! - [`json`] — a minimal JSON value model, writer and parser (replaces
+//!   `serde`/`serde_json`).
+//! - [`fx`] — an FxHash-style fast hasher and map/set aliases (replaces
+//!   `rustc-hash`).
+//! - [`rng`] — a small deterministic PRNG (replaces `rand` for synthetic
+//!   data generation).
+//!
+//! ## Overhead
+//!
+//! Enabled-path cost per record is one relaxed atomic load (the enabled
+//! flag) plus 1–3 relaxed `fetch_add`s; handle lookup is done once per call
+//! site (cached in a `OnceLock` by the [`counter!`]/[`span!`] macros).
+//! Disabled-path cost is the single relaxed load. Nothing allocates after
+//! handle creation, so instrumentation is cheap enough to leave on.
+
+pub mod fx;
+pub mod json;
+pub mod metrics;
+pub mod rng;
+pub mod span;
+pub mod trace;
+
+pub use json::Json;
+pub use metrics::{
+    global, Counter, Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot,
+};
+pub use rng::Rng;
+pub use span::Span;
+pub use trace::{PatternLookupStats, QuestionTrace, StageTiming, TraceAnswer, TraceCandidate, TraceTriple};

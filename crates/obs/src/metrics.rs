@@ -1,0 +1,554 @@
+//! Thread-safe metrics: named counters and log-scale latency histograms.
+//!
+//! All recording goes through relaxed atomics — no locks on the hot path.
+//! Registration (name → handle) takes a mutex once per call site; the
+//! [`counter!`](crate::counter) and [`span!`](crate::span) macros cache the
+//! handle in a `OnceLock` so steady-state cost is an enabled-flag load plus
+//! the `fetch_add`s. Disabling a registry turns every record into the flag
+//! load alone — cheap enough to leave instrumentation compiled in.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::json::Json;
+
+/// Histogram bucket layout: values `0..8` get exact buckets, then eight
+/// sub-buckets per power of two (≤ 12.5 % relative error), covering the full
+/// `u64` range in 496 buckets. Values are nanoseconds when used as latency.
+const BUCKETS: usize = 496;
+
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < 8 {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros() as usize; // ≥ 3
+        (exp - 2) * 8 + ((v >> (exp - 3)) & 7) as usize
+    }
+}
+
+/// Inclusive lower bound of a bucket (inverse of [`bucket_index`]).
+fn bucket_low(i: usize) -> u64 {
+    if i < 8 {
+        i as u64
+    } else {
+        let exp = i / 8 + 2;
+        (8 + (i % 8) as u64) << (exp - 3)
+    }
+}
+
+/// Midpoint representative value for a bucket.
+fn bucket_mid(i: usize) -> u64 {
+    let low = bucket_low(i);
+    let high = if i + 1 < BUCKETS { bucket_low(i + 1) } else { low.saturating_mul(2) };
+    low + (high - low) / 2
+}
+
+#[derive(Debug)]
+struct CounterCell {
+    name: String,
+    value: AtomicU64,
+}
+
+#[derive(Debug)]
+struct HistogramCell {
+    name: String,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: Vec<AtomicU64>,
+}
+
+impl HistogramCell {
+    fn new(name: &str) -> Self {
+        HistogramCell {
+            name: name.to_string(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn record(&self, value: u64) {
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(value, Relaxed);
+        self.max.fetch_max(value, Relaxed);
+        self.buckets[bucket_index(value)].fetch_add(1, Relaxed);
+    }
+
+    fn summary(&self) -> HistogramSummary {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        let percentile = |q: f64| -> u64 {
+            if total == 0 {
+                return 0;
+            }
+            // Exclusive rank (`floor(q·N)+1`): with 100 samples, p99 is the
+            // 100th order statistic, so a 1% slow tail is visible rather
+            // than rounded away. The epsilon guards against `0.99 * 100`
+            // landing just below an integer in floating point.
+            let rank = ((q * total as f64 + 1e-9).floor() as u64 + 1).clamp(1, total);
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return bucket_mid(i);
+                }
+            }
+            bucket_mid(BUCKETS - 1)
+        };
+        let sum = self.sum.load(Relaxed);
+        let max = self.max.load(Relaxed);
+        // Bucket midpoints can overshoot the true extremum by up to half a
+        // bucket; clamping keeps `p99 <= max` in every report.
+        let clamped = |q: f64| percentile(q).min(max.max(1));
+        HistogramSummary {
+            name: self.name.clone(),
+            count: total,
+            sum,
+            mean: if total == 0 { 0.0 } else { sum as f64 / total as f64 },
+            max,
+            p50: if total == 0 { 0 } else { clamped(0.50) },
+            p90: if total == 0 { 0 } else { clamped(0.90) },
+            p99: if total == 0 { 0 } else { clamped(0.99) },
+        }
+    }
+
+    fn reset(&self) {
+        self.count.store(0, Relaxed);
+        self.sum.store(0, Relaxed);
+        self.max.store(0, Relaxed);
+        for b in &self.buckets {
+            b.store(0, Relaxed);
+        }
+    }
+}
+
+/// Cheap cloneable handle to a registered counter.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    enabled: Arc<AtomicBool>,
+    cell: Arc<CounterCell>,
+}
+
+impl Counter {
+    /// Adds `n`; a single relaxed `fetch_add` (no-op when disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if self.enabled.load(Relaxed) {
+            self.cell.value.fetch_add(n, Relaxed);
+        }
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.cell.value.load(Relaxed)
+    }
+
+    pub fn name(&self) -> &str {
+        &self.cell.name
+    }
+}
+
+/// Cheap cloneable handle to a registered histogram.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    enabled: Arc<AtomicBool>,
+    cell: Arc<HistogramCell>,
+}
+
+impl Histogram {
+    /// Records one observation (no-op when disabled).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if self.enabled.load(Relaxed) {
+            self.cell.record(value);
+        }
+    }
+
+    /// True when recording is live (used by [`Span`](crate::Span) to skip
+    /// the clock read entirely).
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Relaxed)
+    }
+
+    /// Point-in-time percentile summary.
+    pub fn summary(&self) -> HistogramSummary {
+        self.cell.summary()
+    }
+
+    pub fn name(&self) -> &str {
+        &self.cell.name
+    }
+}
+
+/// Point-in-time histogram digest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    pub name: String,
+    pub count: u64,
+    pub sum: u64,
+    pub mean: f64,
+    pub max: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+}
+
+impl HistogramSummary {
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("name", self.name.as_str())
+            .set("count", self.count)
+            .set("sum", self.sum)
+            .set("mean", Json::Num(self.mean))
+            .set("max", self.max)
+            .set("p50", self.p50)
+            .set("p90", self.p90)
+            .set("p99", self.p99)
+    }
+}
+
+/// Registry of named counters and histograms.
+///
+/// Handles returned by [`counter`](Self::counter)/[`histogram`](Self::histogram)
+/// stay valid for the registry's lifetime and share its enabled flag.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    enabled: Arc<AtomicBool>,
+    counters: Mutex<Vec<Arc<CounterCell>>>,
+    histograms: Mutex<Vec<Arc<HistogramCell>>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// An enabled registry.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            enabled: Arc::new(AtomicBool::new(true)),
+            counters: Mutex::new(Vec::new()),
+            histograms: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A registry whose every record call is a no-op (the zero-overhead
+    /// "off" configuration).
+    pub fn disabled() -> Self {
+        let r = Self::new();
+        r.set_enabled(false);
+        r
+    }
+
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Relaxed);
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Relaxed)
+    }
+
+    /// Handle to the named counter, registering it on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut counters = self.counters.lock().expect("metrics lock");
+        let cell = match counters.iter().find(|c| c.name == name) {
+            Some(cell) => Arc::clone(cell),
+            None => {
+                let cell =
+                    Arc::new(CounterCell { name: name.to_string(), value: AtomicU64::new(0) });
+                counters.push(Arc::clone(&cell));
+                cell
+            }
+        };
+        Counter { enabled: Arc::clone(&self.enabled), cell }
+    }
+
+    /// Handle to the named histogram, registering it on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut histograms = self.histograms.lock().expect("metrics lock");
+        let cell = match histograms.iter().find(|h| h.name == name) {
+            Some(cell) => Arc::clone(cell),
+            None => {
+                let cell = Arc::new(HistogramCell::new(name));
+                histograms.push(Arc::clone(&cell));
+                cell
+            }
+        };
+        Histogram { enabled: Arc::clone(&self.enabled), cell }
+    }
+
+    /// RAII timer recording into the named histogram on drop.
+    pub fn span(&self, name: &str) -> crate::Span {
+        crate::Span::from_handle(self.histogram(name))
+    }
+
+    /// Current value of a counter (0 if never registered).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters
+            .lock()
+            .expect("metrics lock")
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value.load(Relaxed))
+    }
+
+    /// Snapshot of every registered metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters: Vec<(String, u64)> = self
+            .counters
+            .lock()
+            .expect("metrics lock")
+            .iter()
+            .map(|c| (c.name.clone(), c.value.load(Relaxed)))
+            .collect();
+        counters.sort();
+        let mut histograms: Vec<HistogramSummary> = self
+            .histograms
+            .lock()
+            .expect("metrics lock")
+            .iter()
+            .map(|h| h.summary())
+            .collect();
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsSnapshot { counters, histograms }
+    }
+
+    /// Zeroes every metric (keeps registrations and handles alive).
+    pub fn reset(&self) {
+        for c in self.counters.lock().expect("metrics lock").iter() {
+            c.value.store(0, Relaxed);
+        }
+        for h in self.histograms.lock().expect("metrics lock").iter() {
+            h.reset();
+        }
+    }
+}
+
+/// Point-in-time copy of a registry's metrics.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub histograms: Vec<HistogramSummary>,
+}
+
+impl MetricsSnapshot {
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v)
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    pub fn to_json(&self) -> Json {
+        let mut counters = Json::obj();
+        for (name, value) in &self.counters {
+            counters = counters.set(name, *value);
+        }
+        Json::obj()
+            .set("counters", counters)
+            .set(
+                "histograms",
+                Json::Arr(self.histograms.iter().map(HistogramSummary::to_json).collect()),
+            )
+    }
+}
+
+/// The process-wide registry the [`counter!`](crate::counter) and
+/// [`span!`](crate::span) macros record into. Enabled by default.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// Increments a named counter on the global registry, caching the handle at
+/// the call site.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {
+        $crate::counter!($name, 1)
+    };
+    ($name:expr, $n:expr) => {{
+        static HANDLE: std::sync::OnceLock<$crate::Counter> = std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::global().counter($name)).add($n as u64);
+    }};
+}
+
+/// RAII stage timer on the global registry: `let _g = span!("stage.map");`
+/// records the guard's lifetime into the named histogram (nanoseconds).
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {{
+        static HANDLE: std::sync::OnceLock<$crate::Histogram> = std::sync::OnceLock::new();
+        $crate::Span::from_handle(HANDLE.get_or_init(|| $crate::global().histogram($name)).clone())
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_monotone_and_invertible() {
+        let mut last = 0;
+        for v in [0u64, 1, 5, 7, 8, 9, 100, 1000, 4096, 1 << 20, u64::MAX / 2] {
+            let i = bucket_index(v);
+            assert!(i >= last || v < 8, "index regressed at {v}");
+            last = i;
+            assert!(bucket_low(i) <= v, "low({i}) = {} > {v}", bucket_low(i));
+            if i + 1 < BUCKETS {
+                assert!(bucket_low(i + 1) > v, "next bucket too low for {v}");
+            }
+        }
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn histogram_percentiles_on_known_distribution() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("lat");
+        // 1..=1000 uniformly: p50 ≈ 500, p90 ≈ 900, p99 ≈ 990.
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.sum, 500_500);
+        let within = |got: u64, want: f64| {
+            let err = (got as f64 - want).abs() / want;
+            assert!(err <= 0.15, "got {got}, want ~{want}");
+        };
+        within(s.p50, 500.0);
+        within(s.p90, 900.0);
+        within(s.p99, 990.0);
+        assert!((s.mean - 500.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn histogram_percentiles_on_skewed_distribution() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("skew");
+        // 99 fast ops at ~10ns, 1 slow at ~1ms: p50 near 10, p99 sees it;
+        // the single outlier dominates max.
+        for _ in 0..99 {
+            h.record(10);
+        }
+        h.record(1_000_000);
+        let s = h.summary();
+        assert!(s.p50 <= 12, "{}", s.p50);
+        assert!(s.p99 >= 900_000, "{}", s.p99);
+        assert_eq!(s.max, 1_000_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let r = MetricsRegistry::new();
+        let s = r.histogram("never").summary();
+        assert_eq!((s.count, s.p50, s.p90, s.p99, s.max), (0, 0, 0, 0, 0));
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_all_land() {
+        let r = Arc::new(MetricsRegistry::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = r.counter("hits");
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    c.inc();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.counter_value("hits"), 80_000);
+    }
+
+    #[test]
+    fn concurrent_histogram_records_all_land() {
+        let r = Arc::new(MetricsRegistry::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let h = r.histogram("lat");
+            handles.push(std::thread::spawn(move || {
+                for i in 0..5_000u64 {
+                    h.record(t * 1000 + i % 100);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.histogram("lat").summary().count, 20_000);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let r = MetricsRegistry::disabled();
+        let c = r.counter("c");
+        let h = r.histogram("h");
+        c.add(5);
+        h.record(100);
+        assert_eq!(c.value(), 0);
+        assert_eq!(h.summary().count, 0);
+        // Re-enabling makes the same handles live.
+        r.set_enabled(true);
+        c.add(5);
+        h.record(100);
+        assert_eq!(c.value(), 5);
+        assert_eq!(h.summary().count, 1);
+    }
+
+    #[test]
+    fn handles_are_shared_by_name() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("same");
+        let b = r.counter("same");
+        a.inc();
+        b.inc();
+        assert_eq!(r.counter_value("same"), 2);
+        assert_eq!(r.snapshot().counters.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_and_reset() {
+        let r = MetricsRegistry::new();
+        r.counter("a").add(3);
+        r.histogram("h").record(7);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("a"), 3);
+        assert_eq!(snap.histogram("h").unwrap().count, 1);
+        let json = snap.to_json().to_string();
+        assert!(json.contains("\"a\":3"), "{json}");
+        r.reset();
+        assert_eq!(r.counter_value("a"), 0);
+        assert_eq!(r.histogram("h").summary().count, 0);
+    }
+
+    #[test]
+    fn macros_record_into_global() {
+        let before = global().counter_value("obs.test.macro");
+        crate::counter!("obs.test.macro");
+        crate::counter!("obs.test.macro", 4);
+        assert_eq!(global().counter_value("obs.test.macro"), before + 5);
+        {
+            let _g = crate::span!("obs.test.span");
+        }
+        assert!(global().histogram("obs.test.span").summary().count >= 1);
+    }
+}

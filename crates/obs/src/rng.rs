@@ -1,0 +1,161 @@
+//! Deterministic PRNG for synthetic-data generation, replacing the `rand`
+//! dependency so the workspace builds offline.
+//!
+//! `xoshiro256++` seeded through SplitMix64 — the textbook combination: the
+//! seed expander guarantees a well-mixed nonzero state from any `u64`, and
+//! the generator passes the standard statistical batteries. Nothing here is
+//! cryptographic; the workspace only uses it to synthesize KB entities and
+//! corpus noise, where the requirements are determinism and uniformity.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic pseudo-random generator (`xoshiro256++`).
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: [u64; 4],
+}
+
+impl Rng {
+    /// Builds a generator whose entire stream is a function of `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion: four decorrelated words from one seed.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Rng { state: [next(), next(), next(), next()] }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let s2 = s2 ^ s0;
+        let s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        self.state = [s0, s1, s2 ^ t, s3.rotate_left(45)];
+        result
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// True with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Uniform sample from an integer or float range, mirroring `rand`'s
+    /// `Rng::gen_range` call shape (`rng.gen_range(1..=12)`) — the output
+    /// type parameter drives integer-literal inference exactly like
+    /// `rand`'s `SampleRange<T>` does.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
+
+/// Ranges that can be sampled by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut Rng) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (lo as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(i32, u32, i64, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut Rng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(43);
+        assert_ne!(Rng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..2000 {
+            let v = rng.gen_range(3..10);
+            assert!((3..10).contains(&v));
+            let w = rng.gen_range(1..=12u32);
+            assert!((1..=12).contains(&w));
+            let f = rng.gen_range(1.5..2.05f64);
+            assert!((1.5..2.05).contains(&f));
+            let neg = rng.gen_range(-20i64..-3);
+            assert!((-20..-3).contains(&neg));
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_both_endpoints() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..=2)] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = Rng::seed_from_u64(99);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "{hits}");
+        assert!(!Rng::seed_from_u64(0).gen_bool(0.0));
+        assert!(Rng::seed_from_u64(0).gen_bool(1.0));
+    }
+
+    #[test]
+    fn uniformity_over_small_range() {
+        let mut rng = Rng::seed_from_u64(5);
+        let mut counts = [0usize; 8];
+        for _ in 0..8_000 {
+            counts[rng.gen_range(0usize..8)] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "{counts:?}");
+        }
+    }
+}

@@ -8,8 +8,7 @@
 //! `deathPlace` relation — our noise injection reproduces exactly that
 //! class of error).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use relpat_obs::Rng;
 use relpat_kb::KnowledgeBase;
 use relpat_rdf::vocab::{dbont, res};
 use relpat_rdf::Term;
@@ -171,7 +170,7 @@ fn confusable(property: &str) -> &'static [&'static str] {
 
 /// Synthesizes the corpus from every object-property fact in the KB.
 pub fn generate_corpus(kb: &KnowledgeBase, config: &CorpusConfig) -> Vec<Sentence> {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     let mut out = Vec::new();
     for prop_def in &kb.ontology.object_properties {
         let templates = templates_for(prop_def.name);

@@ -11,7 +11,7 @@ use relpat_kb::{normalize_label, KnowledgeBase};
 use relpat_nlp::{tag, tokenize, PosTag};
 use relpat_rdf::vocab::dbont;
 use relpat_rdf::{Iri, Term};
-use rustc_hash::FxHashMap;
+use relpat_obs::fx::FxHashMap;
 
 use crate::corpus::Sentence;
 

@@ -9,7 +9,10 @@
 //!   paper's "the word *die* may occur in many forms in pattern texts; we
 //!   count all occurrences and assign it as a frequency value".
 
-use rustc_hash::FxHashMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use relpat_obs::fx::FxHashMap;
+use relpat_obs::PatternLookupStats;
 
 use crate::extract::Occurrence;
 
@@ -28,11 +31,20 @@ pub struct PropertyFreq {
 }
 
 /// Immutable pattern store built from extraction output.
+///
+/// Lookups keep running hit/miss tallies (relaxed atomics, so `&self`
+/// lookups stay lock-free); [`lookup_stats`](Self::lookup_stats) exposes
+/// them and the QA pipeline samples deltas around the mapping stage to
+/// attribute lookups to individual question traces.
 #[derive(Debug, Default)]
 pub struct PatternStore {
     phrase_index: FxHashMap<String, Vec<PropertyFreq>>,
     word_index: FxHashMap<String, Vec<PropertyFreq>>,
     pattern_count: usize,
+    phrase_hits: AtomicU64,
+    phrase_misses: AtomicU64,
+    word_hits: AtomicU64,
+    word_misses: AtomicU64,
 }
 
 impl PatternStore {
@@ -67,19 +79,48 @@ impl PatternStore {
             phrase_index: phrase.into_iter().map(|(k, v)| (k, sorted(v))).collect(),
             word_index: word.into_iter().map(|(k, v)| (k, sorted(v))).collect(),
             pattern_count,
+            ..PatternStore::default()
         }
     }
 
     /// Property candidates for a full normalized pattern, most frequent
     /// first.
     pub fn candidates_for_phrase(&self, pattern: &str) -> &[PropertyFreq] {
-        self.phrase_index.get(pattern).map(Vec::as_slice).unwrap_or(&[])
+        match self.phrase_index.get(pattern) {
+            Some(v) => {
+                self.phrase_hits.fetch_add(1, Relaxed);
+                v.as_slice()
+            }
+            None => {
+                self.phrase_misses.fetch_add(1, Relaxed);
+                &[]
+            }
+        }
     }
 
     /// Property candidates for a single (lemmatized) word, most frequent
     /// first — the lookup the paper's predicate mapping uses.
     pub fn candidates_for_word(&self, word: &str) -> &[PropertyFreq] {
-        self.word_index.get(word).map(Vec::as_slice).unwrap_or(&[])
+        match self.word_index.get(word) {
+            Some(v) => {
+                self.word_hits.fetch_add(1, Relaxed);
+                v.as_slice()
+            }
+            None => {
+                self.word_misses.fetch_add(1, Relaxed);
+                &[]
+            }
+        }
+    }
+
+    /// Cumulative hit/miss counts over this store's lifetime.
+    pub fn lookup_stats(&self) -> PatternLookupStats {
+        PatternLookupStats {
+            phrase_hits: self.phrase_hits.load(Relaxed),
+            phrase_misses: self.phrase_misses.load(Relaxed),
+            word_hits: self.word_hits.load(Relaxed),
+            word_misses: self.word_misses.load(Relaxed),
+        }
     }
 
     /// Number of distinct normalized patterns.
@@ -189,6 +230,23 @@ mod tests {
         let store = paper_store();
         assert!(store.candidates_for_phrase("fly over").is_empty());
         assert!(store.candidates_for_word("zzz").is_empty());
+    }
+
+    #[test]
+    fn lookup_stats_count_hits_and_misses() {
+        let store = paper_store();
+        assert_eq!(store.lookup_stats(), PatternLookupStats::default());
+        store.candidates_for_phrase("die in");
+        store.candidates_for_phrase("fly over");
+        store.candidates_for_word("die");
+        store.candidates_for_word("die");
+        store.candidates_for_word("zzz");
+        let s = store.lookup_stats();
+        assert_eq!(s.phrase_hits, 1);
+        assert_eq!(s.phrase_misses, 1);
+        assert_eq!(s.word_hits, 2);
+        assert_eq!(s.word_misses, 1);
+        assert_eq!(s.total(), 5);
     }
 
     #[test]

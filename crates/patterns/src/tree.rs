@@ -7,7 +7,7 @@
 //! answers the set-intersection queries the subsumption computation needs
 //! (paper §2.2.3's summary of Nakashole et al.).
 
-use rustc_hash::{FxHashMap, FxHashSet};
+use relpat_obs::fx::{FxHashMap, FxHashSet};
 
 /// Relationship between two patterns' support sets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

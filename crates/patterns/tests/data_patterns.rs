@@ -2,8 +2,8 @@
 //! the extended system closes — plus property-based invariants on the
 //! pattern store and support-set tree.
 
-use proptest::prelude::*;
 use relpat_kb::{generate, KbConfig, KnowledgeBase};
+use relpat_obs::Rng;
 use relpat_patterns::{
     extract_occurrences, generate_corpus, mine, CorpusConfig, Occurrence, PatternStore,
     PatternTree, Sentence,
@@ -95,72 +95,66 @@ fn handcrafted_sentence_with_matching_value_is_supervised() {
     );
 }
 
-// ------------------------------------------------------------- proptests
+// --------------------------------------------- randomized invariant sweeps
+// (Formerly proptest; now seeded deterministic cases via `relpat_obs::Rng`.)
 
-fn arb_occurrence() -> impl Strategy<Value = Occurrence> {
-    (
-        prop_oneof![
-            Just("die in"),
-            Just("bear in"),
-            Just("write by"),
-            Just("$v meter tall"),
-        ],
-        prop_oneof![
-            Just("deathPlace"),
-            Just("birthPlace"),
-            Just("author"),
-            Just("height"),
-        ],
-        any::<bool>(),
-        any::<bool>(),
-        0u32..50,
-    )
-        .prop_map(|(pattern, property, inverse, is_data, pair)| Occurrence {
-            pattern: pattern.to_string(),
-            property: property.to_string(),
-            inverse,
-            is_data,
-            pair: (
-                relpat_rdf::Iri::new(format!("http://e/{pair}a")),
-                relpat_rdf::Iri::new(format!("http://e/{pair}b")),
-            ),
-        })
+fn arb_occurrence(rng: &mut Rng) -> Occurrence {
+    let patterns = ["die in", "bear in", "write by", "$v meter tall"];
+    let properties = ["deathPlace", "birthPlace", "author", "height"];
+    let pair = rng.gen_range(0u32..50);
+    Occurrence {
+        pattern: patterns[rng.gen_range(0usize..patterns.len())].to_string(),
+        property: properties[rng.gen_range(0usize..properties.len())].to_string(),
+        inverse: rng.gen_bool(0.5),
+        is_data: rng.gen_bool(0.5),
+        pair: (
+            relpat_rdf::Iri::new(format!("http://e/{pair}a")),
+            relpat_rdf::Iri::new(format!("http://e/{pair}b")),
+        ),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Store invariant: word-index frequencies are sums over the phrase
-    /// index, and every candidate list is sorted by descending frequency.
-    #[test]
-    fn store_frequencies_consistent(occs in prop::collection::vec(arb_occurrence(), 0..80)) {
+/// Store invariant: word-index frequencies are sums over the phrase
+/// index, and every candidate list is sorted by descending frequency.
+#[test]
+fn store_frequencies_consistent() {
+    for case in 0..48u64 {
+        let mut rng = Rng::seed_from_u64(0x57_0e + case);
+        let n = rng.gen_range(0usize..80);
+        let occs: Vec<Occurrence> = (0..n).map(|_| arb_occurrence(&mut rng)).collect();
         let store = PatternStore::from_occurrences(&occs);
         for (_, candidates) in store.patterns() {
             for w in candidates.windows(2) {
-                prop_assert!(w[0].freq >= w[1].freq);
+                assert!(w[0].freq >= w[1].freq);
             }
             let total: u64 = candidates.iter().map(|c| c.freq).sum();
-            prop_assert!(total as usize <= occs.len());
+            assert!(total as usize <= occs.len());
         }
         // Phrase totals equal occurrence totals.
         let phrase_total: u64 = store
             .patterns()
             .flat_map(|(_, cs)| cs.iter().map(|c| c.freq))
             .sum();
-        prop_assert_eq!(phrase_total as usize, occs.len());
+        assert_eq!(phrase_total as usize, occs.len());
     }
+}
 
-    /// Tree invariant: support size never exceeds insert count, and
-    /// subsumption at overlap 1.0 is antisymmetric for distinct supports.
-    #[test]
-    fn tree_support_and_subsumption(pairs in prop::collection::vec((0u32..20, any::<bool>()), 1..60)) {
+/// Tree invariant: support size never exceeds insert count, and
+/// subsumption at overlap 1.0 is antisymmetric for distinct supports.
+#[test]
+fn tree_support_and_subsumption() {
+    for case in 0..48u64 {
+        let mut rng = Rng::seed_from_u64(0x7e_ee + case);
+        let n = rng.gen_range(1usize..60);
+        let pairs: Vec<(u32, bool)> =
+            (0..n).map(|_| (rng.gen_range(0u32..20), rng.gen_bool(0.5))).collect();
         let mut tree = PatternTree::new();
         for (pair, which) in &pairs {
             tree.insert(if *which { "die in" } else { "bear in" }, *pair);
         }
         for pattern in ["die in", "bear in"] {
             if let Some(s) = tree.support(pattern) {
-                prop_assert!(s.len() <= pairs.len());
+                assert!(s.len() <= pairs.len());
             }
         }
         if tree.support("die in").is_some() && tree.support("bear in").is_some() {
@@ -170,7 +164,7 @@ proptest! {
             match (ab, ba) {
                 (Equivalent, Equivalent) | (Independent, Independent) => {}
                 (SubsumedBy, Subsumes) | (Subsumes, SubsumedBy) => {}
-                other => prop_assert!(false, "inconsistent subsumption {other:?}"),
+                other => panic!("inconsistent subsumption {other:?}"),
             }
         }
     }

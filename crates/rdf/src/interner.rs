@@ -6,7 +6,7 @@
 //! keys, which keeps them small and makes range scans cache-friendly (see the
 //! "Type Sizes" guidance in the Rust Performance Book).
 
-use rustc_hash::FxHashMap;
+use relpat_obs::fx::FxHashMap;
 
 use crate::term::Term;
 

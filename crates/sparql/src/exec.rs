@@ -7,7 +7,7 @@
 use std::cmp::Ordering;
 
 use relpat_rdf::{Graph, IdPattern, Term, TermId};
-use rustc_hash::FxHashMap;
+use relpat_obs::fx::FxHashMap;
 
 use crate::ast::{
     ArithOp, CmpOp, Expr, GraphPattern, Projection, Query, SelectQuery, TriplePattern,
@@ -41,9 +41,19 @@ impl QueryResult {
 }
 
 /// Executes a parsed query against a graph.
+///
+/// Each call increments `sparql.queries`, adds produced rows to
+/// `sparql.solutions` and records its latency in the `sparql.execute`
+/// histogram on the global [`relpat_obs`] registry (no-ops when disabled).
 pub fn execute(graph: &Graph, query: &Query) -> Result<QueryResult, SparqlError> {
+    let _timer = relpat_obs::span!("sparql.execute");
+    relpat_obs::counter!("sparql.queries");
     match query {
-        Query::Select(sel) => execute_select(graph, sel).map(QueryResult::Solutions),
+        Query::Select(sel) => {
+            let sols = execute_select(graph, sel)?;
+            relpat_obs::counter!("sparql.solutions", sols.rows.len() as u64);
+            Ok(QueryResult::Solutions(sols))
+        }
         Query::Ask(ask) => {
             let bindings = evaluate_pattern(graph, &ask.pattern, Some(1))?;
             Ok(QueryResult::Boolean(!bindings.rows.is_empty()))
@@ -263,6 +273,8 @@ fn join_triples(
 ) -> Vec<Vec<Option<TermId>>> {
     let order = plan(graph, triples, var_index);
     let mut bindings = initial;
+    // Tallied locally and flushed once — one atomic add per join, not per row.
+    let mut scanned: u64 = 0;
     for &pat_idx in &order {
         let tp = &triples[pat_idx];
         let mut next: Vec<Vec<Option<TermId>>> = Vec::new();
@@ -271,6 +283,7 @@ fn join_triples(
                 BoundPattern::NoMatch => {}
                 BoundPattern::Scan(id_pattern, slots) => {
                     for (s, p, o) in graph.scan(id_pattern) {
+                        scanned += 1;
                         let mut extended = binding.clone();
                         if extend(&mut extended, &slots, s, p, o) {
                             next.push(extended);
@@ -284,6 +297,7 @@ fn join_triples(
             break;
         }
     }
+    relpat_obs::counter!("sparql.rows_scanned", scanned);
     bindings
 }
 

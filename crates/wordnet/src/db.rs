@@ -11,7 +11,7 @@
 //! - **Wu–Palmer**: `2·depth(lcs) / (depth(a) + depth(b))` with depth counted
 //!   from the per-POS virtual root (root depth = 1).
 
-use rustc_hash::FxHashMap;
+use relpat_obs::fx::FxHashMap;
 
 /// Part of speech of a synset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

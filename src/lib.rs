@@ -18,6 +18,7 @@
 //! | [`kb`] | `relpat-kb` | synthetic DBpedia + QALD benchmark |
 //! | [`qa`] | `relpat-qa` | the paper's QA pipeline |
 //! | [`eval`] | `relpat-eval` | Table-2 metrics, runner, ablations |
+//! | [`obs`] | `relpat-obs` | tracing, metrics, per-question traces |
 //!
 //! ## Quickstart
 //!
@@ -34,6 +35,7 @@
 pub use relpat_eval as eval;
 pub use relpat_kb as kb;
 pub use relpat_nlp as nlp;
+pub use relpat_obs as obs;
 pub use relpat_patterns as patterns;
 pub use relpat_qa as qa;
 pub use relpat_rdf as rdf;

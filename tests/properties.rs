@@ -1,42 +1,79 @@
-//! Property-based tests (proptest) over the core data structures and
-//! invariants: triple-store index coherence, SPARQL-vs-naive-scan agreement,
-//! Turtle round-trips, LCS metric properties, tokenizer and lemmatizer
-//! stability, and similarity-metric bounds.
+//! Randomized invariant tests over the core data structures: triple-store
+//! index coherence, SPARQL-vs-naive-scan agreement, Turtle round-trips, LCS
+//! metric properties, tokenizer and lemmatizer stability, and
+//! similarity-metric bounds.
+//!
+//! Formerly proptest-based; now driven by the in-tree deterministic PRNG
+//! (`relpat::obs::Rng`) so the workspace carries no external dependencies.
+//! Each test sweeps a fixed number of seeded cases — failures are perfectly
+//! reproducible because every input derives from the case index.
 
-use proptest::prelude::*;
 use relpat::nlp::{lemmatize, tokenize, PosTag};
+use relpat::obs::Rng;
 use relpat::qa::{lcs_len, lcs_score};
 use relpat::rdf::{load_turtle, to_turtle, Graph, Literal, Term, Triple};
 use relpat::sparql::query;
 use relpat::wordnet::{embedded, WnPos};
 
+const CASES: u64 = 64;
+
 // ---------------------------------------------------------------- generators
 
-fn arb_iri() -> impl Strategy<Value = Term> {
-    "[a-z]{1,6}".prop_map(|s| Term::iri(format!("http://example.org/{s}")))
+fn arb_lower_word(rng: &mut Rng, min: usize, max: usize) -> String {
+    let len = rng.gen_range(min..=max);
+    (0..len).map(|_| (b'a' + rng.gen_range(0u32..26) as u8) as char).collect()
 }
 
-fn arb_literal() -> impl Strategy<Value = Term> {
-    prop_oneof![
-        "[a-zA-Z0-9 ]{0,12}".prop_map(Term::literal),
-        any::<i32>().prop_map(|n| Term::Literal(Literal::integer(n as i64))),
-        (1900i32..2100, 1u32..13, 1u32..29)
-            .prop_map(|(y, m, d)| Term::Literal(Literal::date(y, m, d))),
-    ]
+fn arb_string(rng: &mut Rng, alphabet: &[u8], min: usize, max: usize) -> String {
+    let len = rng.gen_range(min..=max);
+    (0..len).map(|_| alphabet[rng.gen_range(0usize..alphabet.len())] as char).collect()
 }
 
-fn arb_triple() -> impl Strategy<Value = Triple> {
-    (arb_iri(), arb_iri(), prop_oneof![arb_iri(), arb_literal()])
-        .prop_map(|(s, p, o)| Triple::new(s, p, o))
+fn arb_iri(rng: &mut Rng) -> Term {
+    Term::iri(format!("http://example.org/{}", arb_lower_word(rng, 1, 6)))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn arb_literal(rng: &mut Rng) -> Term {
+    match rng.gen_range(0u32..3) {
+        0 => Term::literal(arb_string(
+            rng,
+            b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ",
+            0,
+            12,
+        )),
+        1 => Term::Literal(Literal::integer(rng.gen_range(-1_000_000i64..1_000_000))),
+        _ => Term::Literal(Literal::date(
+            rng.gen_range(1900i32..2100),
+            rng.gen_range(1u32..13),
+            rng.gen_range(1u32..29),
+        )),
+    }
+}
 
-    // ------------------------------------------------------------- rdf store
+fn arb_triple(rng: &mut Rng) -> Triple {
+    let object = if rng.gen_bool(0.5) { arb_iri(rng) } else { arb_literal(rng) };
+    Triple::new(arb_iri(rng), arb_iri(rng), object)
+}
 
-    #[test]
-    fn store_membership_matches_inserted_set(triples in prop::collection::vec(arb_triple(), 0..40)) {
+fn arb_triples(rng: &mut Rng, min: usize, max: usize) -> Vec<Triple> {
+    let n = rng.gen_range(min..=max);
+    (0..n).map(|_| arb_triple(rng)).collect()
+}
+
+/// Runs `body` for `CASES` seeded cases, each with its own derived generator.
+fn sweep(test_tag: u64, body: impl Fn(&mut Rng)) {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(test_tag.wrapping_mul(0x9E37_79B9) + case);
+        body(&mut rng);
+    }
+}
+
+// ------------------------------------------------------------------ rdf store
+
+#[test]
+fn store_membership_matches_inserted_set() {
+    sweep(1, |rng| {
+        let triples = arb_triples(rng, 0, 40);
         let mut g = Graph::new();
         for t in &triples {
             g.insert(t);
@@ -45,26 +82,27 @@ proptest! {
         let mut distinct = triples.clone();
         distinct.sort();
         distinct.dedup();
-        prop_assert_eq!(g.len(), distinct.len());
+        assert_eq!(g.len(), distinct.len());
         for t in &distinct {
-            prop_assert!(g.contains(t));
+            assert!(g.contains(t));
         }
         // Full iteration returns exactly the distinct set.
         let mut iterated: Vec<Triple> = g.iter().collect();
         iterated.sort();
-        prop_assert_eq!(iterated, distinct);
-    }
+        assert_eq!(iterated, distinct);
+    });
+}
 
-    #[test]
-    fn store_pattern_scans_agree_with_naive_filter(
-        triples in prop::collection::vec(arb_triple(), 1..30),
-        probe in 0usize..30,
-    ) {
+#[test]
+fn store_pattern_scans_agree_with_naive_filter() {
+    sweep(2, |rng| {
+        let triples = arb_triples(rng, 1, 30);
+        let probe_idx = rng.gen_range(0usize..triples.len());
         let mut g = Graph::new();
         for t in &triples {
             g.insert(t);
         }
-        let probe = &triples[probe % triples.len()];
+        let probe = &triples[probe_idx];
         let all: Vec<Triple> = g.iter().collect();
 
         // Every one of the 8 bound/unbound shapes must equal a naive filter.
@@ -84,12 +122,15 @@ proptest! {
             expected.sort();
             let mut got = g.triples_matching(s, p, o);
             got.sort();
-            prop_assert_eq!(got, expected, "mask {}", mask);
+            assert_eq!(got, expected, "mask {mask}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn store_remove_is_inverse_of_insert(triples in prop::collection::vec(arb_triple(), 1..25)) {
+#[test]
+fn store_remove_is_inverse_of_insert() {
+    sweep(3, |rng| {
+        let triples = arb_triples(rng, 1, 25);
         let mut g = Graph::new();
         for t in &triples {
             g.insert(t);
@@ -97,32 +138,36 @@ proptest! {
         for t in &triples {
             g.remove(t);
         }
-        prop_assert!(g.is_empty());
-        prop_assert!(g.triples_matching(None, None, None).is_empty());
-    }
+        assert!(g.is_empty());
+        assert!(g.triples_matching(None, None, None).is_empty());
+    });
+}
 
-    // ------------------------------------------------------------------ sparql
+// ------------------------------------------------------------------ sparql
 
-    #[test]
-    fn sparql_spo_query_agrees_with_store(triples in prop::collection::vec(arb_triple(), 1..25)) {
+#[test]
+fn sparql_spo_query_agrees_with_store() {
+    sweep(4, |rng| {
+        let triples = arb_triples(rng, 1, 25);
         let mut g = Graph::new();
         for t in &triples {
             g.insert(t);
         }
         let sols = query(&g, "SELECT ?s ?p ?o { ?s ?p ?o }").unwrap().expect_solutions();
-        prop_assert_eq!(sols.len(), g.len());
+        assert_eq!(sols.len(), g.len());
         // A bound-subject query returns exactly that subject's triples.
         let subject = &triples[0].subject;
         let q = format!("SELECT ?p ?o {{ <{}> ?p ?o }}", subject.as_iri().unwrap().as_str());
         let bound = query(&g, &q).unwrap().expect_solutions();
-        prop_assert_eq!(bound.len(), g.triples_matching(Some(subject), None, None).len());
-    }
+        assert_eq!(bound.len(), g.triples_matching(Some(subject), None, None).len());
+    });
+}
 
-    #[test]
-    fn sparql_limit_caps_results(
-        triples in prop::collection::vec(arb_triple(), 1..25),
-        limit in 0usize..10,
-    ) {
+#[test]
+fn sparql_limit_caps_results() {
+    sweep(5, |rng| {
+        let triples = arb_triples(rng, 1, 25);
+        let limit = rng.gen_range(0usize..10);
         let mut g = Graph::new();
         for t in &triples {
             g.insert(t);
@@ -130,14 +175,17 @@ proptest! {
         let sols = query(&g, &format!("SELECT ?s {{ ?s ?p ?o }} LIMIT {limit}"))
             .unwrap()
             .expect_solutions();
-        prop_assert!(sols.len() <= limit);
-        prop_assert_eq!(sols.len(), limit.min(g.len()));
-    }
+        assert!(sols.len() <= limit);
+        assert_eq!(sols.len(), limit.min(g.len()));
+    });
+}
 
-    // ------------------------------------------------------------------ turtle
+// ------------------------------------------------------------------ turtle
 
-    #[test]
-    fn turtle_round_trip_preserves_graph(triples in prop::collection::vec(arb_triple(), 0..25)) {
+#[test]
+fn turtle_round_trip_preserves_graph() {
+    sweep(6, |rng| {
+        let triples = arb_triples(rng, 0, 25);
         let mut g = Graph::new();
         for t in &triples {
             g.insert(t);
@@ -145,103 +193,152 @@ proptest! {
         let ttl = to_turtle(&g);
         let mut g2 = Graph::new();
         load_turtle(&mut g2, &ttl).unwrap();
-        prop_assert_eq!(g.len(), g2.len());
+        assert_eq!(g.len(), g2.len());
         for t in g.iter() {
-            prop_assert!(g2.contains(&t), "lost {}", t);
+            assert!(g2.contains(&t), "lost {t}");
         }
-    }
+    });
+}
 
-    // ------------------------------------------------------------- similarity
+// ------------------------------------------------------------- similarity
 
-    #[test]
-    fn lcs_is_symmetric_and_bounded(a in "[a-zA-Z]{0,14}", b in "[a-zA-Z]{0,14}") {
+#[test]
+fn lcs_is_symmetric_and_bounded() {
+    let alpha = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    sweep(7, |rng| {
+        let a = arb_string(rng, alpha, 0, 14);
+        let b = arb_string(rng, alpha, 0, 14);
         let ab = lcs_score(&a, &b);
         let ba = lcs_score(&b, &a);
-        prop_assert!((ab - ba).abs() < 1e-12);
-        prop_assert!((0.0..=1.0).contains(&ab));
-        prop_assert!(lcs_len(&a, &b) <= a.len().min(b.len()));
-    }
+        assert!((ab - ba).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&ab));
+        assert!(lcs_len(&a, &b) <= a.len().min(b.len()));
+    });
+}
 
-    #[test]
-    fn lcs_identity_scores_one(a in "[a-z]{1,14}") {
-        prop_assert_eq!(lcs_score(&a, &a), 1.0);
-        prop_assert_eq!(lcs_len(&a, &a), a.len());
-    }
+#[test]
+fn lcs_identity_scores_one() {
+    sweep(8, |rng| {
+        let a = arb_lower_word(rng, 1, 14);
+        assert_eq!(lcs_score(&a, &a), 1.0);
+        assert_eq!(lcs_len(&a, &a), a.len());
+    });
+}
 
-    #[test]
-    fn lcs_monotone_under_concatenation(a in "[a-z]{1,8}", b in "[a-z]{1,8}") {
+#[test]
+fn lcs_monotone_under_concatenation() {
+    sweep(9, |rng| {
+        let a = arb_lower_word(rng, 1, 8);
+        let b = arb_lower_word(rng, 1, 8);
         // A common subsequence can only grow when one side gains characters.
         let base = lcs_len(&a, &b);
         let extended = lcs_len(&a, &format!("{b}{a}"));
-        prop_assert!(extended >= base);
-        prop_assert!(extended >= a.len()); // a is a subsequence of b+a
-    }
+        assert!(extended >= base);
+        assert!(extended >= a.len()); // a is a subsequence of b+a
+    });
+}
 
-    // ---------------------------------------------------------------- parser
+// ---------------------------------------------------------------- parser
 
-    /// The SPARQL parser must be total: random input either parses or
-    /// returns an error, never panics — and parsed queries re-render and
-    /// re-parse to the same AST (serializer round trip).
-    #[test]
-    fn sparql_parser_total_and_round_trips(s in "[A-Za-z0-9?{}<>.:/ \"=]{0,80}") {
+/// The SPARQL parser must be total: random input either parses or returns
+/// an error, never panics — and parsed queries re-render and re-parse to
+/// the same AST (serializer round trip).
+#[test]
+fn sparql_parser_total_and_round_trips() {
+    sweep(10, |rng| {
+        let s = arb_string(
+            rng,
+            b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789?{}<>.:/ \"=",
+            0,
+            80,
+        );
         if let Ok(q) = relpat::sparql::parse_query(&s) {
             let rendered = q.to_string();
             let reparsed = relpat::sparql::parse_query(&rendered)
                 .unwrap_or_else(|e| panic!("reparse of {rendered:?} failed: {e}"));
-            prop_assert_eq!(q, reparsed);
+            assert_eq!(q, reparsed);
         }
+    });
+    // Regression inputs that previously tripped the parser (from the old
+    // proptest regression corpus): well-formed-looking fragments.
+    for s in ["SELECT ?s { ?s ?p ?o }", "ASK { <a:b> <a:c> \"x\" }", "SELECT {", "?"] {
+        let _ = relpat::sparql::parse_query(s);
     }
+}
 
-    /// Turtle parser totality on arbitrary input.
-    #[test]
-    fn turtle_parser_total(s in "[A-Za-z0-9@<>.;, \"]{0,80}") {
+/// Turtle parser totality on arbitrary input.
+#[test]
+fn turtle_parser_total() {
+    sweep(11, |rng| {
+        let s = arb_string(
+            rng,
+            b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789@<>.;, \"",
+            0,
+            80,
+        );
         let _ = relpat::rdf::parse_turtle(&s); // must not panic
-    }
+    });
+}
 
-    // ----------------------------------------------------------------- nlp
+// ----------------------------------------------------------------- nlp
 
-    #[test]
-    fn tokenizer_never_loses_alphanumerics(s in "[a-zA-Z0-9 ,.?!']{0,60}") {
+#[test]
+fn tokenizer_never_loses_alphanumerics() {
+    sweep(12, |rng| {
+        let s = arb_string(
+            rng,
+            b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ,.?!'",
+            0,
+            60,
+        );
         let tokens = tokenize(&s);
         let kept: String = tokens.join("").chars().filter(|c| c.is_alphanumeric()).collect();
         let original: String = s.chars().filter(|c| c.is_alphanumeric()).collect();
-        prop_assert_eq!(kept, original);
-    }
+        assert_eq!(kept, original);
+    });
+}
 
-    #[test]
-    fn lemmatizer_is_idempotent_for_nouns(w in "[a-z]{2,12}") {
+#[test]
+fn lemmatizer_is_idempotent_for_nouns() {
+    sweep(13, |rng| {
+        let w = arb_lower_word(rng, 2, 12);
         let once = lemmatize(&w, PosTag::Nn);
         let twice = lemmatize(&once, PosTag::Nn);
-        prop_assert_eq!(once, twice);
-    }
+        assert_eq!(once, twice);
+    });
+}
 
-    #[test]
-    fn lemmas_are_lowercase_and_nonempty(w in "[a-zA-Z]{1,12}") {
+#[test]
+fn lemmas_are_lowercase_and_nonempty() {
+    let alpha = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    sweep(14, |rng| {
+        let w = arb_string(rng, alpha, 1, 12);
         for pos in [PosTag::Nn, PosTag::Nns, PosTag::Vb, PosTag::Vbd, PosTag::Jj, PosTag::In] {
             let lemma = lemmatize(&w, pos);
-            prop_assert!(!lemma.is_empty());
-            prop_assert_eq!(lemma.clone(), lemma.to_lowercase());
+            assert!(!lemma.is_empty());
+            assert_eq!(lemma.clone(), lemma.to_lowercase());
         }
-    }
+    });
+}
 
-    // --------------------------------------------------------------- wordnet
+// --------------------------------------------------------------- wordnet
 
-    #[test]
-    fn wordnet_metrics_bounded_and_reflexive(idx in 0usize..8) {
-        let words = ["writer", "author", "city", "person", "height", "book", "film", "place"];
-        let w = words[idx];
-        let wn = embedded();
-        prop_assert_eq!(wn.lin(w, w, WnPos::Noun), Some(1.0));
-        prop_assert_eq!(wn.wup(w, w, WnPos::Noun), Some(1.0));
+#[test]
+fn wordnet_metrics_bounded_and_reflexive() {
+    let words = ["writer", "author", "city", "person", "height", "book", "film", "place"];
+    let wn = embedded();
+    for w in words {
+        assert_eq!(wn.lin(w, w, WnPos::Noun), Some(1.0));
+        assert_eq!(wn.wup(w, w, WnPos::Noun), Some(1.0));
         for other in words {
             if let (Some(lin), Some(wup)) =
                 (wn.lin(w, other, WnPos::Noun), wn.wup(w, other, WnPos::Noun))
             {
-                prop_assert!((0.0..=1.0).contains(&lin));
-                prop_assert!((0.0..=1.0).contains(&wup));
+                assert!((0.0..=1.0).contains(&lin));
+                assert!((0.0..=1.0).contains(&wup));
                 // Symmetry.
-                prop_assert_eq!(wn.lin(other, w, WnPos::Noun), Some(lin));
-                prop_assert_eq!(wn.wup(other, w, WnPos::Noun), Some(wup));
+                assert_eq!(wn.lin(other, w, WnPos::Noun), Some(lin));
+                assert_eq!(wn.wup(other, w, WnPos::Noun), Some(wup));
             }
         }
     }
