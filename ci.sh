@@ -14,4 +14,10 @@ cargo test -q --workspace
 echo "=== cargo clippy --all-targets -- -D warnings ==="
 cargo clippy --all-targets --workspace -- -D warnings
 
+echo "=== parallel-eval determinism gate ==="
+cargo test -q -p relpat-eval parallel_report_matches_sequential
+
+echo "=== batch throughput smoke ==="
+cargo bench -p relpat-bench --bench qa_batch_throughput -- --smoke
+
 echo "CI OK"

@@ -78,7 +78,7 @@ fn bench_end_to_end(c: &mut Criterion) {
     let parallel = Pipeline::with_config(
         kb,
         PipelineConfig {
-            answer: relpat_qa::AnswerConfig { parallel: true, use_type_check: true },
+            answer: relpat_qa::AnswerConfig { parallel: true, ..Default::default() },
             ..PipelineConfig::standard()
         },
     );

@@ -1,0 +1,72 @@
+//! Perf P5: batch QA serving throughput — questions/second for
+//! `Pipeline::answer_batch_with` at 1, 2, and N worker threads over the
+//! QALD evaluated subset, plus the SPARQL query-cache hit rate the batch
+//! observed. The numbers land in EXPERIMENTS.md ("Batch serving
+//! throughput").
+//!
+//! Run with: `cargo bench -p relpat-bench --bench qa_batch_throughput`
+//!
+//! Flags:
+//! - `--smoke` — tiny KB and a single round (CI-friendly, seconds not
+//!   minutes); without it, the default KB and best-of-5 rounds.
+
+use relpat_kb::{evaluated_subset, generate, qald_questions, KbConfig};
+use relpat_qa::Pipeline;
+use std::time::Instant;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (config, rounds) = if smoke { (KbConfig::tiny(), 1) } else { (KbConfig::default(), 5) };
+
+    println!("=== QA batch serving throughput ({}) ===\n", if smoke { "smoke" } else { "full" });
+    let kb = generate(&config);
+    let pipeline = Pipeline::new(&kb);
+    let questions = qald_questions(&kb);
+    let subset = evaluated_subset(&questions);
+    let texts: Vec<&str> = subset.iter().map(|q| q.text.as_str()).collect();
+    println!("Knowledge base: {} triples; batch: {} questions", kb.len(), texts.len());
+
+    // Warm pass: mines patterns lazily if needed and fills the SPARQL query
+    // cache, so every timed round sees the same steady-state cache.
+    let warm_start = kb.cache_stats();
+    pipeline.answer_batch_with(&texts, 1);
+    let after_warm = kb.cache_stats();
+
+    let hardware = std::thread::available_parallelism().map(usize::from).unwrap_or(4);
+    let mut thread_counts = vec![1usize, 2, 4.max(hardware.min(8))];
+    thread_counts.dedup();
+
+    let mut baseline = None;
+    for &threads in &thread_counts {
+        let mut best = f64::INFINITY;
+        for _ in 0..rounds {
+            let start = Instant::now();
+            let responses = pipeline.answer_batch_with(&texts, threads);
+            let elapsed = start.elapsed().as_secs_f64();
+            assert_eq!(responses.len(), texts.len());
+            best = best.min(elapsed);
+        }
+        let qps = texts.len() as f64 / best;
+        let speedup = match baseline {
+            None => {
+                baseline = Some(qps);
+                1.0
+            }
+            Some(b) => qps / b,
+        };
+        println!(
+            "threads={threads:<2}  best of {rounds}: {best:>8.3} s  {qps:>8.1} questions/s  ({speedup:.2}x vs 1 thread)",
+        );
+    }
+
+    let steady = kb.cache_stats().delta_since(&after_warm);
+    let warm_delta = after_warm.delta_since(&warm_start);
+    println!(
+        "\nSPARQL query cache: warm pass {} hits / {} misses; timed rounds {} hits / {} misses (hit rate {:.1}%)",
+        warm_delta.hits,
+        warm_delta.misses,
+        steady.hits,
+        steady.misses,
+        steady.hit_rate() * 100.0
+    );
+}

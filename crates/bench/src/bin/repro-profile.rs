@@ -38,6 +38,15 @@ fn main() {
     println!("--- Stage latency / counters (aggregated from question traces) ---\n");
     println!("{}", report.stats.render());
 
+    let (hits, misses) = (
+        report.stats.counter("sparql.cache.hits"),
+        report.stats.counter("sparql.cache.misses"),
+    );
+    let lookups = hits + misses;
+    let rate = if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 * 100.0 };
+    println!("--- SPARQL query cache ---\n");
+    println!("{hits} hits / {misses} misses over {lookups} lookups (hit rate {rate:.1}%)\n");
+
     println!("--- Process-global metrics snapshot ---\n");
     let snapshot = relpat_obs::global().snapshot();
     println!("{}", snapshot.to_json().to_pretty());

@@ -1,10 +1,20 @@
 //! Answer extraction: execute candidate queries, type-check, rank (§2.3).
 //!
-//! Queries run in ranking-score order (optionally evaluated in parallel);
-//! candidate answers are filtered by the question's expected answer type
-//! (Table 1) and the highest-scoring query with surviving answers wins.
+//! Queries arrive sorted by ranking score, and the highest-scored candidate
+//! whose type-checked result set is non-empty (for `ASK`: the first `true`)
+//! supplies the answer. The paper executes the full cartesian product; this
+//! implementation exploits the ranking instead and **terminates early** at
+//! the first survivor — the sequential path stops outright, the parallel
+//! path runs rank-ordered chunks under a shared cancellation flag so chunks
+//! ranked after a surviving one are never sent. `AnswerConfig::exhaustive`
+//! restores the paper's execute-everything behaviour for ablations and
+//! funnel measurements; the selected answer is identical either way, only
+//! the execution cost (and [`ExecStats`]) changes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use relpat_kb::KnowledgeBase;
+use relpat_obs::fx::FxHashSet;
 use relpat_rdf::Term;
 
 use crate::queries::BuiltQuery;
@@ -57,11 +67,14 @@ pub struct AnswerConfig {
     pub use_type_check: bool,
     /// Evaluate candidate queries on a thread pool.
     pub parallel: bool,
+    /// Execute every candidate even after the winner is known (the paper's
+    /// literal §2.3 behaviour). Off by default: ranked early termination.
+    pub exhaustive: bool,
 }
 
 impl Default for AnswerConfig {
     fn default() -> Self {
-        AnswerConfig { use_type_check: true, parallel: false }
+        AnswerConfig { use_type_check: true, parallel: false, exhaustive: false }
     }
 }
 
@@ -69,11 +82,14 @@ impl Default for AnswerConfig {
 /// per-question [`relpat_obs::QuestionTrace`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExecStats {
-    /// Queries actually sent to the SPARQL engine.
+    /// Queries actually sent to the SPARQL engine (under early termination
+    /// this is less than the batch size whenever a survivor is found).
     pub executed: u64,
     /// Queries whose results survived execution + type checking (for `ASK`:
     /// candidates that evaluated to `true`).
     pub survived: u64,
+    /// Queries that failed to parse or evaluate.
+    pub failed: u64,
 }
 
 /// Runs the candidate queries and picks the answer.
@@ -103,110 +119,188 @@ pub fn extract_answer_traced(
     if queries.is_empty() {
         return (None, ExecStats::default());
     }
-    let results = run_all(kb, queries, config);
-    let mut stats = ExecStats { executed: queries.len() as u64, survived: 0 };
+    let evals = run_all(kb, expected, ask, queries, config);
 
-    if ask {
-        let mut answer: Option<Answer> = None;
-        let mut first_false: Option<&BuiltQuery> = None;
-        for (query, outcome) in queries.iter().zip(results.iter()) {
-            match outcome {
-                Outcome::Boolean(true) => {
-                    stats.survived += 1;
-                    if answer.is_none() {
-                        answer = Some(Answer {
-                            value: AnswerValue::Boolean(true),
-                            sparql: query.sparql.clone(),
-                            score: query.score,
-                        });
-                    }
+    let mut stats = ExecStats::default();
+    let mut answer: Option<Answer> = None;
+    let mut first_false: Option<&BuiltQuery> = None;
+    for (query, eval) in queries.iter().zip(evals.iter()) {
+        // `None` marks a candidate skipped by early termination: never sent.
+        let Some(eval) = eval else { continue };
+        stats.executed += 1;
+        match eval {
+            Eval::Survivor(value) => {
+                stats.survived += 1;
+                if answer.is_none() {
+                    answer = Some(Answer {
+                        value: value.clone(),
+                        sparql: query.sparql.clone(),
+                        score: query.score,
+                    });
                 }
-                Outcome::Boolean(false) if first_false.is_none() => {
+            }
+            Eval::False => {
+                if first_false.is_none() {
                     first_false = Some(query);
                 }
-                _ => {}
             }
+            Eval::Failed => stats.failed += 1,
+            Eval::Empty => {}
         }
-        // All readings evaluated to false.
-        let answer = answer.or_else(|| {
+    }
+    if ask {
+        // All executed readings evaluated to false. (When a survivor exists
+        // the sweep may have stopped early, but a skipped candidate always
+        // ranks below the winner, so the fallback is only reachable after a
+        // full sweep.)
+        answer = answer.or_else(|| {
             first_false.map(|query| Answer {
                 value: AnswerValue::Boolean(false),
                 sparql: query.sparql.clone(),
                 score: query.score,
             })
         });
-        return (answer, stats);
-    }
-
-    let mut answer: Option<Answer> = None;
-    for (query, outcome) in queries.iter().zip(results.iter()) {
-        let Outcome::Terms(terms) = outcome else { continue };
-        let filtered: Vec<Term> = terms
-            .iter()
-            .filter(|t| !config.use_type_check || type_check(kb, t, expected))
-            .cloned()
-            .collect();
-        if !filtered.is_empty() {
-            stats.survived += 1;
-            if answer.is_none() {
-                answer = Some(Answer {
-                    value: AnswerValue::Terms(filtered),
-                    sparql: query.sparql.clone(),
-                    score: query.score,
-                });
-            }
-        }
     }
     (answer, stats)
 }
 
-#[derive(Debug)]
-enum Outcome {
-    Terms(Vec<Term>),
-    Boolean(bool),
+/// Classified outcome of one executed candidate query.
+#[derive(Debug, Clone, PartialEq)]
+enum Eval {
+    /// Non-empty type-checked `SELECT` result / `ASK` `true` — this
+    /// candidate can supply the answer.
+    Survivor(AnswerValue),
+    /// Executed, but nothing survived filtering (or the result form did not
+    /// match the question form).
+    Empty,
+    /// `ASK` executed and evaluated to `false`.
+    False,
+    /// Parse or evaluation failure.
     Failed,
 }
 
-fn run_one(kb: &KnowledgeBase, query: &BuiltQuery) -> Outcome {
+/// Executes one query and classifies its outcome. `SELECT` result terms are
+/// type-filtered and deduplicated (first-seen order) in a single pass.
+fn evaluate_one(
+    kb: &KnowledgeBase,
+    query: &BuiltQuery,
+    expected: ExpectedType,
+    ask: bool,
+    config: &AnswerConfig,
+) -> Eval {
     match kb.query(&query.sparql) {
         Ok(relpat_sparql::QueryResult::Solutions(sols)) => {
+            if ask {
+                return Eval::Empty; // SELECT result for a polar question
+            }
+            let mut seen: FxHashSet<Term> = FxHashSet::default();
             let mut terms: Vec<Term> = Vec::new();
             for row in &sols.rows {
                 for cell in row.iter().flatten() {
-                    if !terms.contains(cell) {
+                    if (!config.use_type_check || type_check(kb, cell, expected))
+                        && seen.insert(cell.clone())
+                    {
                         terms.push(cell.clone());
                     }
                 }
             }
-            Outcome::Terms(terms)
+            if terms.is_empty() {
+                Eval::Empty
+            } else {
+                Eval::Survivor(AnswerValue::Terms(terms))
+            }
         }
-        Ok(relpat_sparql::QueryResult::Boolean(b)) => Outcome::Boolean(b),
-        Err(_) => Outcome::Failed,
+        Ok(relpat_sparql::QueryResult::Boolean(b)) => {
+            if !ask {
+                Eval::Empty // ASK result for a non-polar question
+            } else if b {
+                Eval::Survivor(AnswerValue::Boolean(true))
+            } else {
+                Eval::False
+            }
+        }
+        Err(_) => Eval::Failed,
     }
 }
 
-/// Evaluates every query, sequentially or via std scoped threads. Results
-/// come back in input order either way, so the ranked selection is
-/// deterministic.
-fn run_all(kb: &KnowledgeBase, queries: &[BuiltQuery], config: &AnswerConfig) -> Vec<Outcome> {
+/// Evaluates the ranked candidates. The result vector is index-aligned with
+/// `queries`; `None` marks candidates skipped by early termination. Both
+/// paths guarantee: the lowest-indexed survivor over the *whole* batch is
+/// always among the executed outcomes, so the selected answer is identical
+/// to an exhaustive sweep.
+fn run_all(
+    kb: &KnowledgeBase,
+    expected: ExpectedType,
+    ask: bool,
+    queries: &[BuiltQuery],
+    config: &AnswerConfig,
+) -> Vec<Option<Eval>> {
+    let mut out: Vec<Option<Eval>> = vec![None; queries.len()];
     if !config.parallel || queries.len() < 4 {
-        return queries.iter().map(|q| run_one(kb, q)).collect();
+        for (slot, query) in out.iter_mut().zip(queries.iter()) {
+            let eval = evaluate_one(kb, query, expected, ask, config);
+            let found = matches!(eval, Eval::Survivor(_));
+            *slot = Some(eval);
+            if found && !config.exhaustive {
+                break; // every remaining candidate ranks below the winner
+            }
+        }
+        return out;
     }
+
     let workers = std::thread::available_parallelism().map(usize::from).unwrap_or(4).min(8);
-    let chunk = queries.len().div_ceil(workers);
-    let mut results: Vec<Outcome> = Vec::with_capacity(queries.len());
+    // Several small rank-contiguous chunks per worker: the top-ranked
+    // candidates land in the first chunks, so cancellation kicks in after
+    // roughly one wave instead of after a full per-worker share.
+    let chunk = queries.len().div_ceil(workers * 4).max(1);
+    let n_chunks = queries.len().div_ceil(chunk);
+    // Cancellation flag: the lowest chunk index that produced a survivor
+    // (usize::MAX = none yet). Chunks are claimed in ascending rank order,
+    // and a chunk may only be skipped when a *lower-ranked* chunk already
+    // survived — so the best survivor is never lost to a race.
+    let found_chunk = AtomicUsize::new(usize::MAX);
+    let next_chunk = AtomicUsize::new(0);
+    let mut collected: Vec<(usize, Vec<Eval>)> = Vec::with_capacity(n_chunks);
     std::thread::scope(|scope| {
-        let handles: Vec<_> = queries
-            .chunks(chunk)
-            .map(|slice| {
-                scope.spawn(move || slice.iter().map(|q| run_one(kb, q)).collect::<Vec<_>>())
+        let handles: Vec<_> = (0..workers.min(n_chunks))
+            .map(|_| {
+                let found_chunk = &found_chunk;
+                let next_chunk = &next_chunk;
+                scope.spawn(move || {
+                    let mut mine: Vec<(usize, Vec<Eval>)> = Vec::new();
+                    loop {
+                        let c = next_chunk.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        if !config.exhaustive && found_chunk.load(Ordering::Acquire) < c {
+                            continue; // a higher-ranked chunk already survived
+                        }
+                        let start = c * chunk;
+                        let slice = &queries[start..(start + chunk).min(queries.len())];
+                        let evals: Vec<Eval> = slice
+                            .iter()
+                            .map(|q| evaluate_one(kb, q, expected, ask, config))
+                            .collect();
+                        if evals.iter().any(|e| matches!(e, Eval::Survivor(_))) {
+                            found_chunk.fetch_min(c, Ordering::Release);
+                        }
+                        mine.push((start, evals));
+                    }
+                    mine
+                })
             })
             .collect();
         for h in handles {
-            results.extend(h.join().expect("query worker panicked"));
+            collected.extend(h.join().expect("query worker panicked"));
         }
     });
-    results
+    for (start, evals) in collected {
+        for (i, eval) in evals.into_iter().enumerate() {
+            out[start + i] = Some(eval);
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -223,6 +317,10 @@ mod tests {
 
     fn bq(sparql: &str, score: f64) -> BuiltQuery {
         BuiltQuery { sparql: sparql.to_string(), score }
+    }
+
+    fn exhaustive() -> AnswerConfig {
+        AnswerConfig { exhaustive: true, ..AnswerConfig::default() }
     }
 
     #[test]
@@ -338,5 +436,140 @@ mod tests {
         let ans = extract_answer(kb, ExpectedType::Unconstrained, false, &queries, &AnswerConfig::default())
             .unwrap();
         assert!(ans.sparql.contains("capital"));
+    }
+
+    #[test]
+    fn early_termination_stops_at_first_survivor() {
+        let kb = kb();
+        let queries = vec![
+            bq("SELECT ?x { ?x dbont:author res:Orhan_Pamuk }", 10.0), // survives
+            bq("SELECT ?x { res:Turkey dbont:capital ?x }", 5.0),      // never sent
+            bq("SELECT ?x { res:Turkey dbont:capital ?x }", 1.0),      // never sent
+        ];
+        let (early, stats) = extract_answer_traced(
+            kb,
+            ExpectedType::Unconstrained,
+            false,
+            &queries,
+            &AnswerConfig::default(),
+        );
+        assert_eq!(stats.executed, 1, "{stats:?}");
+        assert_eq!(stats.survived, 1);
+
+        let (full, full_stats) =
+            extract_answer_traced(kb, ExpectedType::Unconstrained, false, &queries, &exhaustive());
+        assert_eq!(full_stats.executed, 3);
+        assert_eq!(full_stats.survived, 3);
+        // The escape hatch changes cost, never the answer.
+        assert_eq!(early, full);
+    }
+
+    #[test]
+    fn exhaustive_reports_true_executed_count() {
+        let kb = kb();
+        // No survivor anywhere → both modes execute everything.
+        let queries = vec![
+            bq("SELECT ?x { res:Frank_Herbert dbont:birthPlace ?x }", 2.0),
+            bq("SELECT ?x { res:Frank_Herbert dbont:deathPlace ?x }", 1.0),
+        ];
+        for config in [AnswerConfig::default(), exhaustive()] {
+            let (ans, stats) =
+                extract_answer_traced(kb, ExpectedType::Place, false, &queries, &config);
+            assert!(ans.is_none());
+            assert_eq!(stats.executed, 2);
+            assert_eq!(stats.survived, 0);
+        }
+    }
+
+    #[test]
+    fn ask_early_termination_stops_at_first_true() {
+        let kb = kb();
+        let queries = vec![
+            bq("ASK { res:Dune dbont:author res:Orhan_Pamuk }", 9.0), // false
+            bq("ASK { res:Snow dbont:author res:Orhan_Pamuk }", 5.0), // true → stop
+            bq("ASK { res:Snow dbont:author res:Orhan_Pamuk }", 1.0), // never sent
+        ];
+        let (ans, stats) = extract_answer_traced(
+            kb,
+            ExpectedType::Boolean,
+            true,
+            &queries,
+            &AnswerConfig::default(),
+        );
+        assert_eq!(ans.unwrap().value, AnswerValue::Boolean(true));
+        assert_eq!(stats.executed, 2, "{stats:?}");
+        assert_eq!(stats.survived, 1);
+    }
+
+    #[test]
+    fn all_failed_ask_batch_reports_failures() {
+        let kb = kb();
+        let queries = vec![bq("ASK { nope", 3.0), bq("ASK { also broken", 1.0)];
+        let (ans, stats) = extract_answer_traced(
+            kb,
+            ExpectedType::Boolean,
+            true,
+            &queries,
+            &AnswerConfig::default(),
+        );
+        assert!(ans.is_none());
+        assert_eq!(stats.executed, 2);
+        assert_eq!(stats.survived, 0);
+        assert_eq!(stats.failed, 2, "failed parses must be distinguished");
+    }
+
+    #[test]
+    fn dedup_preserves_first_seen_order_on_large_result_sets() {
+        let kb = kb();
+        // Every (subject, object) pair in the KB: thousands of rows with
+        // heavy duplication across columns.
+        let queries = vec![bq("SELECT ?s ?o { ?s ?p ?o }", 1.0)];
+        let (ans, _) = extract_answer_traced(
+            kb,
+            ExpectedType::Unconstrained,
+            false,
+            &queries,
+            &AnswerConfig::default(),
+        );
+        let AnswerValue::Terms(terms) = ans.unwrap().value else { panic!("expected terms") };
+        assert!(terms.len() > 200, "want a large result set, got {}", terms.len());
+        // Reference dedup: the old O(n²) Vec::contains approach.
+        let mut reference: Vec<Term> = Vec::new();
+        let sols = match kb.query("SELECT ?s ?o { ?s ?p ?o }").unwrap() {
+            relpat_sparql::QueryResult::Solutions(s) => s,
+            other => panic!("unexpected {other:?}"),
+        };
+        for row in &sols.rows {
+            for cell in row.iter().flatten() {
+                if !reference.contains(cell) {
+                    reference.push(cell.clone());
+                }
+            }
+        }
+        assert_eq!(terms, reference);
+    }
+
+    #[test]
+    fn parallel_early_termination_matches_exhaustive_answer() {
+        let kb = kb();
+        // 16 queries: rank 0..13 empty, rank 14 survives, rank 15 unseen.
+        let mut queries: Vec<BuiltQuery> = (0..14)
+            .map(|i| bq("SELECT ?x { res:Frank_Herbert dbont:birthPlace ?x }", 20.0 - i as f64))
+            .collect();
+        queries.push(bq("SELECT ?x { ?x dbont:author res:Orhan_Pamuk }", 2.0));
+        queries.push(bq("SELECT ?x { res:Turkey dbont:capital ?x }", 1.0));
+        let parallel_early = AnswerConfig { parallel: true, ..AnswerConfig::default() };
+        let (par, par_stats) = extract_answer_traced(
+            kb,
+            ExpectedType::Unconstrained,
+            false,
+            &queries,
+            &parallel_early,
+        );
+        let (seq, _) =
+            extract_answer_traced(kb, ExpectedType::Unconstrained, false, &queries, &exhaustive());
+        assert_eq!(par, seq);
+        assert!(par_stats.executed <= queries.len() as u64);
+        assert!(par_stats.executed >= 1);
     }
 }

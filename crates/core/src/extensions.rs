@@ -96,6 +96,7 @@ fn answered(
     );
     trace.queries_executed = prior.trace.queries_executed;
     trace.queries_survived = prior.trace.queries_survived;
+    trace.queries_failed = prior.trace.queries_failed;
     trace.pattern_lookups = prior.trace.pattern_lookups;
     trace.stages = prior.trace.stages.clone();
     Response {
@@ -284,7 +285,7 @@ fn count_question(
             }
         }
     }
-    candidates.sort_by(|(a, _), (b, _)| b.partial_cmp(a).unwrap());
+    candidates.sort_by(|(a, _), (b, _)| b.total_cmp(a));
     // Try candidates in ranked order: the first one that actually holds a
     // numeric value for this entity wins (the KB arbitrates ties).
     for (_, property) in candidates {

@@ -34,7 +34,10 @@ mod queries;
 mod similarity;
 mod triples;
 
-pub use answer::{extract_answer, type_check, Answer, AnswerConfig, AnswerValue};
+pub use answer::{
+    extract_answer, extract_answer_traced, type_check, Answer, AnswerConfig, AnswerValue,
+    ExecStats,
+};
 pub use baseline::{BaselineAnswer, KeywordBaseline, TemplateBaseline};
 pub use extensions::ExtensionConfig;
 pub use mapping::{

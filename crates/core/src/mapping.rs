@@ -244,7 +244,7 @@ impl Mapper<'_> {
             .iter()
             .map(|c| (c.name, lcs_score(word, c.label)))
             .filter(|(_, s)| *s >= 0.8)
-            .max_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap())
+            .max_by(|(_, a), (_, b)| a.total_cmp(b))
             .map(|(name, _)| name)
     }
 
@@ -266,7 +266,7 @@ impl Mapper<'_> {
                 }
             }
         }
-        scored.sort_by(|(a, _), (b, _)| b.partial_cmp(a).unwrap());
+        scored.sort_by(|(a, _), (b, _)| b.total_cmp(a));
         scored.into_iter().take(5).map(|(_, iri)| iri.clone()).collect()
     }
 
@@ -522,7 +522,7 @@ fn dedup_candidates(candidates: Vec<PropertyCandidate>) -> Vec<PropertyCandidate
             None => merged.push(c),
         }
     }
-    merged.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap());
+    merged.sort_by(|a, b| b.weight.total_cmp(&a.weight));
     merged
 }
 
@@ -589,7 +589,7 @@ mod tests {
         let top_pattern = cands
             .iter()
             .filter(|c| c.source == CandidateSource::RelationalPattern)
-            .max_by(|a, b| a.weight.partial_cmp(&b.weight).unwrap())
+            .max_by(|a, b| a.weight.total_cmp(&b.weight))
             .unwrap();
         assert_eq!(top_pattern.property, "deathPlace");
     }

@@ -62,7 +62,7 @@ pub fn build_queries(
                 if options.is_empty() {
                     return Vec::new(); // no consistent reading of this triple
                 }
-                options.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap());
+                options.sort_by(|a, b| b.weight.total_cmp(&a.weight));
                 option_sets.push(options);
             }
         }
@@ -81,7 +81,7 @@ pub fn build_queries(
         }
         combos = next;
         // Keep the product bounded as we go.
-        combos.sort_by(|(_, a), (_, b)| b.partial_cmp(a).unwrap());
+        combos.sort_by(|(_, a), (_, b)| b.total_cmp(a));
         combos.truncate(max.max(1));
     }
 
@@ -101,7 +101,7 @@ pub fn build_queries(
             BuiltQuery { sparql, score }
         })
         .collect();
-    out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap());
+    out.sort_by(|a, b| b.score.total_cmp(&a.score));
     out.dedup_by(|a, b| a.sparql == b.sparql);
     out
 }
@@ -368,6 +368,45 @@ mod tests {
         // Product space is bounded by the requested cap.
         let capped = build_queries(&f.kb, &analysis, &mapped, 2);
         assert!(capped.len() <= 2);
+    }
+
+    #[test]
+    fn nan_scored_candidates_rank_without_panicking() {
+        // A zero-frequency pattern feeding a 0/0 normalization yields a NaN
+        // weight; ranking must stay total (`f64::total_cmp`) instead of
+        // panicking in `partial_cmp().unwrap()`.
+        use crate::mapping::{CandidateSource, MappedSlot, PropertyCandidate, ResolvedEntity};
+        let f = fixture();
+        let pamuk = ResolvedEntity {
+            iri: relpat_rdf::Iri::new(relpat_rdf::vocab::res::iri("Orhan Pamuk")),
+            label: "Orhan Pamuk".into(),
+            score: 1.0,
+        };
+        let cand = |prop: &str, w: f64| PropertyCandidate {
+            property: prop.into(),
+            is_data: false,
+            preferred_inverse: Some(false),
+            weight: w,
+            source: CandidateSource::RelationalPattern,
+        };
+        let mapped = crate::mapping::MappedQuestion {
+            triples: vec![crate::mapping::MappedTriple::Relation {
+                subject: MappedSlot::Var,
+                object: MappedSlot::Entity(pamuk),
+                candidates: vec![cand("author", f64::NAN), cand("writer", 1.0)],
+            }],
+        };
+        let analysis = extract(&relpat_nlp::parse_sentence(
+            "Which book is written by Orhan Pamuk?",
+        ))
+        .unwrap();
+        let queries = build_queries(&f.kb, &analysis, &mapped, 50);
+        // No panic, and the finite-scored readings are all still present.
+        assert!(queries.iter().any(|q| q.score == 1.0), "{queries:#?}");
+        for w in queries.windows(2) {
+            // Ordering stays total even with NaN in the mix.
+            assert_ne!(w[0].score.total_cmp(&w[1].score), std::cmp::Ordering::Less);
+        }
     }
 
     #[test]

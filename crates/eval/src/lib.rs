@@ -21,4 +21,6 @@ mod runner;
 
 pub use ablation::{ablation_suite, ablation_table, run_ablations, run_selected, Ablation, AblationResult};
 pub use metrics::Counts;
-pub use runner::{judge, run_benchmark, ErrorAnalysis, QuestionResult, Report};
+pub use runner::{
+    judge, run_benchmark, run_benchmark_with, ErrorAnalysis, QuestionResult, Report,
+};

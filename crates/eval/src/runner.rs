@@ -9,7 +9,7 @@ use relpat_rdf::Term;
 use crate::metrics::Counts;
 
 /// Per-question outcome.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QuestionResult {
     pub id: u32,
     pub text: String,
@@ -217,87 +217,200 @@ fn render_terms(kb: &KnowledgeBase, terms: &[Term]) -> String {
         .join(", ")
 }
 
-/// Runs the pipeline over the evaluated (non-excluded) questions,
-/// aggregating each question's trace into the report's [`RunStats`].
-pub fn run_benchmark(
+/// The per-question trace counters every run reports, in render order.
+/// `queries.*` come from the (thread-local) response trace; `patterns.*`
+/// come from the trace in sequential runs and from a store-wide delta in
+/// parallel ones (see [`run_benchmark_with`]).
+const TRACE_COUNTERS: [&str; 8] = [
+    "queries.built",
+    "queries.executed",
+    "queries.survived",
+    "queries.failed",
+    "patterns.phrase_hits",
+    "patterns.phrase_misses",
+    "patterns.word_hits",
+    "patterns.word_misses",
+];
+
+/// Records one response trace into a run-local registry: per-stage latency
+/// histograms plus the `queries.*` counters (and, when `with_patterns`, the
+/// trace-attributed `patterns.*` counters). `stage_order` accumulates the
+/// first-seen histogram order for rendering.
+fn record_trace(
+    local: &MetricsRegistry,
+    stage_order: &mut Vec<String>,
+    trace: &relpat_obs::QuestionTrace,
+    with_patterns: bool,
+) {
+    for s in &trace.stages {
+        let key = format!("stage.{}", s.name);
+        if !stage_order.contains(&key) {
+            stage_order.push(key.clone());
+        }
+        local.histogram(&key).record(s.nanos);
+    }
+    let total_key = "stage.total".to_string();
+    if !stage_order.contains(&total_key) {
+        stage_order.push(total_key.clone());
+    }
+    local.histogram(&total_key).record(trace.total_nanos());
+    local.counter("queries.built").add(trace.queries_built);
+    local.counter("queries.executed").add(trace.queries_executed);
+    local.counter("queries.survived").add(trace.queries_survived);
+    local.counter("queries.failed").add(trace.queries_failed);
+    if with_patterns {
+        local.counter("patterns.phrase_hits").add(trace.pattern_lookups.phrase_hits);
+        local.counter("patterns.phrase_misses").add(trace.pattern_lookups.phrase_misses);
+        local.counter("patterns.word_hits").add(trace.pattern_lookups.word_hits);
+        local.counter("patterns.word_misses").add(trace.pattern_lookups.word_misses);
+    }
+}
+
+/// Judges one response against a question's gold answers.
+fn judge_question(
+    kb: &KnowledgeBase,
+    q: &QaldQuestion,
+    response: &relpat_qa::Response,
+) -> QuestionResult {
+    let gold = q.gold_answers(kb);
+    let (is_answered, is_correct, answer_text, query) = match (&response.answer, response.stage) {
+        (Some(ans), Stage::Answered) => {
+            let ok = judge(&ans.value, &gold);
+            let text = match &ans.value {
+                AnswerValue::Terms(ts) => render_terms(kb, ts),
+                AnswerValue::Boolean(b) => b.to_string(),
+            };
+            (true, ok, text, Some(ans.sparql.clone()))
+        }
+        _ => (false, false, String::new(), None),
+    };
+    QuestionResult {
+        id: q.id,
+        text: q.text.clone(),
+        stage: format!("{:?}", response.stage),
+        answered: is_answered,
+        correct: is_correct,
+        answer: answer_text,
+        gold: render_terms(kb, &gold),
+        query,
+    }
+}
+
+/// Assembles the final report from judged results and the merged registry.
+fn assemble_report(
+    registry: &MetricsRegistry,
+    stage_order: &[String],
+    results: Vec<QuestionResult>,
+    cache_delta: relpat_sparql::CacheStats,
+) -> Report {
+    let answered = results.iter().filter(|r| r.answered).count();
+    let correct = results.iter().filter(|r| r.correct).count();
+    let mut counters: Vec<(String, u64)> = TRACE_COUNTERS
+        .iter()
+        .map(|name| (name.to_string(), registry.counter_value(name)))
+        .collect();
+    counters.push(("sparql.cache.hits".to_string(), cache_delta.hits));
+    counters.push(("sparql.cache.misses".to_string(), cache_delta.misses));
+    let stats = RunStats {
+        stage_latencies: stage_order.iter().map(|key| registry.histogram(key).summary()).collect(),
+        counters,
+    };
+    Report { counts: Counts::new(results.len(), answered, correct), results, stats }
+}
+
+/// Runs the pipeline over the evaluated (non-excluded) questions on one
+/// thread, aggregating each question's trace into the report's [`RunStats`].
+pub fn run_benchmark(pipeline: &Pipeline<'_>, questions: &[QaldQuestion]) -> Report {
+    run_benchmark_with(pipeline, questions, 1)
+}
+
+/// [`run_benchmark`] sharded across `threads` scoped worker threads
+/// (1 = the plain sequential loop).
+///
+/// Every deterministic field of the report — per-question results, counts,
+/// and the `queries.*`/`patterns.*`/`sparql.cache.*` aggregate counters —
+/// is identical to the sequential run's. Stage latencies (wall-clock) and
+/// the hit/miss split of a shared warm cache are inherently timing
+/// dependent.
+///
+/// Workers claim questions from a shared cursor and record into their own
+/// local [`MetricsRegistry`], merged at the end via
+/// [`MetricsRegistry::merge_from`]. The `patterns.*` counters are taken
+/// from a store-wide before/after delta rather than per-question trace
+/// deltas (which bleed across concurrent questions); the store-wide delta
+/// equals the sequential per-question sum exactly.
+pub fn run_benchmark_with(
     pipeline: &Pipeline<'_>,
     questions: &[QaldQuestion],
+    threads: usize,
 ) -> Report {
     let kb = pipeline.kb();
     let evaluated = evaluated_subset(questions);
-    let mut results = Vec::with_capacity(evaluated.len());
-    let mut answered = 0usize;
-    let mut correct = 0usize;
-    // Local registry: aggregation stays isolated per run even when several
-    // benchmarks execute concurrently in one process.
-    let local = MetricsRegistry::new();
-    let mut counter_names: Vec<&str> = Vec::new();
-    let mut stage_order: Vec<String> = Vec::new();
+    let cache_before = kb.cache_stats();
+    let threads = threads.max(1).min(evaluated.len().max(1));
 
-    for q in &evaluated {
-        let response = pipeline.answer(&q.text);
-        let trace = &response.trace;
-        for s in &trace.stages {
-            let key = format!("stage.{}", s.name);
-            if !stage_order.contains(&key) {
-                stage_order.push(key.clone());
-            }
-            local.histogram(&key).record(s.nanos);
+    if threads == 1 {
+        // Local registry: aggregation stays isolated per run even when
+        // several benchmarks execute concurrently in one process.
+        let local = MetricsRegistry::new();
+        let mut stage_order: Vec<String> = Vec::new();
+        let mut results = Vec::with_capacity(evaluated.len());
+        for q in &evaluated {
+            let response = pipeline.answer(&q.text);
+            record_trace(&local, &mut stage_order, &response.trace, true);
+            results.push(judge_question(kb, q, &response));
         }
-        let total_key = "stage.total".to_string();
-        if !stage_order.contains(&total_key) {
-            stage_order.push(total_key.clone());
-        }
-        local.histogram(&total_key).record(trace.total_nanos());
-        for (name, value) in [
-            ("queries.built", trace.queries_built),
-            ("queries.executed", trace.queries_executed),
-            ("queries.survived", trace.queries_survived),
-            ("patterns.phrase_hits", trace.pattern_lookups.phrase_hits),
-            ("patterns.phrase_misses", trace.pattern_lookups.phrase_misses),
-            ("patterns.word_hits", trace.pattern_lookups.word_hits),
-            ("patterns.word_misses", trace.pattern_lookups.word_misses),
-        ] {
-            if !counter_names.contains(&name) {
-                counter_names.push(name);
-            }
-            local.counter(name).add(value);
-        }
-        let gold = q.gold_answers(kb);
-        let (is_answered, is_correct, answer_text, query) = match (&response.answer, response.stage)
-        {
-            (Some(ans), Stage::Answered) => {
-                let ok = judge(&ans.value, &gold);
-                let text = match &ans.value {
-                    AnswerValue::Terms(ts) => render_terms(kb, ts),
-                    AnswerValue::Boolean(b) => b.to_string(),
-                };
-                (true, ok, text, Some(ans.sparql.clone()))
-            }
-            _ => (false, false, String::new(), None),
-        };
-        answered += usize::from(is_answered);
-        correct += usize::from(is_correct);
-        results.push(QuestionResult {
-            id: q.id,
-            text: q.text.clone(),
-            stage: format!("{:?}", response.stage),
-            answered: is_answered,
-            correct: is_correct,
-            answer: answer_text,
-            gold: render_terms(kb, &gold),
-            query,
-        });
+        let cache_delta = kb.cache_stats().delta_since(&cache_before);
+        return assemble_report(&local, &stage_order, results, cache_delta);
     }
 
-    let stats = RunStats {
-        stage_latencies: stage_order.iter().map(|key| local.histogram(key).summary()).collect(),
-        counters: counter_names
-            .iter()
-            .map(|name| (name.to_string(), local.counter_value(name)))
-            .collect(),
-    };
-    Report { counts: Counts::new(evaluated.len(), answered, correct), results, stats }
+    let patterns_before = pipeline.patterns().lookup_stats();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let merged = MetricsRegistry::new();
+    let mut stage_order: Vec<String> = Vec::new();
+    let mut slots: Vec<Option<QuestionResult>> = (0..evaluated.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let evaluated = &evaluated;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let local = MetricsRegistry::new();
+                    let mut order: Vec<String> = Vec::new();
+                    let mut mine: Vec<(usize, QuestionResult)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(q) = evaluated.get(i) else { break };
+                        let response = pipeline.answer(&q.text);
+                        record_trace(&local, &mut order, &response.trace, false);
+                        mine.push((i, judge_question(kb, q, &response)));
+                    }
+                    (local, order, mine)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (local, order, mine) = h.join().expect("benchmark worker panicked");
+            merged.merge_from(&local);
+            for key in order {
+                if !stage_order.contains(&key) {
+                    stage_order.push(key);
+                }
+            }
+            for (i, r) in mine {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    let pattern_delta = pipeline.patterns().lookup_stats().delta_since(&patterns_before);
+    merged.counter("patterns.phrase_hits").add(pattern_delta.phrase_hits);
+    merged.counter("patterns.phrase_misses").add(pattern_delta.phrase_misses);
+    merged.counter("patterns.word_hits").add(pattern_delta.word_hits);
+    merged.counter("patterns.word_misses").add(pattern_delta.word_misses);
+    let results: Vec<QuestionResult> =
+        slots.into_iter().map(|r| r.expect("every question judged")).collect();
+    let cache_delta = kb.cache_stats().delta_since(&cache_before);
+    assemble_report(&merged, &stage_order, results, cache_delta)
 }
 
 #[cfg(test)]
@@ -429,6 +542,52 @@ mod tests {
         let json = r.to_json();
         assert!(json.contains("\"counts\""));
         assert!(json.contains("\"observability\""));
+    }
+
+    #[test]
+    fn parallel_report_matches_sequential() {
+        // Own pipeline (not the shared `report()` fixture) so nothing else
+        // touches its pattern store or cache while the two runs compare.
+        let kb = generate(&KbConfig::tiny());
+        let pipeline = Pipeline::new(&kb);
+        let questions = qald_questions(&kb);
+        let seq = run_benchmark(&pipeline, &questions);
+        let par = run_benchmark_with(&pipeline, &questions, 4);
+
+        // Question-for-question identical outcomes, in identical order.
+        assert_eq!(seq.counts, par.counts);
+        assert_eq!(seq.results, par.results);
+        // Deterministic aggregate counters agree; stage latencies and the
+        // warm-cache hit/miss split are timing dependent and excluded.
+        for name in TRACE_COUNTERS {
+            assert_eq!(seq.stats.counter(name), par.stats.counter(name), "{name}");
+        }
+        // Every stage histogram saw the same number of samples.
+        for h in &seq.stats.stage_latencies {
+            let other = par.stats.stage(&h.name).unwrap_or_else(|| panic!("missing {}", h.name));
+            assert_eq!(h.count, other.count, "{}", h.name);
+        }
+        assert_eq!(seq.stats.stage_latencies.len(), par.stats.stage_latencies.len());
+        // Both runs surface the cache counters.
+        let lookups = |r: &Report| {
+            r.stats.counter("sparql.cache.hits") + r.stats.counter("sparql.cache.misses")
+        };
+        assert!(lookups(&seq) > 0);
+        assert_eq!(lookups(&seq), lookups(&par), "total cache lookups are deterministic");
+    }
+
+    #[test]
+    fn early_termination_cuts_executed_below_built() {
+        // With ranked early termination (the default), a full QALD run must
+        // send measurably fewer queries than it builds.
+        let r = report();
+        let built = r.stats.counter("queries.built");
+        let executed = r.stats.counter("queries.executed");
+        assert!(built > 0);
+        assert!(
+            executed < built,
+            "early termination should skip queries: executed {executed} >= built {built}"
+        );
     }
 
     #[test]

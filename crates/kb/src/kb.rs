@@ -2,7 +2,7 @@
 
 use relpat_rdf::vocab::{self, rdf, rdfs, res};
 use relpat_rdf::{Graph, Iri, Term};
-use relpat_sparql::{query, QueryResult, SparqlError};
+use relpat_sparql::{query, CacheStats, QueryCache, QueryResult, SparqlError};
 use relpat_obs::fx::{FxHashMap, FxHashSet};
 
 use crate::ontology::Ontology;
@@ -30,6 +30,10 @@ pub struct KnowledgeBase {
     labels: FxHashMap<Iri, String>,
     class_by_label: FxHashMap<String, &'static str>,
     page_links: FxHashMap<Iri, FxHashSet<Iri>>,
+    /// Shared result cache for [`query`](Self::query). The graph is treated
+    /// as immutable once wrapped; code that mutates `graph` afterwards must
+    /// call [`invalidate_query_cache`](Self::invalidate_query_cache).
+    query_cache: QueryCache,
 }
 
 impl KnowledgeBase {
@@ -69,7 +73,15 @@ impl KnowledgeBase {
             class_by_label.insert(normalize_label(c.label), c.name);
         }
 
-        KnowledgeBase { graph, ontology, label_index, labels, class_by_label, page_links }
+        KnowledgeBase {
+            graph,
+            ontology,
+            label_index,
+            labels,
+            class_by_label,
+            page_links,
+            query_cache: QueryCache::default(),
+        }
     }
 
     /// Entities whose label normalizes to exactly `text`.
@@ -129,9 +141,27 @@ impl KnowledgeBase {
         self.page_links.get(a).is_some_and(|s| s.contains(b))
     }
 
-    /// Runs a SPARQL query against the store.
+    /// Runs a SPARQL query against the store, serving repeated query texts
+    /// from the shared result cache.
     pub fn query(&self, text: &str) -> Result<QueryResult, SparqlError> {
+        self.query_cache.query(&self.graph, text)
+    }
+
+    /// Runs a SPARQL query bypassing the result cache (equivalence testing
+    /// and one-shot diagnostics).
+    pub fn query_uncached(&self, text: &str) -> Result<QueryResult, SparqlError> {
         query(&self.graph, text)
+    }
+
+    /// Cumulative hit/miss totals of the query cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.query_cache.stats()
+    }
+
+    /// Drops every cached query result. Must be called after mutating
+    /// `graph` directly.
+    pub fn invalidate_query_cache(&self) {
+        self.query_cache.clear();
     }
 
     /// Number of triples.
@@ -264,5 +294,23 @@ mod tests {
         let kb = mini_kb();
         // "book" is a class label; entity index must not return it.
         assert!(kb.entities_with_label("book").is_empty());
+    }
+
+    #[test]
+    fn query_cache_serves_repeats_and_matches_uncached() {
+        let kb = mini_kb();
+        let text = "SELECT ?x WHERE { ?x rdf:type dbont:Book . }";
+        let first = kb.query(text).unwrap();
+        let second = kb.query(text).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(first, kb.query_uncached(text).unwrap());
+        let stats = kb.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // Uncached queries never touch the cache counters.
+        kb.query_uncached(text).unwrap();
+        assert_eq!(kb.cache_stats(), stats);
+        kb.invalidate_query_cache();
+        kb.query(text).unwrap();
+        assert_eq!(kb.cache_stats().misses, 2);
     }
 }

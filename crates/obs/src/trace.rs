@@ -105,6 +105,10 @@ pub struct QuestionTrace {
     pub queries_executed: u64,
     /// Queries whose solutions survived execution + type checking.
     pub queries_survived: u64,
+    /// Executed queries that failed to parse or evaluate (a batch where
+    /// every candidate fails is distinguishable from one that merely found
+    /// nothing).
+    pub queries_failed: u64,
     /// Top ranked queries as `(score, sparql)`.
     pub top_queries: Vec<(f64, String)>,
     /// Pattern-store hit/miss counts observed during mapping.
@@ -189,6 +193,7 @@ impl QuestionTrace {
             .set("queries_built", self.queries_built)
             .set("queries_executed", self.queries_executed)
             .set("queries_survived", self.queries_survived)
+            .set("queries_failed", self.queries_failed)
             .set("top_queries", Json::Arr(top_queries))
             .set("pattern_lookups", self.pattern_lookups.to_json())
             .set("stages", Json::Arr(stages))
@@ -255,10 +260,11 @@ impl QuestionTrace {
         if !self.stages.is_empty() {
             let _ = writeln!(
                 out,
-                "\nTimings (queries: {} built, {} executed, {} survived; pattern lookups: {}):",
+                "\nTimings (queries: {} built, {} executed, {} survived, {} failed; pattern lookups: {}):",
                 self.queries_built,
                 self.queries_executed,
                 self.queries_survived,
+                self.queries_failed,
                 self.pattern_lookups.total()
             );
             for s in &self.stages {
@@ -300,6 +306,7 @@ mod tests {
         t.queries_built = 4;
         t.queries_executed = 4;
         t.queries_survived = 1;
+        t.queries_failed = 1;
         t.top_queries =
             vec![(120.0, "SELECT ?x WHERE { ?x <author> <Orhan_Pamuk> . }".to_string())];
         t.pattern_lookups = PatternLookupStats { phrase_hits: 1, word_hits: 2, ..Default::default() };
@@ -350,6 +357,7 @@ mod tests {
         assert_eq!(parsed.get("stage").and_then(Json::as_str), Some("Answered"));
         assert_eq!(parsed.get("queries_built").and_then(Json::as_u64), Some(4));
         assert_eq!(parsed.get("queries_survived").and_then(Json::as_u64), Some(1));
+        assert_eq!(parsed.get("queries_failed").and_then(Json::as_u64), Some(1));
         let triples = parsed.get("triples").and_then(Json::as_array).unwrap();
         assert_eq!(triples.len(), 2);
         let cands = triples[1].get("candidates").and_then(Json::as_array).unwrap();

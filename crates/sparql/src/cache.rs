@@ -1,0 +1,305 @@
+//! Thread-safe, bounded LRU cache for query execution.
+//!
+//! Candidate sets across questions repeat many type-constraint and label
+//! sub-queries verbatim, so caching on the canonical query text is a real
+//! hot-path win, not a micro-cache. A hit returns a clone of the stored
+//! [`QueryResult`] without touching the parser or the executor; a miss
+//! parses, executes, and (on success only) stores the parsed [`Query`] AST
+//! alongside the result. Failures are never cached — a malformed query
+//! re-reports its error on every attempt.
+//!
+//! The cache assumes the graph it serves is immutable for its lifetime
+//! (the knowledge-base graphs are built once and then only read). Callers
+//! that do mutate the graph must [`clear`](QueryCache::clear) afterwards.
+//!
+//! Concurrency: a single mutex guards the map, but it is held only for the
+//! lookup/insert bookkeeping — parsing and execution run outside the lock,
+//! so concurrent misses for the same text may race and both execute; the
+//! last insert wins and the results are identical on an immutable graph.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
+
+use relpat_obs::fx::FxHashMap;
+use relpat_rdf::Graph;
+
+use crate::ast::Query;
+use crate::error::SparqlError;
+use crate::exec::{execute, QueryResult};
+use crate::parser::parse_query;
+
+/// Default entry bound: comfortably holds the working set of a full QALD
+/// run (a few thousand distinct candidate queries) in a few MB.
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+/// Point-in-time hit/miss totals of a [`QueryCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when it never served).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Fieldwise `self - earlier` (saturating) — attributes a shared
+    /// cache's cumulative counters to one run by sampling before and after.
+    pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    /// The parsed AST — kept so a future re-execution (e.g. after
+    /// [`QueryCache::clear`]) can skip the parser, and so the cache is the
+    /// single place that owns the text → AST association.
+    parsed: Query,
+    result: QueryResult,
+    /// Monotonic recency stamp (higher = more recently used).
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: FxHashMap<String, Entry>,
+    tick: u64,
+}
+
+/// Bounded query-text → result cache. See the module docs for the
+/// concurrency and invalidation contract.
+#[derive(Debug)]
+pub struct QueryCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for QueryCache {
+    fn default() -> Self {
+        Self::new(DEFAULT_CACHE_CAPACITY)
+    }
+}
+
+impl QueryCache {
+    /// A cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        QueryCache {
+            inner: Mutex::new(Inner::default()),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Parses and executes `text` against `graph`, serving repeats from the
+    /// cache. Increments `sparql.cache.hits` / `sparql.cache.misses` on the
+    /// global [`relpat_obs`] registry as well as the local stats.
+    pub fn query(&self, graph: &Graph, text: &str) -> Result<QueryResult, SparqlError> {
+        if let Some(result) = self.lookup(text) {
+            self.hits.fetch_add(1, Relaxed);
+            relpat_obs::counter!("sparql.cache.hits");
+            return Ok(result);
+        }
+        self.misses.fetch_add(1, Relaxed);
+        relpat_obs::counter!("sparql.cache.misses");
+        let parsed = parse_query(text)?;
+        let result = execute(graph, &parsed)?;
+        self.insert(text, parsed, result.clone());
+        Ok(result)
+    }
+
+    /// The cached parsed AST for `text`, if present. Does not touch the
+    /// LRU recency stamp or the hit/miss totals.
+    pub fn parsed(&self, text: &str) -> Option<Query> {
+        self.inner.lock().expect("cache lock").map.get(text).map(|e| e.parsed.clone())
+    }
+
+    /// Cumulative hit/miss totals.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats { hits: self.hits.load(Relaxed), misses: self.misses.load(Relaxed) }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry (hit/miss totals are kept). Required after any
+    /// mutation of the graph this cache serves.
+    pub fn clear(&self) {
+        self.inner.lock().expect("cache lock").map.clear();
+    }
+
+    fn lookup(&self, text: &str) -> Option<QueryResult> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let entry = inner.map.get_mut(text)?;
+        entry.last_used = tick;
+        Some(entry.result.clone())
+    }
+
+    fn insert(&self, text: &str, parsed: Query, result: QueryResult) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(text) {
+            // Batch-evict the least-recently-used eighth so eviction cost
+            // amortizes instead of paying a full scan per insert.
+            let mut stamps: Vec<u64> = inner.map.values().map(|e| e.last_used).collect();
+            stamps.sort_unstable();
+            let cutoff = stamps[(self.capacity / 8).max(1) - 1];
+            inner.map.retain(|_, e| e.last_used > cutoff);
+        }
+        inner.map.insert(text.to_string(), Entry { parsed, result, last_used: tick });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relpat_rdf::vocab::{dbont, rdf, res};
+    use relpat_rdf::Term;
+
+    fn graph() -> Graph {
+        let mut g = Graph::new();
+        g.add(
+            Term::iri(res::iri("Snow")),
+            Term::iri(rdf::TYPE),
+            Term::iri(dbont::iri("Book")),
+        );
+        g.add(
+            Term::iri(res::iri("Snow")),
+            Term::iri(dbont::iri("author")),
+            Term::iri(res::iri("Orhan Pamuk")),
+        );
+        g
+    }
+
+    #[test]
+    fn hit_returns_identical_result() {
+        let g = graph();
+        let cache = QueryCache::new(8);
+        let text = "SELECT ?x WHERE { ?x rdf:type dbont:Book . }";
+        let first = cache.query(&g, text).unwrap();
+        let second = cache.query(&g, text).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(cache.query(&g, text).unwrap(), crate::exec::query(&g, text).unwrap());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+        assert!(stats.hit_rate() > 0.6);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn ask_results_are_cached_too() {
+        let g = graph();
+        let cache = QueryCache::new(8);
+        let text = "ASK { res:Snow dbont:author res:Orhan_Pamuk . }";
+        assert_eq!(cache.query(&g, text).unwrap(), QueryResult::Boolean(true));
+        assert_eq!(cache.query(&g, text).unwrap(), QueryResult::Boolean(true));
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let g = graph();
+        let cache = QueryCache::new(8);
+        assert!(cache.query(&g, "SELECT ?x { broken").is_err());
+        assert!(cache.query(&g, "SELECT ?x { broken").is_err());
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recently_used_entries() {
+        let g = graph();
+        let cache = QueryCache::new(8);
+        let texts: Vec<String> = (0..8)
+            .map(|i| format!("SELECT ?x WHERE {{ ?x rdf:type dbont:Book . }} LIMIT {}", i + 1))
+            .collect();
+        for t in &texts {
+            cache.query(&g, t).unwrap();
+        }
+        assert_eq!(cache.len(), 8);
+        // Touch the newest entry, then overflow: the hot entry must survive.
+        cache.query(&g, &texts[7]).unwrap();
+        cache.query(&g, "SELECT ?x WHERE { ?x rdf:type dbont:Book . } LIMIT 100").unwrap();
+        assert!(cache.len() <= 8);
+        let before = cache.stats();
+        cache.query(&g, &texts[7]).unwrap();
+        assert_eq!(cache.stats().hits, before.hits + 1, "hot entry was evicted");
+    }
+
+    #[test]
+    fn clear_drops_entries_but_keeps_totals() {
+        let g = graph();
+        let cache = QueryCache::new(8);
+        let text = "SELECT ?x WHERE { ?x rdf:type dbont:Book . }";
+        cache.query(&g, text).unwrap();
+        cache.clear();
+        assert!(cache.is_empty());
+        cache.query(&g, text).unwrap();
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+    }
+
+    #[test]
+    fn concurrent_lookups_agree() {
+        let g = graph();
+        let cache = QueryCache::new(64);
+        let texts: Vec<String> = (0..16)
+            .map(|i| format!("SELECT ?x WHERE {{ ?x rdf:type dbont:Book . }} LIMIT {}", i + 1))
+            .collect();
+        let reference: Vec<QueryResult> =
+            texts.iter().map(|t| crate::exec::query(&g, t).unwrap()).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        for (t, want) in texts.iter().zip(reference.iter()) {
+                            assert_eq!(&cache.query(&g, t).unwrap(), want);
+                        }
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 4 * 50 * 16);
+        assert!(stats.hits > stats.misses);
+    }
+
+    #[test]
+    fn stores_the_parsed_ast_alongside_the_result() {
+        let g = graph();
+        let cache = QueryCache::new(8);
+        let text = "SELECT ?x WHERE { ?x rdf:type dbont:Book . }";
+        assert!(cache.parsed(text).is_none());
+        cache.query(&g, text).unwrap();
+        assert_eq!(cache.parsed(text), Some(crate::parser::parse_query(text).unwrap()));
+    }
+
+    #[test]
+    fn stats_delta_attribution() {
+        let a = CacheStats { hits: 10, misses: 4 };
+        let b = CacheStats { hits: 25, misses: 5 };
+        assert_eq!(b.delta_since(&a), CacheStats { hits: 15, misses: 1 });
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

@@ -21,12 +21,14 @@
 //! ```
 
 pub mod ast;
+mod cache;
 mod display;
 mod error;
 mod exec;
 mod parser;
 mod results;
 
+pub use cache::{CacheStats, QueryCache, DEFAULT_CACHE_CAPACITY};
 pub use error::SparqlError;
 pub use exec::{execute, query, QueryResult};
 pub use parser::parse_query;

@@ -223,8 +223,7 @@ impl WordNet {
             .filter(|x| anc_b.contains(x))
             .max_by(|x, y| {
                 self.information_content(*x)
-                    .partial_cmp(&self.information_content(*y))
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .total_cmp(&self.information_content(*y))
             })
     }
 
