@@ -17,7 +17,13 @@ cargo clippy --all-targets --workspace -- -D warnings
 echo "=== parallel-eval determinism gate ==="
 cargo test -q -p relpat-eval parallel_report_matches_sequential
 
+echo "=== lexical index equivalence gate ==="
+cargo test -q -p relpat-qa --test lexical_equivalence
+
 echo "=== batch throughput smoke ==="
 cargo bench -p relpat-bench --bench qa_batch_throughput -- --smoke
+
+echo "=== mapping throughput smoke ==="
+cargo bench -p relpat-bench --bench qa_mapping_throughput -- --smoke
 
 echo "CI OK"

@@ -47,6 +47,22 @@ fn main() {
     println!("--- SPARQL query cache ---\n");
     println!("{hits} hits / {misses} misses over {lookups} lookups (hit rate {rate:.1}%)\n");
 
+    let ix = kb.lexical().stats();
+    println!("--- Lexical candidate index (qa.map.index.*) ---\n");
+    println!(
+        "shape: {} entity + {} property entries, {} units, {} bigram postings, {} exact words",
+        ix.entity_entries, ix.property_entries, ix.units, ix.bigram_postings, ix.exact_words
+    );
+    let (probed, pruned, scored) = (
+        report.stats.counter("map.index.probed"),
+        report.stats.counter("map.index.pruned"),
+        report.stats.counter("map.index.scored"),
+    );
+    let prate = if probed == 0 { 0.0 } else { pruned as f64 / probed as f64 * 100.0 };
+    println!(
+        "this run: {probed} units probed, {pruned} pruned by bounds ({prate:.1}%), {scored} entries scored\n"
+    );
+
     println!("--- Process-global metrics snapshot ---\n");
     let snapshot = relpat_obs::global().snapshot();
     println!("{}", snapshot.to_json().to_pretty());

@@ -46,7 +46,10 @@ pub use mapping::{
 };
 pub use pipeline::{Pipeline, PipelineConfig, Response, Stage};
 pub use queries::{build_queries, BuiltQuery};
-pub use similarity::{lcs_len, lcs_score, property_name_score, split_camel_case};
+pub use similarity::{
+    lcs_len, lcs_len_with, lcs_score, lcs_score_pre, property_name_score,
+    property_name_score_pre, split_camel_case, LcsScratch,
+};
 pub use triples::{
     extract, ExpectedType, PatternTriple, PredKind, PredicateSlot, QuestionAnalysis,
     QuestionKind, SlotTerm,

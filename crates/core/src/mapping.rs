@@ -19,7 +19,7 @@ use relpat_rdf::Iri;
 use relpat_wordnet::{derived_noun, WnPos, WordNet};
 use relpat_obs::fx::FxHashMap;
 
-use crate::similarity::{lcs_score, property_name_score};
+use crate::similarity::{lcs_score, lcs_score_pre, property_name_score_pre, LcsScratch};
 use crate::triples::{PatternTriple, PredKind, PredicateSlot, QuestionAnalysis, SlotTerm};
 
 /// Where a property candidate came from (drives weights and ablations).
@@ -98,6 +98,12 @@ pub struct MappingConfig {
     pub entity_sim_threshold: f64,
     /// Keep at most this many pattern candidates per predicate.
     pub max_pattern_candidates: usize,
+    /// Route entity/property string-similarity scans through the KB's
+    /// prebuilt [`relpat_kb::LexicalIndex`] instead of brute-force label
+    /// scans. Candidates are bit-identical either way (the index only
+    /// prunes provably below-threshold entries); the flag is the escape
+    /// hatch and the lever for the equivalence test.
+    pub use_lexical_index: bool,
 }
 
 impl Default for MappingConfig {
@@ -110,6 +116,7 @@ impl Default for MappingConfig {
             string_sim_threshold: 0.7,
             entity_sim_threshold: 0.85,
             max_pattern_candidates: 5,
+            use_lexical_index: true,
         }
     }
 }
@@ -134,13 +141,16 @@ pub fn similar_property_pairs(
 ) -> FxHashMap<String, Vec<(String, f64)>> {
     let mut out: FxHashMap<String, Vec<(String, f64)>> = FxHashMap::default();
     let props = &kb.ontology.object_properties;
-    for a in props {
-        for b in props {
-            if a.name == b.name {
-                continue;
-            }
+    // Lin/Wu–Palmer and the modifier check are symmetric, so each unordered
+    // pair is scored once and recorded in both directions. Partners still
+    // arrive in ascending ontology order for every entry: pairs with a
+    // lower-indexed partner are pushed while the outer loop is on that
+    // partner, before the entry's own outer iteration pushes the rest.
+    for (i, a) in props.iter().enumerate() {
+        for b in &props[i + 1..] {
             if let Some(score) = label_pair_similarity(a.label, b.label, wordnet) {
                 out.entry(a.name.to_string()).or_default().push((b.name.to_string(), score));
+                out.entry(b.name.to_string()).or_default().push((a.name.to_string(), score));
             }
         }
     }
@@ -251,22 +261,40 @@ impl Mapper<'_> {
     // --------------------------------------------------------------- entities
 
     /// Candidate entities for a mention (exact normalized label, then fuzzy).
-    fn entity_pool(&self, text: &str) -> Vec<Iri> {
+    /// The fuzzy scan goes through the lexical index unless the escape-hatch
+    /// flag is off; either way the query is normalized (hence lowercased)
+    /// once and scored with a shared DP scratch.
+    pub fn entity_pool(&self, text: &str) -> Vec<Iri> {
         let exact = self.kb.entities_with_label(text);
         if !exact.is_empty() {
             return exact.to_vec();
         }
         let norm = normalize_label(text);
+        let threshold = self.config.entity_sim_threshold;
+        let mut scratch = LcsScratch::default();
         let mut scored: Vec<(f64, &Iri)> = Vec::new();
-        for (label, iris) in self.kb.labels_iter() {
-            let s = lcs_score(&norm, label);
-            if s >= self.config.entity_sim_threshold {
-                for iri in iris {
-                    scored.push((s, iri));
+        if self.config.use_lexical_index {
+            for (label, iris) in self.kb.lexical().entity_candidates(&norm, threshold) {
+                let s = lcs_score_pre(&norm, label, &mut scratch);
+                if s >= threshold {
+                    for iri in iris {
+                        scored.push((s, iri));
+                    }
+                }
+            }
+        } else {
+            for (label, iris) in self.kb.labels_iter() {
+                let s = lcs_score_pre(&norm, label, &mut scratch);
+                if s >= threshold {
+                    for iri in iris {
+                        scored.push((s, iri));
+                    }
                 }
             }
         }
-        scored.sort_by(|(a, _), (b, _)| b.total_cmp(a));
+        // Equal-score ties break on the IRI so the top-5 truncation is
+        // stable regardless of label iteration order.
+        scored.sort_by(|(sa, ia), (sb, ib)| sb.total_cmp(sa).then_with(|| ia.cmp(ib)));
         scored.into_iter().take(5).map(|(_, iri)| iri.clone()).collect()
     }
 
@@ -354,19 +382,7 @@ impl Mapper<'_> {
         lemma: &str,
         out: &mut Vec<PropertyCandidate>,
     ) {
-        for p in &self.kb.ontology.object_properties {
-            let s = property_name_score(lemma, p.name, p.label)
-                .max(property_name_score(text, p.name, p.label));
-            if s >= self.config.string_sim_threshold {
-                out.push(PropertyCandidate {
-                    property: p.name.to_string(),
-                    is_data: false,
-                    preferred_inverse: None,
-                    weight: s * 10.0,
-                    source: CandidateSource::StringSimilarity,
-                });
-            }
-        }
+        self.string_sim_properties(text, lemma, false, out);
     }
 
     /// §2.2.2: nouns against data properties by LCS score.
@@ -376,17 +392,61 @@ impl Mapper<'_> {
         lemma: &str,
         out: &mut Vec<PropertyCandidate>,
     ) {
-        for p in &self.kb.ontology.data_properties {
-            let s = property_name_score(lemma, p.name, p.label)
-                .max(property_name_score(text, p.name, p.label));
-            if s >= self.config.string_sim_threshold {
+        self.string_sim_properties(text, lemma, true, out);
+    }
+
+    /// Shared §2.2.1/§2.2.2 scan: both the word and its lemma against one
+    /// property family. The word pair is lowercased once; the lexical index
+    /// narrows the family to entries that can clear the threshold, and
+    /// survivors are rescored exactly (in ontology order either way).
+    fn string_sim_properties(
+        &self,
+        text: &str,
+        lemma: &str,
+        is_data: bool,
+        out: &mut Vec<PropertyCandidate>,
+    ) {
+        let threshold = self.config.string_sim_threshold;
+        let (text_l, lemma_l) = (text.to_lowercase(), lemma.to_lowercase());
+        let mut scratch = LcsScratch::default();
+        let mut score_and_push = |name: &str, label: &str| {
+            let s = property_name_score_pre(&lemma_l, name, label, &mut scratch)
+                .max(property_name_score_pre(&text_l, name, label, &mut scratch));
+            if s >= threshold {
                 out.push(PropertyCandidate {
-                    property: p.name.to_string(),
-                    is_data: true,
+                    property: name.to_string(),
+                    is_data,
                     preferred_inverse: None,
                     weight: s * 10.0,
                     source: CandidateSource::StringSimilarity,
                 });
+            }
+        };
+        if is_data {
+            let props = &self.kb.ontology.data_properties;
+            if self.config.use_lexical_index {
+                let hits =
+                    self.kb.lexical().data_property_candidates(&[&lemma_l, &text_l], threshold);
+                for i in hits {
+                    score_and_push(props[i].name, props[i].label);
+                }
+            } else {
+                for p in props {
+                    score_and_push(p.name, p.label);
+                }
+            }
+        } else {
+            let props = &self.kb.ontology.object_properties;
+            if self.config.use_lexical_index {
+                let hits =
+                    self.kb.lexical().object_property_candidates(&[&lemma_l, &text_l], threshold);
+                for i in hits {
+                    score_and_push(props[i].name, props[i].label);
+                }
+            } else {
+                for p in props {
+                    score_and_push(p.name, p.label);
+                }
             }
         }
     }
@@ -399,15 +459,27 @@ impl Mapper<'_> {
         source: CandidateSource,
         out: &mut Vec<PropertyCandidate>,
     ) {
-        for p in &self.kb.ontology.data_properties {
-            if property_name_score(noun, p.name, p.label) >= 0.9 {
+        let noun_l = noun.to_lowercase();
+        let mut scratch = LcsScratch::default();
+        let props = &self.kb.ontology.data_properties;
+        let mut check_and_push = |name: &str, label: &str| {
+            if property_name_score_pre(&noun_l, name, label, &mut scratch) >= 0.9 {
                 out.push(PropertyCandidate {
-                    property: p.name.to_string(),
+                    property: name.to_string(),
                     is_data: true,
                     preferred_inverse: None,
                     weight,
                     source,
                 });
+            }
+        };
+        if self.config.use_lexical_index {
+            for i in self.kb.lexical().data_property_candidates(&[&noun_l], 0.9) {
+                check_and_push(props[i].name, props[i].label);
+            }
+        } else {
+            for p in props {
+                check_and_push(p.name, p.label);
             }
         }
     }
@@ -559,6 +631,30 @@ mod tests {
             similar_pairs: &f.pairs,
             config: MappingConfig::default(),
         }
+    }
+
+    #[test]
+    fn similar_pairs_match_naive_double_loop() {
+        // The i<j halving must reproduce the full (a,b)+(b,a) grid exactly,
+        // including partner order within each entry.
+        let f = fixture();
+        let wordnet = embedded();
+        let mut naive: FxHashMap<String, Vec<(String, f64)>> = FxHashMap::default();
+        let props = &f.kb.ontology.object_properties;
+        for a in props {
+            for b in props {
+                if a.name == b.name {
+                    continue;
+                }
+                if let Some(score) = label_pair_similarity(a.label, b.label, wordnet) {
+                    naive
+                        .entry(a.name.to_string())
+                        .or_default()
+                        .push((b.name.to_string(), score));
+                }
+            }
+        }
+        assert_eq!(similar_property_pairs(&f.kb, wordnet), naive);
     }
 
     #[test]

@@ -5,18 +5,34 @@
 //! accidental containments like `river` ⊂ `taxiDriver` (their example). We
 //! normalize by the length of the longer string, which penalizes both
 //! one-sided containments symmetrically.
+//!
+//! The DP runs allocation-free on a caller-provided [`LcsScratch`]: ASCII
+//! inputs are compared byte-wise directly on the string slices; non-ASCII
+//! inputs decode into a reusable char buffer. The `_pre` variants take an
+//! already-lowercased query word so candidate loops normalize once per
+//! lookup instead of once per comparison — `to_lowercase()` is idempotent,
+//! so they score identically to the plain entry points.
 
-/// Length of the longest common subsequence of two ASCII-lowered strings.
-pub fn lcs_len(a: &str, b: &str) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
-    if a.is_empty() || b.is_empty() {
-        return 0;
-    }
-    // Two-row DP.
-    let mut prev = vec![0usize; b.len() + 1];
-    let mut cur = vec![0usize; b.len() + 1];
-    for &ca in &a {
+pub use relpat_kb::split_camel_case;
+
+/// Reusable DP scratch for [`lcs_len_with`]: two `u32` rows plus a char
+/// buffer for the non-ASCII path. One instance per lookup loop; the rows
+/// grow to the longest candidate seen and are then reused.
+#[derive(Debug, Default)]
+pub struct LcsScratch {
+    prev: Vec<u32>,
+    cur: Vec<u32>,
+    chars_a: Vec<char>,
+    chars_b: Vec<char>,
+}
+
+fn lcs_dp<T: Copy + PartialEq>(a: &[T], b: &[T], scratch: &mut LcsScratch) -> usize {
+    scratch.prev.clear();
+    scratch.prev.resize(b.len() + 1, 0);
+    scratch.cur.clear();
+    scratch.cur.resize(b.len() + 1, 0);
+    let (prev, cur) = (&mut scratch.prev, &mut scratch.cur);
+    for &ca in a {
         for (j, &cb) in b.iter().enumerate() {
             cur[j + 1] = if ca == cb {
                 prev[j] + 1
@@ -24,10 +40,44 @@ pub fn lcs_len(a: &str, b: &str) -> usize {
                 prev[j + 1].max(cur[j])
             };
         }
-        std::mem::swap(&mut prev, &mut cur);
+        std::mem::swap(prev, cur);
         cur[0] = 0;
     }
-    prev[b.len()]
+    prev[b.len()] as usize
+}
+
+/// Length of the longest common subsequence of two strings, reusing
+/// `scratch` across calls.
+pub fn lcs_len_with(a: &str, b: &str, scratch: &mut LcsScratch) -> usize {
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    if a.is_ascii() && b.is_ascii() {
+        return lcs_dp(a.as_bytes(), b.as_bytes(), scratch);
+    }
+    scratch.chars_a.clear();
+    scratch.chars_a.extend(a.chars());
+    scratch.chars_b.clear();
+    scratch.chars_b.extend(b.chars());
+    let (ca, cb) = (std::mem::take(&mut scratch.chars_a), std::mem::take(&mut scratch.chars_b));
+    let len = lcs_dp(&ca, &cb, scratch);
+    scratch.chars_a = ca;
+    scratch.chars_b = cb;
+    len
+}
+
+/// Length of the longest common subsequence of two ASCII-lowered strings.
+pub fn lcs_len(a: &str, b: &str) -> usize {
+    lcs_len_with(a, b, &mut LcsScratch::default())
+}
+
+/// [`lcs_score`] over already-lowercased inputs with reusable scratch.
+pub fn lcs_score_pre(a_lower: &str, b_lower: &str, scratch: &mut LcsScratch) -> f64 {
+    let max = a_lower.chars().count().max(b_lower.chars().count());
+    if max == 0 {
+        return 0.0;
+    }
+    lcs_len_with(a_lower, b_lower, scratch) as f64 / max as f64
 }
 
 /// Similarity score in `[0, 1]`: `lcs / max(|a|, |b|)`, case-insensitive.
@@ -38,28 +88,32 @@ pub fn lcs_len(a: &str, b: &str) -> usize {
 pub fn lcs_score(a: &str, b: &str) -> f64 {
     let a = a.to_lowercase();
     let b = b.to_lowercase();
-    let max = a.chars().count().max(b.chars().count());
-    if max == 0 {
-        return 0.0;
-    }
-    lcs_len(&a, &b) as f64 / max as f64
+    lcs_score_pre(&a, &b, &mut LcsScratch::default())
 }
 
-/// Splits a camelCase property local name into lower-cased words
-/// (`populationTotal` → `["population", "total"]`).
-pub fn split_camel_case(name: &str) -> Vec<String> {
-    let mut words = Vec::new();
-    let mut cur = String::new();
-    for c in name.chars() {
-        if c.is_uppercase() && !cur.is_empty() {
-            words.push(std::mem::take(&mut cur));
+/// [`property_name_score`] over an already-lowercased word with reusable
+/// scratch — the inner-loop form used by the mapper's candidate scans.
+pub fn property_name_score_pre(
+    word_lower: &str,
+    local_name: &str,
+    label: &str,
+    scratch: &mut LcsScratch,
+) -> f64 {
+    let name_lower = local_name.to_lowercase();
+    let mut best = lcs_score_pre(word_lower, &name_lower, scratch);
+    for w in split_camel_case(local_name) {
+        if w == word_lower {
+            best = best.max(0.95);
         }
-        cur.extend(c.to_lowercase());
     }
-    if !cur.is_empty() {
-        words.push(cur);
+    for w in label.to_lowercase().split_whitespace() {
+        if w == word_lower {
+            best = best.max(0.95);
+        } else {
+            best = best.max(lcs_score_pre(word_lower, w, scratch) * 0.9);
+        }
     }
-    words
+    best
 }
 
 /// Similarity between a question word and a property (local name + label):
@@ -68,20 +122,7 @@ pub fn split_camel_case(name: &str) -> Vec<String> {
 /// are compounds: `population` hits `populationTotal`).
 pub fn property_name_score(word: &str, local_name: &str, label: &str) -> f64 {
     let word = word.to_lowercase();
-    let mut best = lcs_score(&word, local_name);
-    for w in split_camel_case(local_name) {
-        if w == word {
-            best = best.max(0.95);
-        }
-    }
-    for w in label.to_lowercase().split_whitespace() {
-        if w == word {
-            best = best.max(0.95);
-        } else {
-            best = best.max(lcs_score(&word, w) * 0.9);
-        }
-    }
-    best
+    property_name_score_pre(&word, local_name, label, &mut LcsScratch::default())
 }
 
 #[cfg(test)]
@@ -145,5 +186,37 @@ mod tests {
     #[test]
     fn case_insensitive() {
         assert_eq!(lcs_score("Height", "height"), 1.0);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        let mut scratch = LcsScratch::default();
+        let pairs = [
+            ("written", "writer"),
+            ("über", "uber"),     // non-ASCII path
+            ("a", "a"),
+            ("", "xyz"),
+            ("longerstring", "short"),
+            ("naïve", "naïveté"), // shrinking then growing rows
+        ];
+        for (a, b) in pairs {
+            assert_eq!(lcs_len_with(a, b, &mut scratch), lcs_len(a, b), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn pre_lowered_variants_match_plain_entry_points() {
+        let mut scratch = LcsScratch::default();
+        for word in ["Written", "POPULATION", "höhe", "a"] {
+            let lower = word.to_lowercase();
+            assert_eq!(
+                property_name_score_pre(&lower, "populationTotal", "population total", &mut scratch),
+                property_name_score(word, "populationTotal", "population total"),
+            );
+            assert_eq!(
+                lcs_score_pre(&lower, "writer", &mut scratch),
+                lcs_score(word, "writer"),
+            );
+        }
     }
 }

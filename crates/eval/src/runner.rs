@@ -302,6 +302,7 @@ fn assemble_report(
     stage_order: &[String],
     results: Vec<QuestionResult>,
     cache_delta: relpat_sparql::CacheStats,
+    index_delta: relpat_kb::IndexLookupStats,
 ) -> Report {
     let answered = results.iter().filter(|r| r.answered).count();
     let correct = results.iter().filter(|r| r.correct).count();
@@ -311,6 +312,9 @@ fn assemble_report(
         .collect();
     counters.push(("sparql.cache.hits".to_string(), cache_delta.hits));
     counters.push(("sparql.cache.misses".to_string(), cache_delta.misses));
+    counters.push(("map.index.probed".to_string(), index_delta.probed));
+    counters.push(("map.index.pruned".to_string(), index_delta.pruned));
+    counters.push(("map.index.scored".to_string(), index_delta.scored));
     let stats = RunStats {
         stage_latencies: stage_order.iter().map(|key| registry.histogram(key).summary()).collect(),
         counters,
@@ -347,6 +351,7 @@ pub fn run_benchmark_with(
     let kb = pipeline.kb();
     let evaluated = evaluated_subset(questions);
     let cache_before = kb.cache_stats();
+    let index_before = kb.lexical().lookup_stats();
     let threads = threads.max(1).min(evaluated.len().max(1));
 
     if threads == 1 {
@@ -361,7 +366,8 @@ pub fn run_benchmark_with(
             results.push(judge_question(kb, q, &response));
         }
         let cache_delta = kb.cache_stats().delta_since(&cache_before);
-        return assemble_report(&local, &stage_order, results, cache_delta);
+        let index_delta = kb.lexical().lookup_stats().delta_since(&index_before);
+        return assemble_report(&local, &stage_order, results, cache_delta, index_delta);
     }
 
     let patterns_before = pipeline.patterns().lookup_stats();
@@ -410,7 +416,8 @@ pub fn run_benchmark_with(
     let results: Vec<QuestionResult> =
         slots.into_iter().map(|r| r.expect("every question judged")).collect();
     let cache_delta = kb.cache_stats().delta_since(&cache_before);
-    assemble_report(&merged, &stage_order, results, cache_delta)
+    let index_delta = kb.lexical().lookup_stats().delta_since(&index_before);
+    assemble_report(&merged, &stage_order, results, cache_delta, index_delta)
 }
 
 #[cfg(test)]
@@ -574,6 +581,20 @@ mod tests {
         };
         assert!(lookups(&seq) > 0);
         assert_eq!(lookups(&seq), lookups(&par), "total cache lookups are deterministic");
+    }
+
+    #[test]
+    fn report_surfaces_lexical_index_counters() {
+        let r = report();
+        let probed = r.stats.counter("map.index.probed");
+        let pruned = r.stats.counter("map.index.pruned");
+        let scored = r.stats.counter("map.index.scored");
+        assert!(probed > 0, "mapping never consulted the lexical index");
+        assert!(probed >= pruned, "pruned {pruned} > probed {probed}");
+        assert!(scored > 0, "index pruned every candidate");
+        let value = Json::parse(&r.to_json()).unwrap();
+        let counters = value.get("observability").and_then(|o| o.get("counters")).unwrap();
+        assert_eq!(counters.get("map.index.probed").and_then(Json::as_u64), Some(probed));
     }
 
     #[test]

@@ -5,6 +5,7 @@ use relpat_rdf::{Graph, Iri, Term};
 use relpat_sparql::{query, CacheStats, QueryCache, QueryResult, SparqlError};
 use relpat_obs::fx::{FxHashMap, FxHashSet};
 
+use crate::lexical::LexicalIndex;
 use crate::ontology::Ontology;
 
 /// Normalizes a label for indexing: lower-case, article-stripped,
@@ -34,6 +35,9 @@ pub struct KnowledgeBase {
     /// as immutable once wrapped; code that mutates `graph` afterwards must
     /// call [`invalidate_query_cache`](Self::invalidate_query_cache).
     query_cache: QueryCache,
+    /// Sublinear candidate index over entity labels and ontology
+    /// properties, built once here (see [`crate::lexical`]).
+    lexical: LexicalIndex,
 }
 
 impl KnowledgeBase {
@@ -73,6 +77,7 @@ impl KnowledgeBase {
             class_by_label.insert(normalize_label(c.label), c.name);
         }
 
+        let lexical = LexicalIndex::build(&label_index, &ontology);
         KnowledgeBase {
             graph,
             ontology,
@@ -81,7 +86,14 @@ impl KnowledgeBase {
             class_by_label,
             page_links,
             query_cache: QueryCache::default(),
+            lexical,
         }
+    }
+
+    /// The lexical candidate index over entity labels and ontology
+    /// properties (built once at construction).
+    pub fn lexical(&self) -> &LexicalIndex {
+        &self.lexical
     }
 
     /// Entities whose label normalizes to exactly `text`.

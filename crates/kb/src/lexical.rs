@@ -1,0 +1,732 @@
+//! Sublinear lexical candidate index for entity & property mapping.
+//!
+//! The §2.2 mapping stage scores question words against every entity label
+//! and every ontology property with a full LCS dynamic program. This module
+//! replaces the brute-force scan with a pre-built index that retrieves a
+//! *provable superset* of the entries that can reach the similarity
+//! threshold; the caller then runs the exact scorer only on the survivors,
+//! so the final candidate lists are bit-identical to the brute-force scan.
+//!
+//! ## Structure
+//!
+//! Every indexed string ("scoring unit") is stored lowercased with
+//! precomputed artifacts: character length, a character-frequency multiset
+//! and a score scale (1.0 for whole names and entity labels, 0.9 for label
+//! words, matching `property_name_score`). Units feed three retrieval
+//! structures:
+//!
+//! - a character **bigram inverted index** (unit text → its adjacent
+//!   character pairs → posting lists);
+//! - an **exact-word map** for the 0.95 near-exact rule (camel-case
+//!   constituents of property names and label words);
+//! - a per-scale **short-unit bucket** (units sorted by length) for the
+//!   region where the bigram guarantee below does not apply.
+//!
+//! ## Why retrieval is lossless
+//!
+//! LCS is a *subsequence* measure, so n-gram retrieval needs a real
+//! argument (two strings can share a long subsequence but no trigram).
+//! Count adjacency breaks: a common subsequence of length `L` in strings of
+//! length `m` and `ℓ` has `L−1` adjacent pairs, and at most
+//! `(m−L) + (ℓ−L)` of them are interrupted by non-subsequence characters.
+//! If `3L ≥ m+ℓ+2` some pair survives contiguously in both strings — a
+//! shared bigram. With `score = L/max(m,ℓ) ≥ t` this holds whenever
+//! `max(m,ℓ) ≥ 2/(3t−2)` (valid for `t > 2/3`; the same derivation for
+//! trigrams needs `t > 4/5`, above our 0.7 property threshold, which is why
+//! this is a bigram index). Pairs below that length bound live in the
+//! short-unit bucket, which is scanned only when the query itself is short
+//! (if the query is long, `max(m,ℓ)` is large and the guarantee applies).
+//! When the effective threshold is ≤ 2/3 (ablation sweeps), retrieval
+//! degrades to a bounded full scan of the unit list — still pruned, still
+//! exact.
+//!
+//! ## Why pruning is lossless
+//!
+//! Survivors of retrieval are kept only if a cheap upper bound on the LCS
+//! score clears the threshold: `lcs ≤ min(m,ℓ)` (length-band bound) and
+//! `lcs ≤ |multiset intersection|` (character-count bound). Both bounds are
+//! integers ≥ the true LCS length, and `x ↦ x/max` and `x ↦ x·scale` are
+//! monotone under IEEE rounding, so the computed bound is ≥ the exactly
+//! computed score — an entry is pruned only when its true score cannot
+//! reach the threshold. Exact-word hits skip the bounds entirely.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use relpat_obs::fx::{FxHashMap, FxHashSet};
+use relpat_rdf::Iri;
+
+use crate::ontology::Ontology;
+
+/// Splits a camelCase property local name into lower-cased words
+/// (`populationTotal` → `["population", "total"]`). Canonical home of the
+/// splitter used both here (index build) and by the core scorer.
+pub fn split_camel_case(name: &str) -> Vec<String> {
+    let mut words = Vec::new();
+    let mut cur = String::new();
+    for c in name.chars() {
+        if c.is_uppercase() && !cur.is_empty() {
+            words.push(std::mem::take(&mut cur));
+        }
+        cur.extend(c.to_lowercase());
+    }
+    if !cur.is_empty() {
+        words.push(cur);
+    }
+    words
+}
+
+/// Character-frequency multiset of a (lowercased) string: ASCII counts in a
+/// dense array, anything else in a sorted spill vector.
+#[derive(Debug, Clone)]
+struct CharBag {
+    ascii: [u16; 128],
+    other: Vec<(char, u16)>,
+}
+
+impl CharBag {
+    fn of(s: &str) -> Self {
+        let mut ascii = [0u16; 128];
+        let mut other: Vec<(char, u16)> = Vec::new();
+        for c in s.chars() {
+            if (c as u32) < 128 {
+                let slot = &mut ascii[c as usize];
+                *slot = slot.saturating_add(1);
+            } else {
+                match other.binary_search_by_key(&c, |&(x, _)| x) {
+                    Ok(i) => other[i].1 = other[i].1.saturating_add(1),
+                    Err(i) => other.insert(i, (c, 1)),
+                }
+            }
+        }
+        CharBag { ascii, other }
+    }
+
+    /// Size of the multiset intersection — an upper bound on the LCS length
+    /// of the two strings.
+    fn intersection(&self, rhs: &CharBag) -> usize {
+        let mut n: usize = 0;
+        for i in 0..128 {
+            n += self.ascii[i].min(rhs.ascii[i]) as usize;
+        }
+        if !self.other.is_empty() && !rhs.other.is_empty() {
+            let (mut i, mut j) = (0, 0);
+            while i < self.other.len() && j < rhs.other.len() {
+                match self.other[i].0.cmp(&rhs.other[j].0) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        n += self.other[i].1.min(rhs.other[j].1) as usize;
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+        n
+    }
+}
+
+/// One indexed scoring unit: a lowercased string that the exact scorer
+/// compares against via LCS, scaled by `scale` in the final score.
+#[derive(Debug)]
+struct Unit {
+    entry: u32,
+    scale: f64,
+    len: u32,
+    bag: CharBag,
+}
+
+/// Units of one scale, ordered by character length (short-bucket scans walk
+/// a prefix of this list).
+#[derive(Debug)]
+struct ScaleGroup {
+    scale: f64,
+    by_len: Vec<u32>,
+}
+
+/// Build-time description of one entry.
+struct EntrySpec {
+    /// `(lowercased text, scale)` LCS scoring units.
+    units: Vec<(String, f64)>,
+    /// Exact-match words for the 0.95 rule (camel constituents + label words).
+    words: Vec<String>,
+}
+
+fn bigram_key(a: char, b: char) -> u64 {
+    ((a as u64) << 32) | b as u64
+}
+
+/// Inverted index over one family of entries (entity labels, object
+/// properties or data properties). Entry ids are positions in the caller's
+/// backing list, so survivors come back in the caller's iteration order.
+#[derive(Debug)]
+struct SimIndex {
+    units: Vec<Unit>,
+    entry_count: usize,
+    bigrams: FxHashMap<u64, Vec<u32>>,
+    groups: Vec<ScaleGroup>,
+    words: FxHashMap<String, Vec<u32>>,
+}
+
+impl SimIndex {
+    fn build(specs: Vec<EntrySpec>) -> Self {
+        let entry_count = specs.len();
+        let mut units: Vec<Unit> = Vec::new();
+        let mut bigrams: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+        let mut words: FxHashMap<String, Vec<u32>> = FxHashMap::default();
+        for (entry, spec) in specs.into_iter().enumerate() {
+            for (text, scale) in spec.units {
+                let id = units.len() as u32;
+                let mut keys: Vec<u64> = text
+                    .chars()
+                    .zip(text.chars().skip(1))
+                    .map(|(a, b)| bigram_key(a, b))
+                    .collect();
+                keys.sort_unstable();
+                keys.dedup();
+                for key in keys {
+                    bigrams.entry(key).or_default().push(id);
+                }
+                units.push(Unit {
+                    entry: entry as u32,
+                    scale,
+                    len: text.chars().count() as u32,
+                    bag: CharBag::of(&text),
+                });
+            }
+            for word in spec.words {
+                let posting = words.entry(word).or_default();
+                if posting.last() != Some(&(entry as u32)) {
+                    posting.push(entry as u32);
+                }
+            }
+        }
+        let mut scales: Vec<f64> = units.iter().map(|u| u.scale).collect();
+        scales.sort_by(f64::total_cmp);
+        scales.dedup();
+        let groups = scales
+            .into_iter()
+            .map(|scale| {
+                let mut by_len: Vec<u32> = (0..units.len() as u32)
+                    .filter(|&u| units[u as usize].scale == scale)
+                    .collect();
+                by_len.sort_by_key(|&u| units[u as usize].len);
+                ScaleGroup { scale, by_len }
+            })
+            .collect();
+        SimIndex { units, entry_count, bigrams, groups, words }
+    }
+
+    /// Entry ids (ascending) whose true score against `query` *may* reach
+    /// `threshold` — a provable superset, see the module docs. `query` must
+    /// already be lowercased (entity queries: `normalize_label`ed).
+    fn candidates(&self, query: &str, threshold: f64, stats: &LookupCells) -> Vec<u32> {
+        let qlen = query.chars().count();
+        let qbag = CharBag::of(query);
+        let mut survivor = vec![false; self.entry_count];
+
+        // Exact-word fast path: 0.95-rule hits survive unconditionally (the
+        // exact scorer re-derives the actual score).
+        if let Some(posting) = self.words.get(query) {
+            for &e in posting {
+                survivor[e as usize] = true;
+            }
+        }
+
+        let mut seen = vec![false; self.units.len()];
+        let mut examine: Vec<u32> = Vec::new();
+        let mut probe_bigrams = false;
+        for group in &self.groups {
+            if group.scale < threshold {
+                continue; // scale · lcs_score ≤ scale < threshold: unreachable
+            }
+            let t_eff = threshold / group.scale;
+            if t_eff <= 2.0 / 3.0 {
+                // Below the bigram-recall guarantee: bounded full scan.
+                for &u in &group.by_len {
+                    if !seen[u as usize] {
+                        seen[u as usize] = true;
+                        examine.push(u);
+                    }
+                }
+            } else {
+                probe_bigrams = true;
+                // Guarantee bound (+1 absorbs float rounding of the ceil).
+                let bound = (2.0 / (3.0 * t_eff - 2.0)).ceil() as usize + 1;
+                if qlen < bound {
+                    for &u in &group.by_len {
+                        if self.units[u as usize].len as usize >= bound {
+                            break;
+                        }
+                        if !seen[u as usize] {
+                            seen[u as usize] = true;
+                            examine.push(u);
+                        }
+                    }
+                }
+            }
+        }
+        if probe_bigrams && qlen >= 2 {
+            let mut probed_keys: FxHashSet<u64> = FxHashSet::default();
+            for (a, b) in query.chars().zip(query.chars().skip(1)) {
+                let key = bigram_key(a, b);
+                if !probed_keys.insert(key) {
+                    continue;
+                }
+                if let Some(posting) = self.bigrams.get(&key) {
+                    for &u in posting {
+                        if !seen[u as usize] {
+                            seen[u as usize] = true;
+                            examine.push(u);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut pruned: u64 = 0;
+        for &u in &examine {
+            let unit = &self.units[u as usize];
+            if survivor[unit.entry as usize] {
+                continue;
+            }
+            if unit.scale < threshold {
+                pruned += 1;
+                continue;
+            }
+            let (len, max) = (unit.len as usize, (unit.len as usize).max(qlen));
+            if max == 0 {
+                // Both empty: true score is 0, matching `lcs_score`.
+                if 0.0 < threshold {
+                    pruned += 1;
+                    continue;
+                }
+                survivor[unit.entry as usize] = true;
+                continue;
+            }
+            let band = unit.scale * (len.min(qlen) as f64 / max as f64);
+            if band < threshold {
+                pruned += 1;
+                continue;
+            }
+            let ub = unit.scale * (qbag.intersection(&unit.bag) as f64 / max as f64);
+            if ub < threshold {
+                pruned += 1;
+                continue;
+            }
+            survivor[unit.entry as usize] = true;
+        }
+
+        let out: Vec<u32> = (0..self.entry_count as u32)
+            .filter(|&e| survivor[e as usize])
+            .collect();
+        stats.record(examine.len() as u64, pruned, out.len() as u64);
+        out
+    }
+
+    fn posting_len(&self) -> usize {
+        self.bigrams.values().map(Vec::len).sum()
+    }
+}
+
+/// Cumulative lookup totals (snapshot of [`LexicalIndex::lookup_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexLookupStats {
+    /// Scoring units examined via postings, buckets or fallback scans.
+    pub probed: u64,
+    /// Units rejected by the length-band / multiset upper bounds.
+    pub pruned: u64,
+    /// Entries returned to the caller for exact scoring.
+    pub scored: u64,
+}
+
+impl IndexLookupStats {
+    pub fn delta_since(&self, before: &IndexLookupStats) -> IndexLookupStats {
+        IndexLookupStats {
+            probed: self.probed - before.probed,
+            pruned: self.pruned - before.pruned,
+            scored: self.scored - before.scored,
+        }
+    }
+
+    /// Fraction of probed units the bounds rejected without running the DP.
+    pub fn prune_rate(&self) -> f64 {
+        if self.probed == 0 {
+            0.0
+        } else {
+            self.pruned as f64 / self.probed as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct LookupCells {
+    probed: AtomicU64,
+    pruned: AtomicU64,
+    scored: AtomicU64,
+}
+
+impl LookupCells {
+    fn record(&self, probed: u64, pruned: u64, scored: u64) {
+        self.probed.fetch_add(probed, Relaxed);
+        self.pruned.fetch_add(pruned, Relaxed);
+        self.scored.fetch_add(scored, Relaxed);
+        relpat_obs::counter!("qa.map.index.probed", probed);
+        relpat_obs::counter!("qa.map.index.pruned", pruned);
+        relpat_obs::counter!("qa.map.index.scored", scored);
+    }
+
+    fn snapshot(&self) -> IndexLookupStats {
+        IndexLookupStats {
+            probed: self.probed.load(Relaxed),
+            pruned: self.pruned.load(Relaxed),
+            scored: self.scored.load(Relaxed),
+        }
+    }
+}
+
+/// Build-time shape of the index (for profiles and benches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LexStats {
+    pub entity_entries: usize,
+    pub property_entries: usize,
+    pub units: usize,
+    pub bigram_postings: usize,
+    pub exact_words: usize,
+}
+
+/// The per-`KnowledgeBase` lexical candidate index: entity labels plus
+/// object/data property names and labels. Built once in
+/// [`KnowledgeBase::from_graph`](crate::KnowledgeBase::from_graph).
+#[derive(Debug)]
+pub struct LexicalIndex {
+    /// `(normalized label, entities)` sorted by label — the index's stable
+    /// view of the entity label table.
+    entity_labels: Vec<(String, Vec<Iri>)>,
+    entities: SimIndex,
+    object_props: SimIndex,
+    data_props: SimIndex,
+    lookups: LookupCells,
+}
+
+impl LexicalIndex {
+    pub(crate) fn build(
+        label_index: &FxHashMap<String, Vec<Iri>>,
+        ontology: &Ontology,
+    ) -> Self {
+        let mut entity_labels: Vec<(String, Vec<Iri>)> =
+            label_index.iter().map(|(l, v)| (l.clone(), v.clone())).collect();
+        entity_labels.sort_by(|(a, _), (b, _)| a.cmp(b));
+        let entity_specs = entity_labels
+            .iter()
+            .map(|(label, _)| EntrySpec {
+                units: vec![(label.clone(), 1.0)],
+                words: Vec::new(),
+            })
+            .collect();
+        let property_specs = |names: &mut dyn Iterator<Item = (&str, &str)>| -> Vec<EntrySpec> {
+            names
+                .map(|(name, label)| {
+                    let mut units = vec![(name.to_lowercase(), 1.0)];
+                    let mut words = split_camel_case(name);
+                    for w in label.to_lowercase().split_whitespace() {
+                        units.push((w.to_string(), 0.9));
+                        words.push(w.to_string());
+                    }
+                    words.sort_unstable();
+                    words.dedup();
+                    EntrySpec { units, words }
+                })
+                .collect()
+        };
+        let object_props = SimIndex::build(property_specs(
+            &mut ontology.object_properties.iter().map(|p| (p.name, p.label)),
+        ));
+        let data_props = SimIndex::build(property_specs(
+            &mut ontology.data_properties.iter().map(|p| (p.name, p.label)),
+        ));
+        LexicalIndex {
+            entities: SimIndex::build(entity_specs),
+            entity_labels,
+            object_props,
+            data_props,
+            lookups: LookupCells::default(),
+        }
+    }
+
+    /// Entity-label entries that may score ≥ `threshold` against the
+    /// (already `normalize_label`ed) query. A superset of the true matches;
+    /// callers re-score with the exact LCS and filter.
+    pub fn entity_candidates(
+        &self,
+        norm_query: &str,
+        threshold: f64,
+    ) -> impl Iterator<Item = (&str, &[Iri])> {
+        self.entities
+            .candidates(norm_query, threshold, &self.lookups)
+            .into_iter()
+            .map(|e| {
+                let (label, iris) = &self.entity_labels[e as usize];
+                (label.as_str(), iris.as_slice())
+            })
+    }
+
+    /// Indices into `ontology.object_properties` (ascending) that may score
+    /// ≥ `threshold` against *any* of the lowercased query words.
+    pub fn object_property_candidates(&self, words: &[&str], threshold: f64) -> Vec<usize> {
+        self.multi_word(&self.object_props, words, threshold)
+    }
+
+    /// Indices into `ontology.data_properties` (ascending) that may score
+    /// ≥ `threshold` against *any* of the lowercased query words.
+    pub fn data_property_candidates(&self, words: &[&str], threshold: f64) -> Vec<usize> {
+        self.multi_word(&self.data_props, words, threshold)
+    }
+
+    fn multi_word(&self, index: &SimIndex, words: &[&str], threshold: f64) -> Vec<usize> {
+        let mut out: Vec<u32> = Vec::new();
+        for (i, word) in words.iter().enumerate() {
+            if words[..i].contains(word) {
+                continue; // identical word (text == lemma): same survivors
+            }
+            out.extend(index.candidates(word, threshold, &self.lookups));
+        }
+        out.sort_unstable();
+        out.dedup();
+        out.into_iter().map(|e| e as usize).collect()
+    }
+
+    /// Cumulative probe/prune/score totals across all lookups on this index
+    /// (per-KB, so concurrent tests in one process do not bleed).
+    pub fn lookup_stats(&self) -> IndexLookupStats {
+        self.lookups.snapshot()
+    }
+
+    /// Build-time shape of the index.
+    pub fn stats(&self) -> LexStats {
+        LexStats {
+            entity_entries: self.entity_labels.len(),
+            property_entries: self.object_props.entry_count + self.data_props.entry_count,
+            units: self.entities.units.len()
+                + self.object_props.units.len()
+                + self.data_props.units.len(),
+            bigram_postings: self.entities.posting_len()
+                + self.object_props.posting_len()
+                + self.data_props.posting_len(),
+            exact_words: self.object_props.words.len() + self.data_props.words.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference LCS (chars, two-row DP) for soundness checks.
+    fn lcs_len(a: &str, b: &str) -> usize {
+        let a: Vec<char> = a.chars().collect();
+        let b: Vec<char> = b.chars().collect();
+        let mut prev = vec![0usize; b.len() + 1];
+        let mut cur = vec![0usize; b.len() + 1];
+        for &ca in &a {
+            for (j, &cb) in b.iter().enumerate() {
+                cur[j + 1] = if ca == cb { prev[j] + 1 } else { prev[j + 1].max(cur[j]) };
+            }
+            std::mem::swap(&mut prev, &mut cur);
+            cur[0] = 0;
+        }
+        prev[b.len()]
+    }
+
+    fn lcs_score(a: &str, b: &str) -> f64 {
+        let max = a.chars().count().max(b.chars().count());
+        if max == 0 {
+            0.0
+        } else {
+            lcs_len(a, b) as f64 / max as f64
+        }
+    }
+
+    /// Reference property score over the same unit model the index encodes.
+    fn property_score(word: &str, name: &str, label: &str) -> f64 {
+        let mut best = lcs_score(word, &name.to_lowercase());
+        for w in split_camel_case(name) {
+            if w == word {
+                best = best.max(0.95);
+            }
+        }
+        for w in label.to_lowercase().split_whitespace() {
+            if w == word {
+                best = best.max(0.95);
+            } else {
+                best = best.max(lcs_score(word, w) * 0.9);
+            }
+        }
+        best
+    }
+
+    fn toy_index() -> LexicalIndex {
+        let mut labels: FxHashMap<String, Vec<Iri>> = FxHashMap::default();
+        for (label, iri) in [
+            ("orhan pamuk", "http://e/Orhan_Pamuk"),
+            ("orhan pamul", "http://e/Orhan_Pamul"),
+            ("michael jordan", "http://e/Michael_Jordan"),
+            ("ankara", "http://e/Ankara"),
+            ("a", "http://e/A"),
+            ("é", "http://e/Accent"),
+        ] {
+            labels.entry(label.to_string()).or_default().push(Iri::new(iri));
+        }
+        LexicalIndex::build(&labels, &Ontology::dbpedia())
+    }
+
+    fn entity_survivors(ix: &LexicalIndex, query: &str, t: f64) -> Vec<String> {
+        ix.entity_candidates(query, t).map(|(l, _)| l.to_string()).collect()
+    }
+
+    #[test]
+    fn camel_split_matches_expected() {
+        assert_eq!(split_camel_case("populationTotal"), vec!["population", "total"]);
+        assert_eq!(split_camel_case("height"), vec!["height"]);
+    }
+
+    #[test]
+    fn entity_retrieval_is_a_superset_of_true_matches() {
+        let ix = toy_index();
+        for t in [0.5, 0.7, 0.85, 0.95, 1.0] {
+            for query in ["orhan pamuk", "orham pamuk", "ankaro", "a", "é", "", "jordan"] {
+                let got = entity_survivors(&ix, query, t);
+                for (label, _) in &ix.entity_labels {
+                    if lcs_score(query, label) >= t {
+                        assert!(got.contains(label), "missing {label:?} for {query:?} @ {t}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_char_query_finds_single_char_label() {
+        // Exercises the short-unit bucket: no bigrams exist on either side.
+        let ix = toy_index();
+        assert!(entity_survivors(&ix, "a", 0.85).contains(&"a".to_string()));
+        assert!(entity_survivors(&ix, "é", 0.85).contains(&"é".to_string()));
+    }
+
+    #[test]
+    fn property_retrieval_is_a_superset_and_sorted() {
+        let ix = toy_index();
+        let ontology = Ontology::dbpedia();
+        for t in [0.5, 0.7, 0.9, 0.95] {
+            for word in ["population", "written", "height", "of", "crosses", "zzz", ""] {
+                let obj = ix.object_property_candidates(&[word], t);
+                assert!(obj.windows(2).all(|w| w[0] < w[1]), "unsorted {obj:?}");
+                for (i, p) in ontology.object_properties.iter().enumerate() {
+                    if property_score(word, p.name, p.label) >= t {
+                        assert!(obj.contains(&i), "missing {} for {word:?} @ {t}", p.name);
+                    }
+                }
+                let data = ix.data_property_candidates(&[word], t);
+                for (i, p) in ontology.data_properties.iter().enumerate() {
+                    if property_score(word, p.name, p.label) >= t {
+                        assert!(data.contains(&i), "missing {} for {word:?} @ {t}", p.name);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_word_union_covers_both_words() {
+        let ix = toy_index();
+        let ontology = Ontology::dbpedia();
+        let both = ix.object_property_candidates(&["written", "crosses"], 0.7);
+        for word in ["written", "crosses"] {
+            for (i, p) in ontology.object_properties.iter().enumerate() {
+                if property_score(word, p.name, p.label) >= 0.7 {
+                    assert!(both.contains(&i), "missing {}", p.name);
+                }
+            }
+        }
+        // Duplicate words collapse to one lookup's worth of survivors.
+        assert_eq!(
+            ix.object_property_candidates(&["written", "written"], 0.7),
+            ix.object_property_candidates(&["written"], 0.7)
+        );
+    }
+
+    #[test]
+    fn random_sweep_never_loses_a_match() {
+        let mut rng = relpat_obs::Rng::seed_from_u64(0xBEEF);
+        let ix = toy_index();
+        let ontology = Ontology::dbpedia();
+        let alphabet: Vec<char> = "abcdehilmnoprstu é".chars().collect();
+        for _ in 0..300 {
+            let len = (rng.next_u64() % 13) as usize;
+            let query: String =
+                (0..len).map(|_| alphabet[(rng.next_u64() as usize) % alphabet.len()]).collect();
+            for t in [0.5, 0.7, 0.85, 0.9] {
+                let got = entity_survivors(&ix, &query, t);
+                for (label, _) in &ix.entity_labels {
+                    if lcs_score(&query, label) >= t {
+                        assert!(got.contains(label), "lost {label:?} for {query:?} @ {t}");
+                    }
+                }
+                let obj = ix.object_property_candidates(&[&query], t);
+                for (i, p) in ontology.object_properties.iter().enumerate() {
+                    if property_score(&query, p.name, p.label) >= t {
+                        assert!(obj.contains(&i), "lost {} for {query:?} @ {t}", p.name);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_prune_and_stats_accumulate() {
+        let ix = toy_index();
+        let before = ix.lookup_stats();
+        let _ = entity_survivors(&ix, "orhan pamuk", 0.85);
+        let delta = ix.lookup_stats().delta_since(&before);
+        assert!(delta.probed > 0);
+        // Entity entries have exactly one unit and no word map, so every
+        // probed unit is either pruned or scored.
+        assert_eq!(delta.probed, delta.pruned + delta.scored);
+        // The near-duplicate label survives, unrelated labels are pruned.
+        let survivors = entity_survivors(&ix, "orhan pamuk", 0.85);
+        assert!(survivors.contains(&"orhan pamuk".to_string()));
+        assert!(survivors.contains(&"orhan pamul".to_string()));
+        assert!(!survivors.contains(&"michael jordan".to_string()));
+    }
+
+    #[test]
+    fn build_stats_report_shape() {
+        let ix = toy_index();
+        let s = ix.stats();
+        assert_eq!(s.entity_entries, 6);
+        let ontology = Ontology::dbpedia();
+        assert_eq!(
+            s.property_entries,
+            ontology.object_properties.len() + ontology.data_properties.len()
+        );
+        assert!(s.units > s.entity_entries + s.property_entries); // label words add units
+        assert!(s.bigram_postings > 0);
+        assert!(s.exact_words > 0);
+    }
+
+    #[test]
+    fn char_bag_intersection_bounds_lcs() {
+        let mut rng = relpat_obs::Rng::seed_from_u64(7);
+        let alphabet: Vec<char> = "abcdefgé".chars().collect();
+        for _ in 0..200 {
+            let mk = |rng: &mut relpat_obs::Rng| -> String {
+                let len = (rng.next_u64() % 10) as usize;
+                (0..len).map(|_| alphabet[(rng.next_u64() as usize) % alphabet.len()]).collect()
+            };
+            let (a, b) = (mk(&mut rng), mk(&mut rng));
+            let inter = CharBag::of(&a).intersection(&CharBag::of(&b));
+            assert!(inter >= lcs_len(&a, &b), "bag bound broken for {a:?} vs {b:?}");
+            assert!(inter <= a.chars().count().min(b.chars().count()));
+        }
+    }
+}

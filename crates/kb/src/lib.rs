@@ -17,6 +17,7 @@
 
 mod generate;
 mod kb;
+pub mod lexical;
 mod names;
 mod ontology;
 mod qald;
@@ -24,6 +25,7 @@ mod stats;
 
 pub use generate::{generate, KbConfig};
 pub use kb::{normalize_label, KnowledgeBase};
+pub use lexical::{split_camel_case, IndexLookupStats, LexStats, LexicalIndex};
 pub use names::AMBIGUOUS_CITY;
 pub use ontology::{ClassDef, DataPropertyDef, DataRange, ObjectPropertyDef, Ontology};
 pub use qald::{evaluated_subset, qald_questions, Exclusion, QaldQuestion};
