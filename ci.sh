@@ -20,10 +20,16 @@ cargo test -q -p relpat-eval parallel_report_matches_sequential
 echo "=== lexical index equivalence gate ==="
 cargo test -q -p relpat-qa --test lexical_equivalence
 
+echo "=== serve loopback smoke gate ==="
+cargo test -q -p relpat-serve --test loopback
+
 echo "=== batch throughput smoke ==="
 cargo bench -p relpat-bench --bench qa_batch_throughput -- --smoke
 
 echo "=== mapping throughput smoke ==="
 cargo bench -p relpat-bench --bench qa_mapping_throughput -- --smoke
+
+echo "=== observability overhead smoke ==="
+cargo bench -p relpat-bench --bench obs_overhead -- --smoke
 
 echo "CI OK"

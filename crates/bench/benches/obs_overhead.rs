@@ -1,0 +1,109 @@
+//! Perf P6: instrumentation overhead — per-record cost of the obs
+//! primitives the serving plane leans on, so a regression in the
+//! measurement layer itself is caught the same way a QA throughput
+//! regression is.
+//!
+//! Four axes:
+//! - counter add, registry enabled vs disabled;
+//! - histogram record, registry enabled vs disabled;
+//! - journal event emit, enabled (ring only) vs disabled;
+//! - journal event emit with the JSONL file backend attached.
+//!
+//! Run with: `cargo bench -p relpat-bench --bench obs_overhead`
+//!
+//! Flags:
+//! - `--smoke` — fewer iterations (CI-friendly); functional assertions
+//!   (counts, not timings) still run.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use relpat_obs::{EventJournal, Level, MetricsRegistry};
+
+/// Best-of-`rounds` per-op cost in nanoseconds.
+fn per_op(rounds: usize, n: u64, mut f: impl FnMut(u64)) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        for i in 0..n {
+            f(i);
+        }
+        best = best.min(start.elapsed().as_nanos() as f64 / n as f64);
+    }
+    best
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (rounds, n_atomic, n_journal) =
+        if smoke { (1, 1_000_000u64, 100_000u64) } else { (3, 20_000_000u64, 2_000_000u64) };
+    println!("=== Observability overhead ({}) ===\n", if smoke { "smoke" } else { "full" });
+
+    // Counters / histograms: the qa.* span path.
+    let enabled = MetricsRegistry::new();
+    let disabled = MetricsRegistry::disabled();
+    let c_on = enabled.counter("bench.counter");
+    let c_off = disabled.counter("bench.counter");
+    let h_on = enabled.histogram("bench.histogram");
+    let h_off = disabled.histogram("bench.histogram");
+
+    let counter_on = per_op(rounds, n_atomic, |_| c_on.add(1));
+    let counter_off = per_op(rounds, n_atomic, |_| c_off.add(1));
+    // Spread values across buckets so branch prediction sees real traffic.
+    let hist_on = per_op(rounds, n_atomic, |i| h_on.record(black_box(i & 0xf_ffff)));
+    let hist_off = per_op(rounds, n_atomic, |i| h_off.record(black_box(i & 0xf_ffff)));
+
+    println!("counter.add      enabled {counter_on:>7.2} ns/op   disabled {counter_off:>7.2} ns/op");
+    println!("histogram.record enabled {hist_on:>7.2} ns/op   disabled {hist_off:>7.2} ns/op");
+
+    // Journal: ring-only, disabled, and with the file backend attached.
+    let emit = |journal: &EventJournal, i: u64| {
+        // Mirrors the jevent! macro: the enabled check guards field
+        // construction, so the disabled path allocates nothing.
+        if journal.is_enabled() {
+            journal.emit(
+                Level::Debug,
+                "bench.stage",
+                vec![("i".to_string(), i.to_string())],
+            );
+        }
+    };
+
+    let ring = EventJournal::new(4096);
+    let journal_ring = per_op(rounds, n_journal, |i| emit(&ring, i));
+    assert_eq!(ring.emitted(), rounds as u64 * n_journal, "ring journal lost events");
+
+    let off = EventJournal::new(4096);
+    off.set_enabled(false);
+    let journal_off = per_op(rounds, n_journal, |i| emit(&off, i));
+    assert_eq!(off.emitted(), 0, "disabled journal must drop everything");
+
+    let path = std::env::temp_dir().join(format!("obs_overhead_{}.jsonl", std::process::id()));
+    let file = EventJournal::new(4096);
+    file.attach_file(&path).expect("attach journal file");
+    let journal_file = per_op(rounds, n_journal, |i| emit(&file, i));
+    file.flush();
+    let written = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    let _ = std::fs::remove_file(&path);
+    assert!(written > 0, "file backend wrote nothing");
+
+    println!("journal.emit     enabled {journal_ring:>7.2} ns/op   disabled {journal_off:>7.2} ns/op");
+    println!("journal.emit     +file   {journal_file:>7.2} ns/op   ({written} bytes JSONL)");
+
+    // Functional floor for the smoke gate: enabled paths actually recorded.
+    let snapshot = enabled.snapshot();
+    let total: u64 = rounds as u64 * n_atomic;
+    assert_eq!(
+        snapshot.counters.iter().find(|(name, _)| name == "bench.counter").map(|(_, v)| *v),
+        Some(total),
+        "enabled counter lost increments"
+    );
+    let hist = snapshot
+        .histograms
+        .iter()
+        .find(|h| h.name == "bench.histogram")
+        .expect("histogram in snapshot");
+    assert_eq!(hist.count, total, "enabled histogram lost records");
+    assert_eq!(hist.min, 0, "min must track the smallest observation");
+    println!("\nok: counts verified ({total} records per primitive)");
+}

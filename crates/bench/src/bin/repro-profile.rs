@@ -8,11 +8,17 @@
 //! - `--trace "<question>"` — trace this question instead of the default
 //!   Figure-1 question;
 //! - `--json <path>` — also write the full report JSON (counts +
-//!   observability block + per-question results) to `path`.
+//!   observability block + per-question results) to `path`;
+//! - `--prom <path>` — dump the process-global metrics as Prometheus text
+//!   exposition v0.0.4 (the exact renderer behind `relpat-serve`'s
+//!   `GET /metrics`, so offline and live output cannot drift);
+//! - `--traces <path>` — replay the run through a tail-sampled
+//!   `TraceStore` and dump the retained traces as JSONL.
 
 use relpat_eval::run_benchmark;
 use relpat_kb::{generate, qald_questions, KbConfig};
-use relpat_qa::Pipeline;
+use relpat_obs::{TraceStore, TraceStoreConfig};
+use relpat_qa::{Pipeline, Stage};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -74,5 +80,27 @@ fn main() {
     if let Some(path) = &json_path {
         std::fs::write(path, report.to_json()).expect("write JSON report");
         println!("\nJSON report written to {path}");
+    }
+
+    if let Some(path) = flag_value("--prom") {
+        let text = relpat_obs::render_prometheus(&snapshot);
+        std::fs::write(&path, text).expect("write Prometheus exposition");
+        println!("\nPrometheus exposition written to {path}");
+    }
+
+    if let Some(path) = flag_value("--traces") {
+        // Replay the evaluated questions through a tail-sampled store so
+        // the dump exercises the same retention policy as the live server.
+        let store = TraceStore::new(TraceStoreConfig::default());
+        for result in &report.results {
+            let response = pipeline.answer(&result.text);
+            store.record(&response.trace, response.stage != Stage::Answered);
+        }
+        std::fs::write(&path, store.to_jsonl()).expect("write trace JSONL");
+        let stats = store.stats();
+        println!(
+            "\n{} of {} traces retained ({} errored, {} slow-tail, {} sampled) written to {path}",
+            stats.held, stats.seen, stats.errors, stats.slow_tail, stats.sampled
+        );
     }
 }

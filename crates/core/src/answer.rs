@@ -148,6 +148,15 @@ pub fn extract_answer_traced(
             Eval::Empty => {}
         }
     }
+    if !config.exhaustive && (stats.executed as usize) < queries.len() {
+        // The ranked sweep stopped before exhausting the candidate list —
+        // the decision that makes §2.3 sublinear in candidate count.
+        relpat_obs::jevent!(
+            relpat_obs::Level::Debug, "qa.answer.early_term",
+            "executed" => stats.executed,
+            "skipped" => queries.len() as u64 - stats.executed,
+        );
+    }
     if ask {
         // All executed readings evaluated to false. (When a survivor exists
         // the sweep may have stopped early, but a skipped candidate always

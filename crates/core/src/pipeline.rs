@@ -447,7 +447,17 @@ impl<'kb> Pipeline<'kb> {
         trace.pattern_lookups = self.patterns.lookup_stats().delta_since(lookups_before);
         for (name, nanos) in timings {
             trace.add_stage(name, nanos);
+            relpat_obs::jevent!(
+                relpat_obs::Level::Debug, "qa.stage",
+                "stage" => name, "ns" => nanos,
+            );
         }
+        relpat_obs::jevent!(
+            relpat_obs::Level::Info, "qa.question",
+            "stage" => trace.stage,
+            "total_ns" => trace.total_nanos(),
+            "queries_executed" => trace.queries_executed,
+        );
         Response {
             question: question.to_string(),
             stage,

@@ -58,21 +58,23 @@ impl RunStats {
         )
     }
 
-    /// Renders the profile table (stage | count | p50 | p90 | p99 | max, µs).
+    /// Renders the profile table (stage | count | min | p50 | p90 | p99 |
+    /// max, µs).
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "| stage | n | p50 µs | p90 µs | p99 µs | max µs |\n|---|---|---|---|---|---|"
+            "| stage | n | min µs | p50 µs | p90 µs | p99 µs | max µs |\n|---|---|---|---|---|---|---|"
         );
         let us = |ns: u64| ns as f64 / 1_000.0;
         for h in &self.stage_latencies {
             let _ = writeln!(
                 out,
-                "| {} | {} | {:.1} | {:.1} | {:.1} | {:.1} |",
+                "| {} | {} | {:.1} | {:.1} | {:.1} | {:.1} | {:.1} |",
                 h.name,
                 h.count,
+                us(h.min),
                 us(h.p50),
                 us(h.p90),
                 us(h.p99),

@@ -236,6 +236,7 @@ impl SimIndex {
         let mut seen = vec![false; self.units.len()];
         let mut examine: Vec<u32> = Vec::new();
         let mut probe_bigrams = false;
+        let mut full_scan_groups = 0u64;
         for group in &self.groups {
             if group.scale < threshold {
                 continue; // scale · lcs_score ≤ scale < threshold: unreachable
@@ -243,6 +244,7 @@ impl SimIndex {
             let t_eff = threshold / group.scale;
             if t_eff <= 2.0 / 3.0 {
                 // Below the bigram-recall guarantee: bounded full scan.
+                full_scan_groups += 1;
                 for &u in &group.by_len {
                     if !seen[u as usize] {
                         seen[u as usize] = true;
@@ -265,6 +267,15 @@ impl SimIndex {
                     }
                 }
             }
+        }
+        if full_scan_groups > 0 {
+            // One event per lookup (not per unit) — this is the hot path.
+            relpat_obs::jevent!(
+                relpat_obs::Level::Debug, "kb.lexical.full_scan",
+                "query" => query,
+                "groups" => full_scan_groups,
+                "examined" => examine.len(),
+            );
         }
         if probe_bigrams && qlen >= 2 {
             let mut probed_keys: FxHashSet<u64> = FxHashSet::default();

@@ -16,6 +16,17 @@
 //! - [`QuestionTrace`] — the per-question pipeline trace: extracted triple
 //!   patterns, candidate counts per slot, query counts, pattern-store
 //!   hit/miss counts and per-stage durations, serializable to JSON.
+//! - [`TraceStore`] — bounded ring of recent traces with tail sampling:
+//!   errored and over-p99 traces always retained, the fast majority
+//!   deterministically downsampled, memory accounted and bounded.
+//! - [`EventJournal`] / [`jevent!`] — lock-cheap structured event log
+//!   (monotonic timestamps, level, stage, key-value fields) with a ring
+//!   buffer for live tailing and an optional JSONL file backend for
+//!   crash-forensics flight recording.
+//! - [`metrics::render_prometheus`] — Prometheus text exposition v0.0.4
+//!   over a [`MetricsSnapshot`] (counters, native histograms with
+//!   cumulative `le` buckets, min/max gauges), shared by the live
+//!   `GET /metrics` endpoint and offline profile dumps.
 //!
 //! ## Support utilities
 //!
@@ -35,16 +46,23 @@
 //! handle creation, so instrumentation is cheap enough to leave on.
 
 pub mod fx;
+pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod rng;
 pub mod span;
 pub mod trace;
+pub mod trace_store;
 
+pub use journal::{global_journal, Event, EventJournal, Level};
 pub use json::Json;
 pub use metrics::{
-    global, Counter, Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot,
+    global, render_prometheus, Counter, Histogram, HistogramSummary, MetricsRegistry,
+    MetricsSnapshot,
 };
 pub use rng::Rng;
 pub use span::Span;
 pub use trace::{PatternLookupStats, QuestionTrace, StageTiming, TraceAnswer, TraceCandidate, TraceTriple};
+pub use trace_store::{
+    RecordOutcome, Retention, TraceStore, TraceStoreConfig, TraceStoreStats,
+};

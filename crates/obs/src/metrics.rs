@@ -55,6 +55,8 @@ struct HistogramCell {
     name: String,
     count: AtomicU64,
     sum: AtomicU64,
+    /// `u64::MAX` until the first observation (the empty-histogram sentinel).
+    min: AtomicU64,
     max: AtomicU64,
     buckets: Vec<AtomicU64>,
 }
@@ -65,6 +67,7 @@ impl HistogramCell {
             name: name.to_string(),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
             buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
         }
@@ -73,6 +76,7 @@ impl HistogramCell {
     fn record(&self, value: u64) {
         self.count.fetch_add(1, Relaxed);
         self.sum.fetch_add(value, Relaxed);
+        self.min.fetch_min(value, Relaxed);
         self.max.fetch_max(value, Relaxed);
         self.buckets[bucket_index(value)].fetch_add(1, Relaxed);
     }
@@ -99,25 +103,43 @@ impl HistogramCell {
             bucket_mid(BUCKETS - 1)
         };
         let sum = self.sum.load(Relaxed);
+        let min = self.min.load(Relaxed);
         let max = self.max.load(Relaxed);
         // Bucket midpoints can overshoot the true extremum by up to half a
         // bucket; clamping keeps `p99 <= max` in every report.
         let clamped = |q: f64| percentile(q).min(max.max(1));
+        // Sparse cumulative buckets for Prometheus exposition: one
+        // `(inclusive upper bound, cumulative count)` pair per occupied
+        // bucket. Observations are integers, so the inclusive bound of
+        // bucket `i` is `bucket_low(i + 1) - 1` — the cumulative count at
+        // that bound is exact, not approximated.
+        let mut cumulative = Vec::new();
+        let mut running = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                running += c;
+                let le = if i + 1 < BUCKETS { bucket_low(i + 1) - 1 } else { u64::MAX };
+                cumulative.push((le, running));
+            }
+        }
         HistogramSummary {
             name: self.name.clone(),
             count: total,
             sum,
             mean: if total == 0 { 0.0 } else { sum as f64 / total as f64 },
+            min: if total == 0 { 0 } else { min },
             max,
             p50: if total == 0 { 0 } else { clamped(0.50) },
             p90: if total == 0 { 0 } else { clamped(0.90) },
             p99: if total == 0 { 0 } else { clamped(0.99) },
+            buckets: cumulative,
         }
     }
 
     fn reset(&self) {
         self.count.store(0, Relaxed);
         self.sum.store(0, Relaxed);
+        self.min.store(u64::MAX, Relaxed);
         self.max.store(0, Relaxed);
         for b in &self.buckets {
             b.store(0, Relaxed);
@@ -125,11 +147,13 @@ impl HistogramCell {
     }
 
     /// Folds another cell's observations into this one: count/sum/buckets
-    /// add, max takes the larger. Both layouts are identical by
-    /// construction ([`BUCKETS`]).
+    /// add, min/max take the extremum. Both layouts are identical by
+    /// construction ([`BUCKETS`]). An empty `other` carries the `u64::MAX`
+    /// min sentinel, which `fetch_min` leaves inert.
     fn merge_from(&self, other: &HistogramCell) {
         self.count.fetch_add(other.count.load(Relaxed), Relaxed);
         self.sum.fetch_add(other.sum.load(Relaxed), Relaxed);
+        self.min.fetch_min(other.min.load(Relaxed), Relaxed);
         self.max.fetch_max(other.max.load(Relaxed), Relaxed);
         for (dst, src) in self.buckets.iter().zip(other.buckets.iter()) {
             dst.fetch_add(src.load(Relaxed), Relaxed);
@@ -209,10 +233,15 @@ pub struct HistogramSummary {
     pub count: u64,
     pub sum: u64,
     pub mean: f64,
+    pub min: u64,
     pub max: u64,
     pub p50: u64,
     pub p90: u64,
     pub p99: u64,
+    /// Sparse cumulative distribution: `(inclusive upper bound, cumulative
+    /// count)` per occupied log-scale bucket, ascending. The last bound for
+    /// the top bucket is `u64::MAX` (rendered as `+Inf` in exposition).
+    pub buckets: Vec<(u64, u64)>,
 }
 
 impl HistogramSummary {
@@ -222,6 +251,7 @@ impl HistogramSummary {
             .set("count", self.count)
             .set("sum", self.sum)
             .set("mean", Json::Num(self.mean))
+            .set("min", self.min)
             .set("max", self.max)
             .set("p50", self.p50)
             .set("p90", self.p90)
@@ -404,6 +434,100 @@ impl MetricsSnapshot {
                 Json::Arr(self.histograms.iter().map(HistogramSummary::to_json).collect()),
             )
     }
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition (v0.0.4)
+
+/// Rewrites a dotted metric name into the Prometheus charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every invalid byte becomes `_`, and a
+/// leading digit gets an underscore prefix.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let valid = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push(if valid { c } else { '_' });
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote and newline are escaped; everything else (including UTF-8) passes
+/// through verbatim.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a snapshot as Prometheus text exposition v0.0.4 — the single
+/// renderer behind the live `GET /metrics` endpoint and the offline
+/// `repro-profile --prom` dump, so the two can never drift.
+///
+/// Counters render as `counter` samples with the conventional `_total`
+/// suffix. Histograms render natively: one cumulative `_bucket{le="..."}`
+/// sample per occupied log-scale bucket (inclusive integer upper bounds,
+/// see [`HistogramSummary::buckets`]), a `+Inf` bucket equal to `_count`,
+/// plus `_sum`/`_count` and `_min`/`_max` gauges.
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let mut n = sanitize_metric_name(name);
+        if !n.ends_with("_total") {
+            n.push_str("_total");
+        }
+        let _ = writeln!(out, "# HELP {n} relpat counter {}", escape_help(name));
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {value}");
+    }
+    for h in &snapshot.histograms {
+        let n = sanitize_metric_name(&h.name);
+        let _ = writeln!(out, "# HELP {n} relpat histogram {} (nanoseconds)", escape_help(&h.name));
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        for &(le, cumulative) in &h.buckets {
+            if le == u64::MAX {
+                continue; // the top bucket is covered by the +Inf sample
+            }
+            let _ = writeln!(out, "{n}_bucket{{le=\"{}\"}} {cumulative}", escape_label_value(&le.to_string()));
+        }
+        let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{n}_sum {}", h.sum);
+        let _ = writeln!(out, "{n}_count {}", h.count);
+        let _ = writeln!(out, "# TYPE {n}_min gauge");
+        let _ = writeln!(out, "{n}_min {}", h.min);
+        let _ = writeln!(out, "# TYPE {n}_max gauge");
+        let _ = writeln!(out, "{n}_max {}", h.max);
+    }
+    out
+}
+
+/// Escapes HELP text (backslash and newline only, per the format spec).
+fn escape_help(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// The process-wide registry the [`counter!`](crate::counter) and
@@ -638,6 +762,126 @@ mod tests {
         assert_eq!(dst.counter_value("c"), 9);
         dst.merge_from(&dst);
         assert_eq!(dst.counter_value("c"), 9);
+    }
+
+    #[test]
+    fn min_tracks_smallest_observation() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("lat");
+        for v in [500u64, 3, 40_000] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!((s.min, s.max), (3, 40_000));
+        assert!(s.to_json().to_string().contains("\"min\":3"));
+        // Merge takes the smaller min; an empty source leaves it alone.
+        let other = MetricsRegistry::new();
+        other.histogram("lat").record(1);
+        r.merge_from(&other);
+        assert_eq!(r.histogram("lat").summary().min, 1);
+        r.merge_from(&MetricsRegistry::new());
+        assert_eq!(r.histogram("lat").summary().min, 1);
+        // Reset restores the empty sentinel (reported as 0).
+        r.reset();
+        assert_eq!(r.histogram("lat").summary().min, 0);
+        r.histogram("lat").record(9);
+        assert_eq!(r.histogram("lat").summary().min, 9);
+    }
+
+    #[test]
+    fn summary_buckets_are_cumulative_and_end_at_count() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("lat");
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert!(!s.buckets.is_empty());
+        let mut last_le = 0u64;
+        let mut last_c = 0u64;
+        for &(le, c) in &s.buckets {
+            assert!(le > last_le || last_c == 0, "le bounds must ascend");
+            assert!(c >= last_c, "cumulative counts must be monotone");
+            last_le = le;
+            last_c = c;
+        }
+        assert_eq!(last_c, s.count, "final cumulative bucket equals _count");
+        // Each bound is exact for integer observations: count(v <= le).
+        for &(le, c) in &s.buckets {
+            let expect = (1..=1000u64).filter(|v| *v <= le).count() as u64;
+            assert_eq!(c, expect, "le={le}");
+        }
+    }
+
+    #[test]
+    fn sanitize_and_escape_follow_the_exposition_charset() {
+        assert_eq!(sanitize_metric_name("qa.map.index.probed"), "qa_map_index_probed");
+        assert_eq!(sanitize_metric_name("stage.answer"), "stage_answer");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name("ok_name:x2"), "ok_name:x2");
+        assert_eq!(sanitize_metric_name("sparql cache/hits"), "sparql_cache_hits");
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+        assert_eq!(escape_label_value("héllo – ünïcode"), "héllo – ünïcode");
+    }
+
+    #[test]
+    fn prometheus_exposition_golden_format() {
+        let r = MetricsRegistry::new();
+        r.counter("qa.questions").add(21);
+        let h = r.histogram("qa.total");
+        for v in [5u64, 100, 100, 3_000] {
+            h.record(v);
+        }
+        let text = render_prometheus(&r.snapshot());
+        // Counter block: TYPE line and `_total`-suffixed sample.
+        assert!(text.contains("# TYPE qa_questions_total counter"), "{text}");
+        assert!(text.contains("\nqa_questions_total 21\n"), "{text}");
+        // Histogram block: native type, sum and count.
+        assert!(text.contains("# TYPE qa_total histogram"), "{text}");
+        assert!(text.contains("\nqa_total_sum 3205\n"), "{text}");
+        assert!(text.contains("\nqa_total_count 4\n"), "{text}");
+        assert!(text.contains("qa_total_bucket{le=\"+Inf\"} 4"), "{text}");
+        // min/max gauges ride along.
+        assert!(text.contains("# TYPE qa_total_min gauge"), "{text}");
+        assert!(text.contains("\nqa_total_min 5\n"), "{text}");
+        assert!(text.contains("\nqa_total_max 3000\n"), "{text}");
+        // le bounds ascend and cumulative counts are monotone, with the
+        // +Inf bucket equal to _count.
+        let mut last_le = -1i128;
+        let mut last_c = 0u64;
+        let mut saw_inf = false;
+        for line in text.lines().filter(|l| l.starts_with("qa_total_bucket")) {
+            let le = line.split("le=\"").nth(1).unwrap().split('"').next().unwrap();
+            let c: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(c >= last_c, "cumulative counts regressed: {line}");
+            last_c = c;
+            if le == "+Inf" {
+                saw_inf = true;
+                assert_eq!(c, 4, "+Inf bucket must equal _count");
+            } else {
+                let bound: i128 = le.parse().unwrap();
+                assert!(bound > last_le, "le bounds must ascend: {line}");
+                last_le = bound;
+            }
+        }
+        assert!(saw_inf);
+        // Every sample line uses a sanitized name (no dots survive).
+        for line in text.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+            assert!(!line.split(' ').next().unwrap().contains('.'), "unsanitized: {line}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_exposition_is_well_formed() {
+        let r = MetricsRegistry::new();
+        r.histogram("never");
+        let text = render_prometheus(&r.snapshot());
+        assert!(text.contains("never_bucket{le=\"+Inf\"} 0"), "{text}");
+        assert!(text.contains("\nnever_sum 0\n"), "{text}");
+        assert!(text.contains("\nnever_count 0\n"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Application state and request routing.
+//!
+//! [`App`] owns everything a worker thread needs to serve one request: the
+//! QA [`Pipeline`] (installed after the KB and pattern store finish
+//! loading, which is what flips `/readyz`), the tail-sampled
+//! [`TraceStore`], and the shared shutdown flag that `POST /shutdown`
+//! raises for the accept loop.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use relpat_obs::{
+    counter, global, global_journal, jevent, render_prometheus, span, Json, Level, TraceStore,
+    TraceStoreConfig,
+};
+use relpat_qa::{Pipeline, Stage};
+
+use crate::http::{Request, Response};
+
+pub struct App {
+    pipeline: OnceLock<Pipeline<'static>>,
+    traces: TraceStore,
+    ready: AtomicBool,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl App {
+    pub fn new(trace_config: TraceStoreConfig) -> Arc<App> {
+        Arc::new(App {
+            pipeline: OnceLock::new(),
+            traces: TraceStore::new(trace_config),
+            ready: AtomicBool::new(false),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The flag the accept loop polls; `POST /shutdown` sets it.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Installs the loaded pipeline and flips readiness. Panics if called
+    /// twice — the server has exactly one load phase.
+    pub fn install_pipeline(&self, pipeline: Pipeline<'static>) {
+        if self.pipeline.set(pipeline).is_err() {
+            panic!("pipeline installed twice");
+        }
+        self.ready.store(true, Ordering::Release);
+        jevent!(Level::Info, "serve.ready");
+    }
+
+    pub fn is_ready(&self) -> bool {
+        self.ready.load(Ordering::Acquire)
+    }
+
+    pub fn traces(&self) -> &TraceStore {
+        &self.traces
+    }
+
+    /// Routes one request. Infallible: every outcome is an HTTP response.
+    pub fn handle(&self, req: &Request) -> Response {
+        counter!("serve.http.requests");
+        let resp = match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => Response::text(200, "ok\n"),
+            ("GET", "/readyz") => {
+                if self.is_ready() {
+                    Response::text(200, "ready\n")
+                } else {
+                    Response::text(503, "loading\n")
+                }
+            }
+            ("GET", "/metrics") => {
+                Response::prometheus(render_prometheus(&global().snapshot()))
+            }
+            ("POST", "/answer") => self.handle_answer(req),
+            ("GET", "/traces") => self.handle_traces_list(req),
+            ("GET", path) if path.starts_with("/traces/") => self.handle_trace_get(path),
+            ("GET", "/events/tail") => {
+                let n = parse_count(req.query_param("n"), 100);
+                Response::json(200, &global_journal().tail_json(n))
+            }
+            ("POST", "/shutdown") => {
+                jevent!(Level::Info, "serve.shutdown", "reason" => "POST /shutdown");
+                self.shutdown.store(true, Ordering::Release);
+                Response::text(200, "draining\n")
+            }
+            ("GET" | "POST", _) => Response::error(404, "no such endpoint"),
+            _ => Response::error(405, "method not allowed"),
+        };
+        if resp.status >= 400 {
+            counter!("serve.http.errors");
+        }
+        resp
+    }
+
+    fn handle_answer(&self, req: &Request) -> Response {
+        let Some(pipeline) = self.pipeline.get() else {
+            return Response::error(503, "pipeline still loading");
+        };
+        let Some(body) = req.body_str() else {
+            return Response::error(400, "body is not UTF-8");
+        };
+        let question = match Json::parse(body) {
+            Ok(json) => match json.get("question").and_then(Json::as_str) {
+                Some(q) if !q.trim().is_empty() => q.to_string(),
+                _ => return Response::error(400, "missing \"question\" field"),
+            },
+            Err(e) => return Response::error(400, &format!("invalid JSON: {e}")),
+        };
+
+        let response = {
+            let _timer = span!("serve.answer_ns");
+            pipeline.answer(&question)
+        };
+        let error = response.stage != Stage::Answered;
+        counter!("serve.answers");
+        if error {
+            counter!("serve.answers.unanswered");
+        }
+        let outcome = self.traces.record(&response.trace, error);
+
+        let answers: Vec<Json> =
+            response.answer_texts(pipeline.kb()).into_iter().map(Json::from).collect();
+        let body = Json::obj()
+            .set("question", response.trace.question.clone())
+            .set("stage", response.trace.stage.clone())
+            .set("answered", !error)
+            .set("answers", Json::Arr(answers))
+            .set("total_ns", response.trace.total_nanos())
+            .set("trace_id", outcome.id)
+            .set(
+                "retained",
+                match outcome.retained {
+                    Some(r) => Json::from(r.as_str()),
+                    None => Json::Null,
+                },
+            );
+        Response::json(200, &body)
+    }
+
+    fn handle_trace_get(&self, path: &str) -> Response {
+        let id_part = &path["/traces/".len()..];
+        let Ok(id) = id_part.parse::<u64>() else {
+            return Response::error(400, "trace id must be an integer");
+        };
+        match self.traces.get(id) {
+            Some(trace) => Response::json(200, &trace),
+            None => Response::error(404, "trace not found (never stored or since evicted)"),
+        }
+    }
+
+    fn handle_traces_list(&self, req: &Request) -> Response {
+        let n = parse_count(req.query_param("slow"), 10);
+        let body = Json::obj()
+            .set("slowest", self.traces.slowest(n))
+            .set("stats", self.traces.stats().to_json());
+        Response::json(200, &body)
+    }
+}
+
+fn parse_count(param: Option<&str>, default: usize) -> usize {
+    param.and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(path: &str) -> Request {
+        Request { method: "GET".into(), path: path.into(), query: Vec::new(), body: Vec::new() }
+    }
+
+    #[test]
+    fn not_ready_until_pipeline_installed() {
+        let app = App::new(TraceStoreConfig::default());
+        let resp = app.handle(&get("/readyz"));
+        assert_eq!(resp.status, 503);
+        assert_eq!(app.handle(&get("/healthz")).status, 200);
+    }
+
+    #[test]
+    fn answer_without_pipeline_is_503_and_bad_routes_404() {
+        let app = App::new(TraceStoreConfig::default());
+        let req = Request {
+            method: "POST".into(),
+            path: "/answer".into(),
+            query: Vec::new(),
+            body: br#"{"question": "Who?"}"#.to_vec(),
+        };
+        assert_eq!(app.handle(&req).status, 503);
+        assert_eq!(app.handle(&get("/nope")).status, 404);
+        assert_eq!(app.handle(&get("/traces/xyz")).status, 400);
+        assert_eq!(app.handle(&get("/traces/999999")).status, 404);
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_exposition_text() {
+        let app = App::new(TraceStoreConfig::default());
+        let resp = app.handle(&get("/metrics"));
+        assert_eq!(resp.status, 200);
+        assert!(resp.content_type.contains("version=0.0.4"));
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("serve_http_requests_total"));
+    }
+}

@@ -1,0 +1,174 @@
+//! `relpat-serve` — serve the QA pipeline over HTTP with live telemetry.
+//!
+//! ```text
+//! cargo run --release -p relpat-serve -- --kb default --port 7878
+//! curl -s localhost:7878/readyz
+//! curl -s localhost:7878/answer -d '{"question": "Which books are written by Orhan Pamuk?"}'
+//! curl -s localhost:7878/metrics
+//! ```
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use relpat_kb::{generate, KbConfig};
+use relpat_obs::{global_journal, jevent, Level, TraceStoreConfig};
+use relpat_qa::Pipeline;
+use relpat_serve::{spawn, App, ServerConfig};
+
+struct Args {
+    kb: String,
+    bind: String,
+    port: u16,
+    workers: Option<usize>,
+    journal: Option<String>,
+    trace_capacity: Option<usize>,
+    sample_rate: Option<f64>,
+}
+
+const USAGE: &str = "relpat-serve — HTTP frontend for the relational-pattern QA pipeline
+
+USAGE:
+    relpat-serve [OPTIONS]
+
+OPTIONS:
+    --kb <tiny|default|scaled:<N>>   knowledge base to generate [default: default]
+    --bind <addr>                    bind address [default: 127.0.0.1]
+    --port <port>                    port; 0 picks a free one [default: 7878]
+    --workers <n>                    worker threads [default: min(cores, 8)]
+    --journal <path>                 also write journal events to a JSONL file
+    --trace-capacity <n>             max retained traces [default: 1024]
+    --sample-rate <f>                fast-trace sampling rate in [0,1] [default: 0.05]
+    --help                           print this help
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        kb: "default".to_string(),
+        bind: "127.0.0.1".to_string(),
+        port: 7878,
+        workers: None,
+        journal: None,
+        trace_capacity: None,
+        sample_rate: None,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--kb" => args.kb = value("--kb")?,
+            "--bind" => args.bind = value("--bind")?,
+            "--port" => {
+                args.port = value("--port")?.parse().map_err(|_| "invalid --port".to_string())?
+            }
+            "--workers" => {
+                args.workers =
+                    Some(value("--workers")?.parse().map_err(|_| "invalid --workers".to_string())?)
+            }
+            "--journal" => args.journal = Some(value("--journal")?),
+            "--trace-capacity" => {
+                args.trace_capacity = Some(
+                    value("--trace-capacity")?
+                        .parse()
+                        .map_err(|_| "invalid --trace-capacity".to_string())?,
+                )
+            }
+            "--sample-rate" => {
+                args.sample_rate = Some(
+                    value("--sample-rate")?
+                        .parse()
+                        .map_err(|_| "invalid --sample-rate".to_string())?,
+                )
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn kb_config(spec: &str) -> Result<KbConfig, String> {
+    match spec {
+        "tiny" => Ok(KbConfig::tiny()),
+        "default" => Ok(KbConfig::default()),
+        other => match other.strip_prefix("scaled:").and_then(|n| n.parse().ok()) {
+            Some(factor) => Ok(KbConfig::scaled(factor)),
+            None => Err(format!("unknown --kb value {spec:?} (tiny|default|scaled:<N>)")),
+        },
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let kb_cfg = match kb_config(&args.kb) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = &args.journal {
+        if let Err(e) = global_journal().attach_file(path) {
+            eprintln!("error: cannot open journal file {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut trace_config = TraceStoreConfig::default();
+    if let Some(capacity) = args.trace_capacity {
+        trace_config.capacity = capacity;
+    }
+    if let Some(rate) = args.sample_rate {
+        trace_config.sample_rate = rate.clamp(0.0, 1.0);
+    }
+
+    // Bind before the (slow) KB load so orchestration can probe
+    // /healthz + /readyz from the first moment.
+    let listener = match TcpListener::bind((args.bind.as_str(), args.port)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: cannot bind {}:{}: {e}", args.bind, args.port);
+            return ExitCode::FAILURE;
+        }
+    };
+    let app = App::new(trace_config);
+    let mut server_config = ServerConfig::default();
+    if let Some(workers) = args.workers {
+        server_config.workers = workers;
+    }
+    server_config.read_timeout = Duration::from_secs(30);
+    let server = match spawn(listener, Arc::clone(&app), server_config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot start server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on http://{} (loading kb={})", server.addr(), args.kb);
+
+    let load_start = Instant::now();
+    jevent!(Level::Info, "serve.load", "kb" => args.kb);
+    let kb = Box::leak(Box::new(generate(&kb_cfg)));
+    let pipeline = Pipeline::new(kb);
+    app.install_pipeline(pipeline);
+    println!(
+        "ready in {:.1}s — POST /answer, GET /metrics, GET /traces?slow=10",
+        load_start.elapsed().as_secs_f64()
+    );
+
+    server.join();
+    println!("drained");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,195 @@
+//! Loopback integration test: the full telemetry plane over 127.0.0.1.
+//!
+//! One test function drives the whole lifecycle in order — readiness flip,
+//! three Table-2 questions through `POST /answer`, metrics advancement,
+//! trace retrieval by id, journal tailing, and a graceful drain that
+//! completes an in-flight request — because the server, the global metrics
+//! registry and the journal are process-wide singletons.
+//!
+//! Everything runs against the tiny in-tree KB and never leaves loopback.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use relpat_kb::{generate, KbConfig};
+use relpat_obs::{Json, TraceStoreConfig};
+use relpat_qa::Pipeline;
+use relpat_serve::{spawn, App, ServerConfig};
+
+const TABLE2_QUESTIONS: [&str; 3] = [
+    "Which book is written by Orhan Pamuk?",
+    "How tall is Michael Jordan?",
+    "Where did Abraham Lincoln die?",
+];
+
+/// Sends raw bytes, reads to EOF, returns (status, body).
+fn raw_request(addr: SocketAddr, raw: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    stream.write_all(raw.as_bytes()).expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {response:?}"));
+    let body = response.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    raw_request(addr, &format!("GET {path} HTTP/1.1\r\nHost: loopback\r\n\r\n"))
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    raw_request(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: loopback\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+/// Value of an exposition sample line (`name value`), or None if absent.
+/// Absent and zero are equivalent for counters: handles are created lazily
+/// on first increment.
+fn metric_value(exposition: &str, name: &str) -> Option<f64> {
+    exposition.lines().find_map(|line| {
+        let mut parts = line.split_whitespace();
+        (parts.next() == Some(name)).then(|| parts.next().unwrap().parse().unwrap())
+    })
+}
+
+#[test]
+fn full_telemetry_plane_over_loopback() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind port 0");
+    let app = App::new(TraceStoreConfig::default());
+    let config = ServerConfig { workers: 2, read_timeout: Duration::from_secs(10) };
+    let server = spawn(listener, Arc::clone(&app), config).expect("spawn server");
+    let addr = server.addr();
+
+    // Liveness is immediate; readiness waits for the pipeline.
+    assert_eq!(get(addr, "/healthz").0, 200);
+    let (status, body) = get(addr, "/readyz");
+    assert_eq!((status, body.as_str()), (503, "loading\n"));
+    let (status, _) = post(addr, "/answer", r#"{"question": "Who?"}"#);
+    assert_eq!(status, 503, "answer must 503 before the pipeline loads");
+
+    // Metrics are live even before readiness.
+    let (status, before) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(before.contains("# TYPE serve_http_requests_total counter"), "{before}");
+    let requests_before = metric_value(&before, "serve_http_requests_total").unwrap();
+    let answers_before = metric_value(&before, "serve_answers_total").unwrap_or(0.0);
+
+    // Load the tiny KB and flip readiness.
+    let kb = Box::leak(Box::new(generate(&KbConfig::tiny())));
+    app.install_pipeline(Pipeline::new(kb));
+    let (status, body) = get(addr, "/readyz");
+    assert_eq!((status, body.as_str()), (200, "ready\n"));
+
+    // Three Table-2 questions; the store is cold (inside warmup) so every
+    // trace is pinned and must be retrievable by id.
+    let mut trace_ids = Vec::new();
+    for question in TABLE2_QUESTIONS {
+        let payload = Json::obj().set("question", question).to_string();
+        let (status, body) = post(addr, "/answer", &payload);
+        assert_eq!(status, 200, "{body}");
+        let json = Json::parse(&body).expect("answer response is JSON");
+        assert_eq!(json.get("answered").and_then(Json::as_bool), Some(true), "{body}");
+        assert_eq!(json.get("stage").and_then(Json::as_str), Some("Answered"));
+        assert!(!json.get("answers").unwrap().as_array().unwrap().is_empty());
+        assert!(json.get("retained").and_then(Json::as_str).is_some(), "{body}");
+        trace_ids.push(json.get("trace_id").and_then(Json::as_u64).unwrap());
+    }
+
+    // Traces retrievable by id, with the right question inside.
+    for (id, question) in trace_ids.iter().zip(TABLE2_QUESTIONS) {
+        let (status, body) = get(addr, &format!("/traces/{id}"));
+        assert_eq!(status, 200, "trace {id} not retrievable");
+        let json = Json::parse(&body).unwrap();
+        let stored = json.get("trace").and_then(|t| t.get("question")).and_then(Json::as_str);
+        assert_eq!(stored, Some(question));
+    }
+    assert_eq!(get(addr, "/traces/999999").0, 404);
+
+    // Slow-trace listing and store stats.
+    let (status, body) = get(addr, "/traces?slow=2");
+    assert_eq!(status, 200);
+    let json = Json::parse(&body).unwrap();
+    assert_eq!(json.get("slowest").unwrap().as_array().unwrap().len(), 2);
+    assert_eq!(json.get("stats").and_then(|s| s.get("seen")).and_then(Json::as_u64), Some(3));
+
+    // Counters advanced and the answer histogram is populated.
+    let (_, after) = get(addr, "/metrics");
+    let requests_after = metric_value(&after, "serve_http_requests_total").unwrap();
+    assert!(requests_after > requests_before, "{requests_before} -> {requests_after}");
+    assert_eq!(metric_value(&after, "serve_answers_total"), Some(answers_before + 3.0));
+    assert_eq!(metric_value(&after, "serve_answer_ns_count"), Some(3.0));
+    assert!(after.contains("# TYPE serve_answer_ns histogram"));
+    assert!(after.contains("serve_answer_ns_bucket{le=\"+Inf\"} 3"));
+
+    // The journal saw the lifecycle (serve.ready at minimum).
+    let (status, body) = get(addr, "/events/tail?n=200");
+    assert_eq!(status, 200);
+    let events = Json::parse(&body).unwrap();
+    let stages: Vec<&str> = events
+        .as_array()
+        .unwrap()
+        .iter()
+        .filter_map(|e| e.get("stage").and_then(Json::as_str))
+        .collect();
+    assert!(stages.contains(&"serve.ready"), "{stages:?}");
+
+    // Graceful drain: park a request mid-body, raise shutdown, then finish
+    // the body — the in-flight request must still get its full response.
+    let accepted_base = metric_value(&after, "serve_http_accepted_total").unwrap();
+    let question = r#"{"question": "Which book is written by Orhan Pamuk?"}"#;
+    let mut parked = TcpStream::connect(addr).expect("connect parked");
+    parked.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let head = format!(
+        "POST /answer HTTP/1.1\r\nHost: loopback\r\nContent-Length: {}\r\n\r\n",
+        question.len()
+    );
+    parked.write_all(head.as_bytes()).unwrap();
+    parked.flush().unwrap();
+
+    // Wait until the parked connection is accepted. Each /metrics poll is
+    // itself one accept, so after n polls an excess over n means `parked`
+    // is in (accepts are counted before responses are served, so by the
+    // time poll i returns, its own accept is included).
+    let mut polls = 0.0;
+    loop {
+        let (_, body) = get(addr, "/metrics");
+        polls += 1.0;
+        let accepted = metric_value(&body, "serve_http_accepted_total").unwrap();
+        if accepted - accepted_base - polls >= 1.0 {
+            break;
+        }
+        assert!(polls < 500.0, "parked connection never accepted");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let (status, body) = post(addr, "/shutdown", "");
+    assert_eq!((status, body.as_str()), (200, "draining\n"));
+
+    // Finish the in-flight request after shutdown was raised.
+    parked.write_all(question.as_bytes()).unwrap();
+    let mut response = String::new();
+    parked.read_to_string(&mut response).expect("in-flight response after shutdown");
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    let parked_body = response.split_once("\r\n\r\n").unwrap().1;
+    let parked_json = Json::parse(parked_body).unwrap();
+    assert_eq!(parked_json.get("answered").and_then(Json::as_bool), Some(true));
+
+    // join() returns only after the accept loop and workers have drained.
+    server.join();
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "listener must be closed after drain"
+    );
+}

@@ -166,7 +166,14 @@ impl QueryCache {
             let mut stamps: Vec<u64> = inner.map.values().map(|e| e.last_used).collect();
             stamps.sort_unstable();
             let cutoff = stamps[(self.capacity / 8).max(1) - 1];
+            let before = inner.map.len();
             inner.map.retain(|_, e| e.last_used > cutoff);
+            relpat_obs::jevent!(
+                relpat_obs::Level::Info, "sparql.cache.evict",
+                "evicted" => before - inner.map.len(),
+                "held" => inner.map.len(),
+                "capacity" => self.capacity,
+            );
         }
         inner.map.insert(text.to_string(), Entry { parsed, result, last_used: tick });
     }
