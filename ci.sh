@@ -20,6 +20,12 @@ cargo test -q -p relpat-eval parallel_report_matches_sequential
 echo "=== lexical index equivalence gate ==="
 cargo test -q -p relpat-qa --test lexical_equivalence
 
+echo "=== frozen-index equivalence gate ==="
+cargo test -q -p relpat-rdf --test index_equivalence
+
+echo "=== streaming LIMIT pushdown gate ==="
+cargo test -q -p relpat-sparql --test streaming
+
 echo "=== serve loopback smoke gate ==="
 cargo test -q -p relpat-serve --test loopback
 
@@ -31,5 +37,8 @@ cargo bench -p relpat-bench --bench qa_mapping_throughput -- --smoke
 
 echo "=== observability overhead smoke ==="
 cargo bench -p relpat-bench --bench obs_overhead -- --smoke
+
+echo "=== store scaling smoke (paper + 100k tiers) ==="
+cargo bench -p relpat-bench --bench store_scaling -- --smoke
 
 echo "CI OK"

@@ -13,8 +13,14 @@
 //!   exposition v0.0.4 (the exact renderer behind `relpat-serve`'s
 //!   `GET /metrics`, so offline and live output cannot drift);
 //! - `--traces <path>` — replay the run through a tail-sampled
-//!   `TraceStore` and dump the retained traces as JSONL.
+//!   `TraceStore` and dump the retained traces as JSONL;
+//! - `--bench-json <path>` — skip the QALD profile and instead run the
+//!   store-scaling study (the tier ladder in `relpat_bench::scaling`:
+//!   paper scale / 100k / 1M triples), writing per-tier triple counts,
+//!   build milliseconds and p50/p99 query latencies as JSON. This is how
+//!   the committed `BENCH_store_scaling.json` trajectory is regenerated.
 
+use relpat_bench::scaling;
 use relpat_eval::run_benchmark;
 use relpat_kb::{generate, qald_questions, KbConfig};
 use relpat_obs::{TraceStore, TraceStoreConfig};
@@ -25,6 +31,11 @@ fn main() {
     let flag_value = |flag: &str| {
         args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
     };
+
+    if let Some(path) = flag_value("--bench-json") {
+        run_scaling_study(&path);
+        return;
+    }
     let trace_question = flag_value("--trace")
         .unwrap_or_else(|| "Which book is written by Orhan Pamuk?".to_string());
     let json_path = flag_value("--json");
@@ -103,4 +114,25 @@ fn main() {
             stats.held, stats.seen, stats.errors, stats.slow_tail, stats.sampled
         );
     }
+}
+
+/// Runs the store-scaling tier ladder and writes the trajectory JSON.
+fn run_scaling_study(path: &str) {
+    const SAMPLES: usize = 200;
+    println!("=== Store-scaling study (tiers {:?}) ===\n", scaling::TIERS);
+    let mut reports = Vec::new();
+    for &factor in scaling::TIERS {
+        let report = scaling::measure_tier(factor, SAMPLES);
+        println!(
+            "x{}: {} triples / {} entities, built in {:.0} ms",
+            report.factor, report.triples, report.entities, report.build_ms
+        );
+        for q in &report.queries {
+            println!("  {:<16} p50 {:>10.1} µs   p99 {:>10.1} µs", q.name, q.p50_us, q.p99_us);
+        }
+        reports.push(report);
+    }
+    let json = scaling::reports_to_json(&reports);
+    std::fs::write(path, json.to_pretty() + "\n").expect("write bench JSON");
+    println!("\nTrajectory written to {path}");
 }

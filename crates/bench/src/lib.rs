@@ -32,6 +32,8 @@
 use std::fmt::Display;
 use std::time::Instant;
 
+pub mod scaling;
+
 pub use std::hint::black_box;
 
 /// Per-sample time budget used to calibrate the inner iteration count.

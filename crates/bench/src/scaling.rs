@@ -1,0 +1,168 @@
+//! Shared definitions for the store-scaling study.
+//!
+//! One place owns the tier ladder, the representative query set, and the
+//! measurement routine, so the `store_scaling` bench and
+//! `repro-profile --bench-json` (which writes the committed
+//! `BENCH_store_scaling.json` trajectory file) cannot drift apart.
+//!
+//! Queries run through [`relpat_kb::Kb::query_uncached`]: the trajectory
+//! tracks the triple store's join latency, which the result cache would
+//! otherwise hide after the first iteration.
+
+use std::time::Instant;
+
+use relpat_kb::{generate, KbConfig, KnowledgeBase};
+use relpat_obs::Json;
+
+/// The representative query shapes the QA pipeline emits.
+pub const QUERIES: &[(&str, &str)] = &[
+    ("class_scan", "SELECT ?x { ?x rdf:type dbont:Book }"),
+    (
+        "paper_join",
+        "SELECT ?x { ?x rdf:type dbont:Book . ?x dbont:author res:Orhan_Pamuk }",
+    ),
+    ("subject_lookup", "SELECT ?h { res:Michael_Jordan dbont:height ?h }"),
+    (
+        "filtered",
+        "SELECT ?c { ?c rdf:type dbont:City . ?c dbont:populationTotal ?p FILTER(?p > 3000000) }",
+    ),
+    ("ask", "ASK { res:Snow dbont:author res:Orhan_Pamuk }"),
+];
+
+/// Scale-factor ladder for the trajectory file: paper scale (~9.6k triples),
+/// the 100k tier (~103k) and the million-triple tier (~1.01M).
+pub const TIERS: &[usize] = &[1, 12, 119];
+
+/// CI-sized subset: the 1M tier generates in seconds but would dominate a
+/// smoke gate, so the gate stops at the 100k tier.
+pub const SMOKE_TIERS: &[usize] = &[1, 12];
+
+/// Latency percentiles for one query at one tier.
+#[derive(Debug)]
+pub struct QueryStats {
+    pub name: &'static str,
+    pub p50_us: f64,
+    pub p99_us: f64,
+    pub samples: usize,
+}
+
+/// Measurements for one KB scale tier.
+#[derive(Debug)]
+pub struct TierReport {
+    pub factor: usize,
+    pub triples: usize,
+    pub entities: usize,
+    pub build_ms: f64,
+    pub queries: Vec<QueryStats>,
+}
+
+/// Percentile over raw sample values (nearest-rank).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Builds the KB at `factor` and measures every query `samples` times.
+/// `build_ms` covers generation plus index freezing — the full cost of
+/// standing up a servable store at that scale.
+pub fn measure_tier(factor: usize, samples: usize) -> TierReport {
+    let start = Instant::now();
+    let kb = generate(&KbConfig::scaled(factor));
+    let build_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let queries = QUERIES
+        .iter()
+        .map(|&(name, text)| {
+            let mut us: Vec<f64> = (0..samples)
+                .map(|_| {
+                    let start = Instant::now();
+                    std::hint::black_box(kb.query_uncached(text).expect("query runs"));
+                    start.elapsed().as_secs_f64() * 1e6
+                })
+                .collect();
+            us.sort_by(|a, b| a.total_cmp(b));
+            QueryStats {
+                name,
+                p50_us: percentile(&us, 50.0),
+                p99_us: percentile(&us, 99.0),
+                samples,
+            }
+        })
+        .collect();
+
+    TierReport {
+        factor,
+        triples: kb.len(),
+        entities: kb.entity_count(),
+        build_ms,
+        queries,
+    }
+}
+
+/// Renders tier reports as the `BENCH_store_scaling.json` document.
+pub fn reports_to_json(reports: &[TierReport]) -> Json {
+    let tiers: Vec<Json> = reports
+        .iter()
+        .map(|t| {
+            let queries: Vec<Json> = t
+                .queries
+                .iter()
+                .map(|q| {
+                    Json::obj()
+                        .set("name", q.name)
+                        .set("p50_us", round2(q.p50_us))
+                        .set("p99_us", round2(q.p99_us))
+                        .set("samples", q.samples)
+                })
+                .collect();
+            Json::obj()
+                .set("factor", t.factor)
+                .set("triples", t.triples)
+                .set("entities", t.entities)
+                .set("build_ms", round2(t.build_ms))
+                .set("queries", queries)
+        })
+        .collect();
+    Json::obj().set("benchmark", "store_scaling").set("tiers", tiers)
+}
+
+fn round2(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
+}
+
+/// Convenience used by tests and the smoke gate: a generated KB at a factor.
+pub fn build_kb(factor: usize) -> KnowledgeBase {
+    generate(&KbConfig::scaled(factor))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 50.0), 2.0);
+        assert_eq!(percentile(&v, 99.0), 4.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+    }
+
+    #[test]
+    fn measure_tier_reports_all_queries() {
+        let report = measure_tier(1, 3);
+        assert_eq!(report.factor, 1);
+        assert!(report.triples > 9_000, "paper-scale KB is ~9.6k triples");
+        assert_eq!(report.queries.len(), QUERIES.len());
+        for q in &report.queries {
+            assert!(q.p50_us <= q.p99_us, "{}: p50 must not exceed p99", q.name);
+        }
+        let json = reports_to_json(&[report]).to_pretty();
+        for key in ["store_scaling", "paper_join", "p99_us", "build_ms"] {
+            assert!(json.contains(key), "JSON missing {key}");
+        }
+    }
+}

@@ -472,12 +472,19 @@ impl Generator {
             }
         }
         // Pool exhausted (huge scale factors): deterministic middle initial.
+        // The initial-based scheme cycles after |F|·|L|·13 names, so a
+        // numeral-qualified variant backs it up — that keeps the candidate
+        // space unbounded and the loop provably terminating at any scale.
         let mut k = used.len();
         loop {
             let f = names::FIRST_NAMES[k % names::FIRST_NAMES.len()];
             let l = names::LAST_NAMES[(k / names::FIRST_NAMES.len()) % names::LAST_NAMES.len()];
             let initial = (b'A' + (k % 26) as u8) as char;
             let name = format!("{f} {initial}. {l}");
+            if used.insert(name.clone()) {
+                return name;
+            }
+            let name = format!("{f} {initial}. {l} {k}");
             if used.insert(name.clone()) {
                 return name;
             }

@@ -43,7 +43,12 @@ pub struct KnowledgeBase {
 impl KnowledgeBase {
     /// Wraps a populated graph, building all indexes. The ontology must
     /// already be materialized into the graph (labels, class tree).
-    pub fn from_graph(graph: Graph, ontology: Ontology) -> Self {
+    ///
+    /// The graph is compacted ([`Graph::freeze`]) on entry: the serving path
+    /// treats it as read-only, so every scan should be a flat slice walk and
+    /// every planner estimate a pure O(log n) binary search.
+    pub fn from_graph(mut graph: Graph, ontology: Ontology) -> Self {
+        graph.freeze();
         let mut label_index: FxHashMap<String, Vec<Iri>> = FxHashMap::default();
         let mut labels: FxHashMap<Iri, String> = FxHashMap::default();
         let mut page_links: FxHashMap<Iri, FxHashSet<Iri>> = FxHashMap::default();

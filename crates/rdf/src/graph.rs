@@ -1,14 +1,25 @@
 //! In-memory indexed triple store.
 //!
-//! The store maintains three sorted permutations of every triple — SPO, POS
-//! and OSP — over interned term ids, so that any triple pattern with at least
-//! one bound position resolves to a contiguous range scan of one index. This
-//! is the classic design of in-memory RDF stores (Hexastore-lite: three of
-//! the six permutations suffice when we do not need ordered results on the
-//! unbound positions).
+//! The store keeps three **frozen flat permutation indexes** — sorted
+//! `Vec<[u32; 3]>` arrays in SPO, POS and OSP order over interned term ids —
+//! so that any triple pattern with a bound prefix resolves to one contiguous
+//! slice located by two `partition_point` binary searches (Hexastore-lite:
+//! three of the six permutations suffice when we do not need ordered results
+//! on the unbound positions). Flat arrays replace the previous per-node
+//! `BTreeSet` permutations: range scans become pointer-bump slice iteration
+//! instead of tree walks, and cardinality estimates become exact O(log n)
+//! instead of O(range length).
+//!
+//! Mutation goes through a small **delta overlay**: freshly inserted triples
+//! land in mutable `BTreeSet` permutations, removals of frozen triples become
+//! tombstones, and [`Graph::freeze`] (or automatic compaction once the
+//! overlay outgrows a threshold) merges everything back into the flat arrays
+//! with one linear pass. Readers see the union `frozen − dead ∪ delta`
+//! through a zero-allocation merge iterator ([`ScanIter`]), so the
+//! insert/remove API is unchanged while the hot read path stays flat.
 
+use std::collections::btree_set;
 use std::collections::BTreeSet;
-use std::ops::Bound;
 
 use crate::interner::{Interner, TermId};
 use crate::term::Term;
@@ -62,26 +73,108 @@ impl IdPattern {
     }
 }
 
+// Permutation indexes into the `frozen`/`delta`/`dead` arrays.
+const SPO: usize = 0;
+const POS: usize = 1;
+const OSP: usize = 2;
+
+/// Reorders an SPO triple into the key layout of one permutation.
+#[inline]
+fn permute(perm: usize, s: u32, p: u32, o: u32) -> [u32; 3] {
+    match perm {
+        SPO => [s, p, o],
+        POS => [p, o, s],
+        _ => [o, s, p],
+    }
+}
+
+/// Recovers the SPO reading of a permuted key.
+#[inline]
+fn unpermute(perm: usize, k: [u32; 3]) -> IdTriple {
+    let (s, p, o) = match perm {
+        SPO => (k[0], k[1], k[2]),
+        POS => (k[2], k[0], k[1]),
+        _ => (k[1], k[2], k[0]),
+    };
+    (TermId(s), TermId(p), TermId(o))
+}
+
+/// Routes a pattern to the permutation whose sort order turns its bound
+/// positions into a range prefix: `s??`/`sp?` → SPO, `?p?`/`?po` → POS,
+/// `??o`/`s?o` → OSP, `spo` → SPO point probe, `???` → full SPO scan.
+/// Returns `(permutation, permuted key, prefix length)`.
+#[inline]
+fn route(pattern: IdPattern) -> (usize, [u32; 3], usize) {
+    let IdPattern { subject, predicate, object } = pattern;
+    match (subject, predicate, object) {
+        (Some(s), Some(p), Some(o)) => (SPO, [s.0, p.0, o.0], 3),
+        (Some(s), Some(p), None) => (SPO, [s.0, p.0, 0], 2),
+        (Some(s), None, Some(o)) => (OSP, [o.0, s.0, 0], 2),
+        (Some(s), None, None) => (SPO, [s.0, 0, 0], 1),
+        (None, Some(p), Some(o)) => (POS, [p.0, o.0, 0], 2),
+        (None, Some(p), None) => (POS, [p.0, 0, 0], 1),
+        (None, None, Some(o)) => (OSP, [o.0, 0, 0], 1),
+        (None, None, None) => (SPO, [0, 0, 0], 0),
+    }
+}
+
+/// The contiguous `[lo, hi)` slice of a sorted flat index whose entries start
+/// with `key[..len]` — two `partition_point` binary searches, O(log n).
+#[inline]
+fn prefix_bounds(index: &[[u32; 3]], key: [u32; 3], len: usize) -> (usize, usize) {
+    if len == 0 {
+        return (0, index.len());
+    }
+    let prefix = &key[..len];
+    let lo = index.partition_point(|t| t[..len] < *prefix);
+    let hi = lo + index[lo..].partition_point(|t| t[..len] == *prefix);
+    (lo, hi)
+}
+
+/// The overlay entries matching a prefix, as a sorted `BTreeSet` range.
+#[inline]
+fn overlay_range(set: &BTreeSet<[u32; 3]>, key: [u32; 3], len: usize) -> btree_set::Range<'_, [u32; 3]> {
+    let mut lo = [0u32; 3];
+    let mut hi = [u32::MAX; 3];
+    lo[..len].copy_from_slice(&key[..len]);
+    hi[..len].copy_from_slice(&key[..len]);
+    set.range(lo..=hi)
+}
+
 #[derive(Debug, Default)]
 pub struct Graph {
     interner: Interner,
-    spo: BTreeSet<(u32, u32, u32)>,
-    pos: BTreeSet<(u32, u32, u32)>,
-    osp: BTreeSet<(u32, u32, u32)>,
+    /// Flat sorted permutation indexes (SPO/POS/OSP), rebuilt on compaction.
+    frozen: [Vec<[u32; 3]>; 3],
+    /// Inserted triples not yet merged into `frozen` (disjoint from it).
+    delta: [BTreeSet<[u32; 3]>; 3],
+    /// Tombstones for removed frozen triples (always a subset of `frozen`).
+    dead: [BTreeSet<[u32; 3]>; 3],
 }
 
 impl Graph {
+    /// Overlay size floor below which compaction never triggers; above it the
+    /// threshold grows with the frozen index so bulk loads amortize to O(n)
+    /// total merge work (each compaction grows the index geometrically).
+    const MIN_COMPACT_OVERLAY: usize = 4096;
+
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Number of triples stored.
     pub fn len(&self) -> usize {
-        self.spo.len()
+        self.frozen[SPO].len() + self.delta[SPO].len() - self.dead[SPO].len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.spo.is_empty()
+        self.len() == 0
+    }
+
+    /// Number of overlay entries (pending inserts + tombstones) not yet
+    /// merged into the frozen flat indexes. Zero after [`Graph::freeze`].
+    pub fn overlay_len(&self) -> usize {
+        self.delta[SPO].len() + self.dead[SPO].len()
     }
 
     /// Access to the interner for id↔term translation.
@@ -92,6 +185,12 @@ impl Graph {
     /// Interns a term (for building id-level patterns ahead of a scan).
     pub fn intern(&mut self, term: &Term) -> TermId {
         self.interner.intern(term)
+    }
+
+    /// Pre-sizes the interner for an expected number of distinct terms
+    /// (bulk-load hint; see [`Interner::reserve`]).
+    pub fn reserve_terms(&mut self, additional: usize) {
+        self.interner.reserve(additional);
     }
 
     /// Looks up a term's id without interning. A miss means the term occurs
@@ -110,10 +209,25 @@ impl Graph {
         let s = self.interner.intern(&triple.subject).0;
         let p = self.interner.intern(&triple.predicate).0;
         let o = self.interner.intern(&triple.object).0;
-        let fresh = self.spo.insert((s, p, o));
+        self.insert_ids(s, p, o)
+    }
+
+    fn insert_ids(&mut self, s: u32, p: u32, o: u32) -> bool {
+        let key = [s, p, o];
+        if self.frozen[SPO].binary_search(&key).is_ok() {
+            // Already frozen: present unless tombstoned; re-insert resurrects.
+            if self.dead[SPO].remove(&key) {
+                self.dead[POS].remove(&permute(POS, s, p, o));
+                self.dead[OSP].remove(&permute(OSP, s, p, o));
+                return true;
+            }
+            return false;
+        }
+        let fresh = self.delta[SPO].insert(key);
         if fresh {
-            self.pos.insert((p, o, s));
-            self.osp.insert((o, s, p));
+            self.delta[POS].insert(permute(POS, s, p, o));
+            self.delta[OSP].insert(permute(OSP, s, p, o));
+            self.maybe_compact();
         }
         fresh
     }
@@ -137,12 +251,20 @@ impl Graph {
         ) else {
             return false;
         };
-        let present = self.spo.remove(&(s.0, p.0, o.0));
-        if present {
-            self.pos.remove(&(p.0, o.0, s.0));
-            self.osp.remove(&(o.0, s.0, p.0));
+        let (s, p, o) = (s.0, p.0, o.0);
+        let key = [s, p, o];
+        if self.delta[SPO].remove(&key) {
+            self.delta[POS].remove(&permute(POS, s, p, o));
+            self.delta[OSP].remove(&permute(OSP, s, p, o));
+            return true;
         }
-        present
+        if self.frozen[SPO].binary_search(&key).is_ok() && self.dead[SPO].insert(key) {
+            self.dead[POS].insert(permute(POS, s, p, o));
+            self.dead[OSP].insert(permute(OSP, s, p, o));
+            self.maybe_compact();
+            return true;
+        }
+        false
     }
 
     /// Membership test at the term level.
@@ -152,87 +274,101 @@ impl Graph {
             self.interner.get(&triple.predicate),
             self.interner.get(&triple.object),
         ) {
-            (Some(s), Some(p), Some(o)) => self.spo.contains(&(s.0, p.0, o.0)),
+            (Some(s), Some(p), Some(o)) => {
+                let key = [s.0, p.0, o.0];
+                self.delta[SPO].contains(&key)
+                    || (self.frozen[SPO].binary_search(&key).is_ok()
+                        && !self.dead[SPO].contains(&key))
+            }
             _ => false,
         }
     }
 
-    /// Id-level pattern scan. Returns matching triples as `(s, p, o)` ids.
-    ///
-    /// Chooses the index whose sort order turns the bound positions into a
-    /// range prefix:
-    /// `s??`/`sp?` → SPO, `?p?`/`?po` → POS, `??o`/`s?o` → OSP,
-    /// `spo` → membership probe, `???` → full SPO scan.
-    pub fn scan(&self, pattern: IdPattern) -> Vec<IdTriple> {
-        let IdPattern { subject, predicate, object } = pattern;
-        let mut out = Vec::new();
-        match (subject, predicate, object) {
-            (Some(s), Some(p), Some(o)) => {
-                if self.spo.contains(&(s.0, p.0, o.0)) {
-                    out.push((s, p, o));
-                }
-            }
-            (Some(s), Some(p), None) => {
-                for &(a, b, c) in range2(&self.spo, s.0, p.0) {
-                    out.push((TermId(a), TermId(b), TermId(c)));
-                }
-            }
-            (Some(s), None, Some(o)) => {
-                for &(a, b, c) in range2(&self.osp, o.0, s.0) {
-                    // osp stores (o, s, p)
-                    out.push((TermId(b), TermId(c), TermId(a)));
-                }
-            }
-            (Some(s), None, None) => {
-                for &(a, b, c) in range1(&self.spo, s.0) {
-                    out.push((TermId(a), TermId(b), TermId(c)));
-                }
-            }
-            (None, Some(p), Some(o)) => {
-                for &(a, b, c) in range2(&self.pos, p.0, o.0) {
-                    // pos stores (p, o, s)
-                    out.push((TermId(c), TermId(a), TermId(b)));
-                }
-            }
-            (None, Some(p), None) => {
-                for &(a, b, c) in range1(&self.pos, p.0) {
-                    out.push((TermId(c), TermId(a), TermId(b)));
-                }
-            }
-            (None, None, Some(o)) => {
-                for &(a, b, c) in range1(&self.osp, o.0) {
-                    out.push((TermId(b), TermId(c), TermId(a)));
-                }
-            }
-            (None, None, None) => {
-                for &(a, b, c) in &self.spo {
-                    out.push((TermId(a), TermId(b), TermId(c)));
-                }
-            }
+    /// Merges the delta overlay and tombstones into the frozen flat indexes
+    /// (one linear three-way merge per permutation). Idempotent; afterwards
+    /// every scan is pure slice iteration and every estimate is two binary
+    /// searches. Called automatically once the overlay outgrows
+    /// `max(4096, frozen/4)` entries, and by bulk-build paths.
+    pub fn freeze(&mut self) {
+        if self.delta[SPO].is_empty() && self.dead[SPO].is_empty() {
+            return;
         }
-        out
+        for perm in [SPO, POS, OSP] {
+            let delta = std::mem::take(&mut self.delta[perm]);
+            let dead = std::mem::take(&mut self.dead[perm]);
+            let frozen = std::mem::take(&mut self.frozen[perm]);
+            let mut merged = Vec::with_capacity(frozen.len() + delta.len() - dead.len());
+            let mut delta_it = delta.iter().peekable();
+            let mut dead_it = dead.iter().peekable();
+            for key in frozen {
+                while delta_it.peek().is_some_and(|&&d| d < key) {
+                    merged.push(*delta_it.next().expect("peeked"));
+                }
+                if dead_it.peek() == Some(&&key) {
+                    dead_it.next();
+                    continue;
+                }
+                merged.push(key);
+            }
+            merged.extend(delta_it.copied());
+            self.frozen[perm] = merged;
+        }
     }
 
-    /// Estimated number of matches for a pattern, used by the query planner.
-    /// Exact for fully-bound and fully-unbound patterns; for partially bound
-    /// patterns it counts the range (O(range length)), which is acceptable at
-    /// our scale and far more accurate than static heuristics.
-    pub fn estimate(&self, pattern: IdPattern) -> usize {
-        let IdPattern { subject, predicate, object } = pattern;
-        match (subject, predicate, object) {
-            (Some(s), Some(p), Some(o)) => usize::from(self.spo.contains(&(s.0, p.0, o.0))),
-            (Some(s), Some(p), None) => range2(&self.spo, s.0, p.0).count(),
-            (Some(s), None, Some(o)) => range2(&self.osp, o.0, s.0).count(),
-            (Some(s), None, None) => range1(&self.spo, s.0).count(),
-            (None, Some(p), Some(o)) => range2(&self.pos, p.0, o.0).count(),
-            (None, Some(p), None) => range1(&self.pos, p.0).count(),
-            (None, None, Some(o)) => range1(&self.osp, o.0).count(),
-            (None, None, None) => self.spo.len(),
+    fn maybe_compact(&mut self) {
+        let threshold = Self::MIN_COMPACT_OVERLAY.max(self.frozen[SPO].len() / 4);
+        if self.overlay_len() > threshold {
+            self.freeze();
         }
+    }
+
+    /// Id-level pattern scan as a zero-allocation streaming iterator: the
+    /// frozen slice addressed by two `partition_point` searches, merged with
+    /// the (usually empty) delta range, minus tombstones. Yields `(s, p, o)`
+    /// ids in the canonical order of the chosen permutation.
+    pub fn scan_iter(&self, pattern: IdPattern) -> ScanIter<'_> {
+        let (perm, key, len) = route(pattern);
+        let (lo, hi) = prefix_bounds(&self.frozen[perm], key, len);
+        let mut delta = overlay_range(&self.delta[perm], key, len);
+        let mut dead = overlay_range(&self.dead[perm], key, len);
+        let delta_next = delta.next();
+        let dead_next = dead.next();
+        ScanIter {
+            perm,
+            frozen: self.frozen[perm][lo..hi].iter(),
+            delta,
+            delta_next,
+            dead,
+            dead_next,
+        }
+    }
+
+    /// Id-level pattern scan, materialized. Prefer [`Graph::scan_iter`] in
+    /// inner loops; this remains for callers that need an owned result.
+    pub fn scan(&self, pattern: IdPattern) -> Vec<IdTriple> {
+        self.scan_iter(pattern).collect()
+    }
+
+    /// Exact number of matches for a pattern, used by the query planner.
+    /// On a frozen graph this is two `partition_point` binary searches —
+    /// O(log n) with no range walking. With a live overlay it additionally
+    /// counts the (threshold-bounded) delta/tombstone entries in the range,
+    /// staying exact across insert/remove/freeze interleavings.
+    pub fn estimate(&self, pattern: IdPattern) -> usize {
+        let (perm, key, len) = route(pattern);
+        let (lo, hi) = prefix_bounds(&self.frozen[perm], key, len);
+        let mut n = hi - lo;
+        if !self.delta[perm].is_empty() {
+            n += overlay_range(&self.delta[perm], key, len).count();
+        }
+        if !self.dead[perm].is_empty() {
+            n -= overlay_range(&self.dead[perm], key, len).count();
+        }
+        n
     }
 
     /// Term-level pattern scan: `None` positions are wildcards. Converts ids
-    /// back to terms; prefer [`Graph::scan`] in inner loops.
+    /// back to terms; prefer [`Graph::scan_iter`] in inner loops.
     pub fn triples_matching(
         &self,
         subject: Option<&Term>,
@@ -251,8 +387,7 @@ impl Graph {
         let (Ok(s), Ok(p), Ok(o)) = (to_id(subject), to_id(predicate), to_id(object)) else {
             return Vec::new();
         };
-        self.scan(IdPattern { subject: s, predicate: p, object: o })
-            .into_iter()
+        self.scan_iter(IdPattern { subject: s, predicate: p, object: o })
             .map(|(s, p, o)| Triple {
                 subject: self.interner.resolve(s).clone(),
                 predicate: self.interner.resolve(p).clone(),
@@ -277,41 +412,103 @@ impl Graph {
             .collect()
     }
 
-    /// The set of distinct predicates in the graph, in id order.
+    /// The set of distinct predicates in the graph, in id order. Skips from
+    /// one distinct predicate to the next with a `partition_point` gallop
+    /// over the frozen POS index — O(#predicates · log n), never a full
+    /// index walk.
     pub fn predicates(&self) -> Vec<Term> {
-        let mut last: Option<u32> = None;
-        let mut out = Vec::new();
-        for &(p, _, _) in &self.pos {
-            if last != Some(p) {
-                last = Some(p);
-                out.push(self.interner.resolve(TermId(p)).clone());
+        let pos = &self.frozen[POS];
+        let mut ids: Vec<u32> = Vec::new();
+        let mut i = 0;
+        while i < pos.len() {
+            let p = pos[i][0];
+            ids.push(p);
+            i += pos[i..].partition_point(|t| t[0] == p);
+        }
+        // Overlay inserts may introduce predicates the frozen index lacks
+        // (`ids` stays sorted, so binary insertion preserves id order).
+        for t in &self.delta[POS] {
+            if let Err(at) = ids.binary_search(&t[0]) {
+                ids.insert(at, t[0]);
             }
         }
-        out
+        // Tombstones may have emptied a predicate entirely.
+        if !self.dead[POS].is_empty() {
+            ids.retain(|&p| {
+                self.estimate(IdPattern {
+                    subject: None,
+                    predicate: Some(TermId(p)),
+                    object: None,
+                }) > 0
+            });
+        }
+        ids.into_iter().map(|p| self.interner.resolve(TermId(p)).clone()).collect()
     }
 
     /// Iterates over all triples at the term level (SPO order).
     pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
-        self.spo.iter().map(|&(s, p, o)| Triple {
-            subject: self.interner.resolve(TermId(s)).clone(),
-            predicate: self.interner.resolve(TermId(p)).clone(),
-            object: self.interner.resolve(TermId(o)).clone(),
-        })
+        self.scan_iter(IdPattern { subject: None, predicate: None, object: None }).map(
+            |(s, p, o)| Triple {
+                subject: self.interner.resolve(s).clone(),
+                predicate: self.interner.resolve(p).clone(),
+                object: self.interner.resolve(o).clone(),
+            },
+        )
     }
 }
 
-/// Range over a BTreeSet of id-triples with the first position fixed.
-fn range1(set: &BTreeSet<(u32, u32, u32)>, a: u32) -> impl Iterator<Item = &(u32, u32, u32)> {
-    set.range((Bound::Included((a, 0, 0)), Bound::Included((a, u32::MAX, u32::MAX))))
+/// Zero-allocation streaming scan over one permutation index: a sorted
+/// frozen slice merged with the sorted delta range, minus tombstones.
+/// Yields `(s, p, o)` ids in the permutation's canonical order.
+pub struct ScanIter<'a> {
+    perm: usize,
+    frozen: std::slice::Iter<'a, [u32; 3]>,
+    delta: btree_set::Range<'a, [u32; 3]>,
+    delta_next: Option<&'a [u32; 3]>,
+    dead: btree_set::Range<'a, [u32; 3]>,
+    dead_next: Option<&'a [u32; 3]>,
 }
 
-/// Range with the first two positions fixed.
-fn range2(
-    set: &BTreeSet<(u32, u32, u32)>,
-    a: u32,
-    b: u32,
-) -> impl Iterator<Item = &(u32, u32, u32)> {
-    set.range((Bound::Included((a, b, 0)), Bound::Included((a, b, u32::MAX))))
+impl Iterator for ScanIter<'_> {
+    type Item = IdTriple;
+
+    fn next(&mut self) -> Option<IdTriple> {
+        loop {
+            // Take the smaller head of the two sorted streams (they are
+            // disjoint by construction: delta never duplicates frozen).
+            let take_frozen = match (self.frozen.as_slice().first(), self.delta_next) {
+                (None, None) => return None,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (Some(f), Some(d)) => f < d,
+            };
+            let key = if take_frozen {
+                let key = *self.frozen.next().expect("peeked frozen head");
+                // Tombstones are a sorted subset of the frozen stream, so one
+                // forward pointer suffices to filter them out.
+                while self.dead_next.is_some_and(|d| *d < key) {
+                    self.dead_next = self.dead.next();
+                }
+                if self.dead_next.is_some_and(|d| *d == key) {
+                    self.dead_next = self.dead.next();
+                    continue;
+                }
+                key
+            } else {
+                let key = *self.delta_next.expect("checked above");
+                self.delta_next = self.delta.next();
+                key
+            };
+            return Some(unpermute(self.perm, key));
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let frozen = self.frozen.as_slice().len();
+        let delta = self.delta_next.is_some() as usize;
+        // Tombstones can only shrink the frozen stream.
+        (delta, Some(frozen + delta + self.delta.size_hint().1.unwrap_or(0)))
+    }
 }
 
 #[cfg(test)]
@@ -456,5 +653,160 @@ mod tests {
             g.triples_matching(None, None, Some(&Term::literal("o"))).len(),
             1
         );
+    }
+
+    // ------------------------------------------------- frozen/overlay layer
+
+    /// Every pattern shape over (subject, predicate, object) id options.
+    fn all_shapes(s: TermId, p: TermId, o: TermId) -> [IdPattern; 8] {
+        let some = [Some(s), Some(p), Some(o)];
+        let mut shapes = [IdPattern { subject: None, predicate: None, object: None }; 8];
+        for (i, shape) in shapes.iter_mut().enumerate() {
+            *shape = IdPattern {
+                subject: (i & 1 != 0).then_some(some[0].unwrap()),
+                predicate: (i & 2 != 0).then_some(some[1].unwrap()),
+                object: (i & 4 != 0).then_some(some[2].unwrap()),
+            };
+        }
+        shapes
+    }
+
+    #[test]
+    fn freeze_is_idempotent_and_preserves_scans() {
+        let mut g = sample_graph();
+        let writer = g.term_id(&Term::iri(dbont::iri("writer"))).unwrap();
+        let snow = g.term_id(&Term::iri(res::iri("Snow"))).unwrap();
+        let pamuk = g.term_id(&Term::iri(res::iri("Orhan Pamuk"))).unwrap();
+        let before: Vec<Vec<IdTriple>> =
+            all_shapes(snow, writer, pamuk).iter().map(|&pat| g.scan(pat)).collect();
+        assert!(g.overlay_len() > 0);
+        g.freeze();
+        assert_eq!(g.overlay_len(), 0);
+        g.freeze(); // idempotent
+        let after: Vec<Vec<IdTriple>> =
+            all_shapes(snow, writer, pamuk).iter().map(|&pat| g.scan(pat)).collect();
+        assert_eq!(before, after);
+        for &pat in &all_shapes(snow, writer, pamuk) {
+            assert_eq!(g.estimate(pat), g.scan(pat).len());
+        }
+    }
+
+    #[test]
+    fn tombstone_then_resurrect_round_trips() {
+        let mut g = sample_graph();
+        g.freeze();
+        let t = Triple::new(
+            Term::iri(res::iri("Snow")),
+            Term::iri(dbont::iri("writer")),
+            Term::iri(res::iri("Orhan Pamuk")),
+        );
+        let len = g.len();
+        assert!(g.remove(&t)); // tombstones a frozen triple
+        assert!(!g.contains(&t));
+        assert_eq!(g.len(), len - 1);
+        assert!(g.insert(&t)); // resurrect clears the tombstone
+        assert!(g.contains(&t));
+        assert_eq!(g.len(), len);
+        assert_eq!(g.overlay_len(), 0, "resurrection must not leave overlay residue");
+    }
+
+    #[test]
+    fn overlay_scan_merges_in_sorted_order() {
+        let mut g = Graph::new();
+        // Interleave so ids do not arrive pre-sorted, then freeze half.
+        for i in [5u32, 1, 9, 3] {
+            g.add(Term::iri(format!("s{i}")), Term::iri("p"), Term::iri(format!("o{i}")));
+        }
+        g.freeze();
+        for i in [4u32, 0, 7] {
+            g.add(Term::iri(format!("s{i}")), Term::iri("p"), Term::iri(format!("o{i}")));
+        }
+        let p = g.term_id(&Term::iri("p")).unwrap();
+        let scan = g.scan(IdPattern { subject: None, predicate: Some(p), object: None });
+        assert_eq!(scan.len(), 7);
+        // POS order: sorted by (p, o, s) — objects ascending by id.
+        let objects: Vec<u32> = scan.iter().map(|&(_, _, o)| o.0).collect();
+        let mut sorted = objects.clone();
+        sorted.sort_unstable();
+        assert_eq!(objects, sorted, "merged scan must keep permutation order");
+    }
+
+    #[test]
+    fn estimate_is_exact_across_overlay_states() {
+        let mut g = sample_graph();
+        let writer = g.term_id(&Term::iri(dbont::iri("writer"))).unwrap();
+        let snow = g.term_id(&Term::iri(res::iri("Snow"))).unwrap();
+        let pamuk = g.term_id(&Term::iri(res::iri("Orhan Pamuk"))).unwrap();
+        let check = |g: &Graph| {
+            for &pat in &all_shapes(snow, writer, pamuk) {
+                assert_eq!(g.estimate(pat), g.scan(pat).len(), "pattern {pat:?}");
+            }
+        };
+        check(&g); // pure delta
+        g.freeze();
+        check(&g); // pure frozen
+        let t = Triple::new(
+            Term::iri(res::iri("Snow")),
+            Term::iri(dbont::iri("writer")),
+            Term::iri(res::iri("Orhan Pamuk")),
+        );
+        g.remove(&t);
+        check(&g); // frozen + tombstone
+        g.add(
+            Term::iri(res::iri("Snow")),
+            Term::iri(dbont::iri("writer")),
+            Term::iri(res::iri("Stanislaw Lem")),
+        );
+        check(&g); // frozen + tombstone + delta
+    }
+
+    #[test]
+    fn auto_compaction_triggers_on_bulk_load() {
+        let mut g = Graph::new();
+        let n = Graph::MIN_COMPACT_OVERLAY + 10;
+        for i in 0..n {
+            g.add(Term::iri(format!("s{i}")), Term::iri("p"), Term::iri(format!("o{i}")));
+        }
+        assert!(
+            g.overlay_len() < n,
+            "bulk load must compact: overlay still holds {}",
+            g.overlay_len()
+        );
+        assert_eq!(g.len(), n);
+        let p = g.term_id(&Term::iri("p")).unwrap();
+        assert_eq!(
+            g.estimate(IdPattern { subject: None, predicate: Some(p), object: None }),
+            n
+        );
+    }
+
+    #[test]
+    fn predicates_skip_works_on_frozen_and_overlay() {
+        let mut g = sample_graph();
+        g.freeze();
+        assert_eq!(g.predicates().len(), 2);
+        // A predicate that only exists in the overlay.
+        g.add(Term::iri("a"), Term::iri("newpred"), Term::iri("b"));
+        assert_eq!(g.predicates().len(), 3);
+        // Tombstoning every triple of a predicate removes it from the list.
+        let writer = Term::iri(dbont::iri("writer"));
+        for t in g.triples_matching(None, Some(&writer), None) {
+            g.remove(&t);
+        }
+        assert_eq!(g.predicates().len(), 2);
+    }
+
+    #[test]
+    fn scan_iter_matches_scan_everywhere() {
+        let mut g = sample_graph();
+        let writer = g.term_id(&Term::iri(dbont::iri("writer"))).unwrap();
+        let snow = g.term_id(&Term::iri(res::iri("Snow"))).unwrap();
+        let pamuk = g.term_id(&Term::iri(res::iri("Orhan Pamuk"))).unwrap();
+        g.freeze();
+        g.add(Term::iri(res::iri("Snow")), Term::iri(dbont::iri("writer")), Term::iri("x"));
+        for &pat in &all_shapes(snow, writer, pamuk) {
+            let streamed: Vec<IdTriple> = g.scan_iter(pat).collect();
+            assert_eq!(streamed, g.scan(pat));
+        }
     }
 }

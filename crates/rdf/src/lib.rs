@@ -5,8 +5,9 @@
 //!
 //! - an RDF 1.1-style term model ([`Iri`], [`Literal`], [`Term`]);
 //! - a term [`Interner`] mapping terms to dense `u32` ids;
-//! - an indexed, in-memory [`Graph`] with SPO/POS/OSP permutations so that any
-//!   partially bound triple pattern is a contiguous range scan;
+//! - an indexed, in-memory [`Graph`] with frozen flat SPO/POS/OSP permutation
+//!   indexes (plus a mutable delta overlay) so that any partially bound
+//!   triple pattern is a contiguous slice scan located in O(log n);
 //! - Turtle and N-Triples parsing/serialization for fixtures and interchange;
 //! - the vocabulary constants (`rdf:`, `rdfs:`, `xsd:`, `dbont:`, `res:`) that
 //!   the paper's examples use.
@@ -38,7 +39,7 @@ mod turtle;
 pub mod vocab;
 
 pub use error::RdfError;
-pub use graph::{Graph, IdPattern, IdTriple, Triple};
+pub use graph::{Graph, IdPattern, IdTriple, ScanIter, Triple};
 pub use interner::{Interner, TermId};
 pub use io::{load_path, save_ntriples, save_turtle};
 pub use ntriples::{parse_ntriples, to_ntriples};

@@ -1,0 +1,269 @@
+//! Differential equivalence suite for the frozen flat permutation indexes.
+//!
+//! The [`Graph`] under test keeps three sorted `Vec<[u32; 3]>` permutations
+//! plus a BTree delta/tombstone overlay; the reference model here is the
+//! simplest possible store — one `BTreeSet` of index triples with linear
+//! filtering. Seeded random insert/remove/freeze interleavings drive both,
+//! and at every checkpoint all eight pattern shapes must agree, `estimate`
+//! must equal the exact scan cardinality, and `scan_iter` must match the
+//! materialized scan. Three regimes cover the overlay states: pure overlay
+//! (below the compaction threshold), mixed explicit freezes, and a bulk load
+//! that crosses the auto-compaction threshold followed by heavy churn.
+
+use std::collections::BTreeSet;
+
+use relpat_obs::Rng;
+use relpat_rdf::{Graph, IdPattern, Term, Triple};
+
+/// Shared entity universe: subjects and objects draw from the same pool so
+/// OSP ranges interleave IRIs that also occur as subjects.
+const ENTITIES: u32 = 40;
+const PREDICATES: u32 = 6;
+
+fn entity(i: u32) -> Term {
+    Term::iri(format!("http://t/e{i}"))
+}
+
+fn predicate(j: u32) -> Term {
+    Term::iri(format!("http://t/p{j}"))
+}
+
+fn triple(s: u32, p: u32, o: u32) -> Triple {
+    Triple::new(entity(s), predicate(p), entity(o))
+}
+
+/// Reference store: index triples, linear filtering, no indexes.
+type Model = BTreeSet<(u32, u32, u32)>;
+
+fn model_matching(
+    model: &Model,
+    s: Option<u32>,
+    p: Option<u32>,
+    o: Option<u32>,
+) -> BTreeSet<Triple> {
+    model
+        .iter()
+        .filter(|&&(ts, tp, to)| {
+            s.is_none_or(|v| v == ts) && p.is_none_or(|v| v == tp) && o.is_none_or(|v| v == to)
+        })
+        .map(|&(ts, tp, to)| triple(ts, tp, to))
+        .collect()
+}
+
+/// Compares graph and model on all 8 shapes anchored at probe `(s, p, o)`,
+/// and checks `estimate`/`scan_iter`/`scan` consistency at the id level.
+fn check_probe(g: &Graph, model: &Model, s: u32, p: u32, o: u32) {
+    let (st, pt, ot) = (entity(s), predicate(p), entity(o));
+    for mask in 0..8u32 {
+        let sq = (mask & 1 != 0).then_some(());
+        let pq = (mask & 2 != 0).then_some(());
+        let oq = (mask & 4 != 0).then_some(());
+        let want = model_matching(model, sq.map(|_| s), pq.map(|_| p), oq.map(|_| o));
+        let got: BTreeSet<Triple> = g
+            .triples_matching(sq.map(|_| &st), pq.map(|_| &pt), oq.map(|_| &ot))
+            .into_iter()
+            .collect();
+        assert_eq!(got, want, "shape {mask:03b} probe ({s},{p},{o})");
+
+        // Id-level checks need every bound term to resolve; a miss means the
+        // term occurs nowhere, which the term-level comparison covered.
+        let ids = (
+            sq.map(|_| g.term_id(&st)),
+            pq.map(|_| g.term_id(&pt)),
+            oq.map(|_| g.term_id(&ot)),
+        );
+        let (Some(si), Some(pi), Some(oi)) = (
+            ids.0.map_or(Some(None), |id| id.map(Some)),
+            ids.1.map_or(Some(None), |id| id.map(Some)),
+            ids.2.map_or(Some(None), |id| id.map(Some)),
+        ) else {
+            continue;
+        };
+        let pat = IdPattern { subject: si, predicate: pi, object: oi };
+        let scanned = g.scan(pat);
+        assert_eq!(scanned.len(), want.len(), "scan cardinality, shape {mask:03b}");
+        assert_eq!(g.estimate(pat), want.len(), "estimate exactness, shape {mask:03b}");
+        let streamed: Vec<_> = g.scan_iter(pat).collect();
+        assert_eq!(streamed, scanned, "scan_iter vs scan, shape {mask:03b}");
+    }
+}
+
+/// Full checkpoint: cardinality, whole-graph scan, and probe points drawn
+/// both from present triples and from the raw universe (absent positions).
+fn checkpoint(g: &Graph, model: &Model, rng: &mut Rng) {
+    assert_eq!(g.len(), model.len(), "triple count");
+    let all: BTreeSet<Triple> = g.iter().collect();
+    let want: BTreeSet<Triple> =
+        model.iter().map(|&(s, p, o)| triple(s, p, o)).collect();
+    assert_eq!(all, want, "full scan");
+
+    for _ in 0..4 {
+        let (s, p, o) = if !model.is_empty() && rng.gen_bool(0.5) {
+            let nth = rng.gen_range(0..model.len());
+            *model.iter().nth(nth).expect("in range")
+        } else {
+            (
+                rng.gen_range(0..ENTITIES),
+                rng.gen_range(0..PREDICATES),
+                rng.gen_range(0..ENTITIES),
+            )
+        };
+        check_probe(g, model, s, p, o);
+    }
+}
+
+/// Drives `ops` random operations against both stores. `freeze_p` is the
+/// per-op probability of an explicit freeze; removals target present triples
+/// half of the time so tombstones actually exercise the frozen index.
+fn run_regime(seed: u64, ops: usize, freeze_p: f64, remove_p: f64, checkpoint_every: usize) {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut g = Graph::new();
+    let mut model: Model = BTreeSet::new();
+
+    for step in 0..ops {
+        if rng.gen_bool(freeze_p) {
+            g.freeze();
+            assert_eq!(g.overlay_len(), 0, "freeze must drain the overlay");
+        } else if !model.is_empty() && rng.gen_bool(remove_p) {
+            let (s, p, o) = if rng.gen_bool(0.5) {
+                let nth = rng.gen_range(0..model.len());
+                *model.iter().nth(nth).expect("in range")
+            } else {
+                (
+                    rng.gen_range(0..ENTITIES),
+                    rng.gen_range(0..PREDICATES),
+                    rng.gen_range(0..ENTITIES),
+                )
+            };
+            let was = model.remove(&(s, p, o));
+            assert_eq!(g.remove(&triple(s, p, o)), was, "remove ({s},{p},{o})");
+        } else {
+            let (s, p, o) = (
+                rng.gen_range(0..ENTITIES),
+                rng.gen_range(0..PREDICATES),
+                rng.gen_range(0..ENTITIES),
+            );
+            let fresh = model.insert((s, p, o));
+            assert_eq!(g.insert(&triple(s, p, o)), fresh, "insert ({s},{p},{o})");
+        }
+        if (step + 1) % checkpoint_every == 0 {
+            checkpoint(&g, &model, &mut rng);
+        }
+    }
+    checkpoint(&g, &model, &mut rng);
+}
+
+#[test]
+fn overlay_regime_matches_reference() {
+    // Small enough that the overlay never hits the compaction threshold:
+    // every read merges frozen (possibly empty) with a live delta.
+    run_regime(11, 400, 0.02, 0.25, 80);
+}
+
+#[test]
+fn mixed_freeze_regime_matches_reference() {
+    // Frequent explicit freezes interleave tombstone creation, resurrection
+    // and re-freezing across several seeds.
+    for seed in [1, 2, 3, 4] {
+        run_regime(seed, 1200, 0.05, 0.35, 200);
+    }
+}
+
+#[test]
+fn compacted_regime_matches_reference() {
+    // Bulk phase crosses MIN_COMPACT_OVERLAY (4096) so auto-compaction fires
+    // mid-load, then heavy churn stresses tombstones over a large frozen set.
+    let mut rng = Rng::seed_from_u64(77);
+    let mut g = Graph::new();
+    let mut model: Model = BTreeSet::new();
+    for _ in 0..6000 {
+        let (s, p, o) = (
+            rng.gen_range(0..ENTITIES),
+            rng.gen_range(0..PREDICATES),
+            rng.gen_range(0..ENTITIES),
+        );
+        let fresh = model.insert((s, p, o));
+        assert_eq!(g.insert(&triple(s, p, o)), fresh);
+    }
+    assert!(
+        g.overlay_len() < 6000,
+        "bulk load should have auto-compacted at least once"
+    );
+    checkpoint(&g, &model, &mut rng);
+
+    for step in 0..600 {
+        if !model.is_empty() && rng.gen_bool(0.5) {
+            let nth = rng.gen_range(0..model.len());
+            let key = *model.iter().nth(nth).expect("in range");
+            model.remove(&key);
+            assert!(g.remove(&triple(key.0, key.1, key.2)));
+        } else {
+            let (s, p, o) = (
+                rng.gen_range(0..ENTITIES),
+                rng.gen_range(0..PREDICATES),
+                rng.gen_range(0..ENTITIES),
+            );
+            let fresh = model.insert((s, p, o));
+            assert_eq!(g.insert(&triple(s, p, o)), fresh);
+        }
+        if (step + 1) % 150 == 0 {
+            checkpoint(&g, &model, &mut rng);
+        }
+    }
+    g.freeze();
+    checkpoint(&g, &model, &mut rng);
+}
+
+#[test]
+fn estimate_is_exact_at_every_scale_regime() {
+    // Scale sweep: empty, singleton, overlay-sized, and past the compaction
+    // threshold. At each size, before and after freeze, estimate == scan len
+    // for every shape at several probe points.
+    for &n in &[0usize, 1, 50, 1000, 6000] {
+        let mut rng = Rng::seed_from_u64(n as u64 + 1000);
+        let mut g = Graph::new();
+        let mut model: Model = BTreeSet::new();
+        for _ in 0..n {
+            let (s, p, o) = (
+                rng.gen_range(0..ENTITIES),
+                rng.gen_range(0..PREDICATES),
+                rng.gen_range(0..ENTITIES),
+            );
+            model.insert((s, p, o));
+            g.insert(&triple(s, p, o));
+        }
+        checkpoint(&g, &model, &mut rng);
+        g.freeze();
+        checkpoint(&g, &model, &mut rng);
+    }
+}
+
+#[test]
+fn predicates_agree_with_reference_under_churn() {
+    let mut rng = Rng::seed_from_u64(5150);
+    let mut g = Graph::new();
+    let mut model: Model = BTreeSet::new();
+    for step in 0..800 {
+        if !model.is_empty() && rng.gen_bool(0.4) {
+            let nth = rng.gen_range(0..model.len());
+            let key = *model.iter().nth(nth).expect("in range");
+            model.remove(&key);
+            g.remove(&triple(key.0, key.1, key.2));
+        } else {
+            let (s, p, o) = (
+                rng.gen_range(0..ENTITIES),
+                rng.gen_range(0..PREDICATES),
+                rng.gen_range(0..ENTITIES),
+            );
+            model.insert((s, p, o));
+            g.insert(&triple(s, p, o));
+        }
+        if step == 400 {
+            g.freeze();
+        }
+        let want: BTreeSet<Term> =
+            model.iter().map(|&(_, p, _)| predicate(p)).collect();
+        let got: BTreeSet<Term> = g.predicates().into_iter().collect();
+        assert_eq!(got, want, "predicate set after step {step}");
+    }
+}

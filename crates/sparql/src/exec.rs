@@ -1,13 +1,15 @@
 //! Query planner and executor.
 //!
 //! Evaluation pipeline: plan the basic graph pattern with a greedy
-//! selectivity heuristic → stream bindings through index range scans →
-//! apply filters → project → DISTINCT → ORDER BY → OFFSET/LIMIT.
+//! selectivity heuristic (exact O(log n) index estimates) → stream bindings
+//! through zero-allocation frozen-index slice scans, stopping mid-join for
+//! bare-LIMIT/ASK queries → apply filters → project → DISTINCT (hash dedup)
+//! → ORDER BY → OFFSET/LIMIT.
 
 use std::cmp::Ordering;
 
 use relpat_rdf::{Graph, IdPattern, Term, TermId};
-use relpat_obs::fx::FxHashMap;
+use relpat_obs::fx::{FxHashMap, FxHashSet};
 
 use crate::ast::{
     ArithOp, CmpOp, Expr, GraphPattern, Projection, Query, SelectQuery, TriplePattern,
@@ -158,16 +160,11 @@ fn execute_select(graph: &Graph, sel: &SelectQuery) -> Result<Solutions, SparqlE
         .collect();
 
     if sel.distinct {
-        // Stable dedup that preserves ORDER BY output order.
-        let mut seen: Vec<Vec<Option<Term>>> = Vec::new();
-        projected.retain(|row| {
-            if seen.contains(row) {
-                false
-            } else {
-                seen.push(row.clone());
-                true
-            }
-        });
+        // Hash-based stable dedup: first occurrence wins, preserving ORDER BY
+        // output order at O(1) per row instead of a linear rescan.
+        let mut seen: FxHashSet<Vec<Option<Term>>> = FxHashSet::default();
+        seen.reserve(projected.len());
+        projected.retain(|row| seen.insert(row.clone()));
     }
 
     let offset = sel.offset.unwrap_or(0);
@@ -197,10 +194,12 @@ fn evaluate_pattern(
         variables.iter().enumerate().map(|(i, v)| (v.as_str(), i)).collect();
 
     let initial: Vec<Vec<Option<TermId>>> = vec![vec![None; variables.len()]];
-    let mut bindings = eval_group(graph, pattern, &var_index, initial);
+    let mut bindings = eval_group(graph, pattern, &var_index, initial, early_stop);
 
     if let Some(stop) = early_stop {
-        // Only requested when no DISTINCT/ORDER/OFFSET follows.
+        // Safety net: eval_group only pushes the limit into the join loop
+        // when nothing after the BGP can drop or add rows; otherwise the
+        // limit still applies here, after full evaluation.
         bindings.truncate(stop);
     }
 
@@ -213,13 +212,27 @@ fn evaluate_pattern(
 
 /// Evaluates one group graph pattern against a set of incoming bindings:
 /// BGP join → UNION blocks → OPTIONAL left-joins → group filters.
+///
+/// `limit` is a bare-LIMIT early-stop request. It is pushed down into the
+/// BGP join loop only when this group has no unions, optionals or filters —
+/// anything that could drop or multiply rows after the join would make a
+/// truncated join prefix incorrect.
 fn eval_group(
     graph: &Graph,
     pattern: &GraphPattern,
     var_index: &FxHashMap<&str, usize>,
     initial: Vec<Vec<Option<TermId>>>,
+    limit: Option<usize>,
 ) -> Vec<Vec<Option<TermId>>> {
-    let mut bindings = join_triples(graph, &pattern.triples, var_index, initial);
+    let pushdown = if pattern.unions.is_empty()
+        && pattern.optionals.is_empty()
+        && pattern.filters.is_empty()
+    {
+        limit
+    } else {
+        None
+    };
+    let mut bindings = join_triples(graph, &pattern.triples, var_index, initial, pushdown);
 
     // UNION: concatenate the solutions of each alternative, each evaluated
     // from the current bindings (join semantics with the surrounding group).
@@ -229,7 +242,7 @@ fn eval_group(
         }
         let mut next = Vec::new();
         for alt in alternatives {
-            next.extend(eval_group(graph, alt, var_index, bindings.clone()));
+            next.extend(eval_group(graph, alt, var_index, bindings.clone(), None));
         }
         bindings = next;
     }
@@ -239,7 +252,7 @@ fn eval_group(
     for opt in &pattern.optionals {
         let mut next = Vec::with_capacity(bindings.len());
         for binding in bindings {
-            let extended = eval_group(graph, opt, var_index, vec![binding.clone()]);
+            let extended = eval_group(graph, opt, var_index, vec![binding.clone()], None);
             if extended.is_empty() {
                 next.push(binding);
             } else {
@@ -264,29 +277,46 @@ fn eval_group(
 }
 
 /// Joins a list of triple patterns into the incoming bindings, in planned
-/// order.
+/// order. Each probe consumes [`Graph::scan_iter`] directly — a streaming
+/// slice walk with no per-probe result vector.
+///
+/// `limit` (from a bare LIMIT / ASK) stops the final join step as soon as
+/// enough rows exist: intermediate steps must run to completion (a truncated
+/// intermediate set could starve later joins of the rows that survive), but
+/// the last pattern's scan can cut off mid-slice.
 fn join_triples(
     graph: &Graph,
     triples: &[TriplePattern],
     var_index: &FxHashMap<&str, usize>,
     initial: Vec<Vec<Option<TermId>>>,
+    limit: Option<usize>,
 ) -> Vec<Vec<Option<TermId>>> {
     let order = plan(graph, triples, var_index);
     let mut bindings = initial;
+    if order.is_empty() {
+        if let Some(cap) = limit {
+            bindings.truncate(cap);
+        }
+        return bindings;
+    }
     // Tallied locally and flushed once — one atomic add per join, not per row.
     let mut scanned: u64 = 0;
-    for &pat_idx in &order {
+    for (step, &pat_idx) in order.iter().enumerate() {
+        let cap = if step + 1 == order.len() { limit } else { None };
         let tp = &triples[pat_idx];
         let mut next: Vec<Vec<Option<TermId>>> = Vec::new();
-        for binding in &bindings {
+        'probes: for binding in &bindings {
             match bind_pattern(graph, tp, binding, var_index) {
                 BoundPattern::NoMatch => {}
                 BoundPattern::Scan(id_pattern, slots) => {
-                    for (s, p, o) in graph.scan(id_pattern) {
+                    for (s, p, o) in graph.scan_iter(id_pattern) {
                         scanned += 1;
                         let mut extended = binding.clone();
                         if extend(&mut extended, &slots, s, p, o) {
                             next.push(extended);
+                            if cap.is_some_and(|c| next.len() >= c) {
+                                break 'probes;
+                            }
                         }
                     }
                 }
