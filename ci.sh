@@ -26,6 +26,12 @@ cargo test -q -p relpat-rdf --test index_equivalence
 echo "=== streaming LIMIT pushdown gate ==="
 cargo test -q -p relpat-sparql --test streaming
 
+echo "=== explain-plan golden + allocation overhead gate ==="
+cargo test -q -p relpat-sparql --test explain
+
+echo "=== prometheus exposition audit gate ==="
+cargo test -q -p relpat-obs every_exposition_family_has_help_and_type
+
 echo "=== serve loopback smoke gate ==="
 cargo test -q -p relpat-serve --test loopback
 

@@ -3,11 +3,13 @@
 //! measurement layer itself is caught the same way a QA throughput
 //! regression is.
 //!
-//! Four axes:
+//! Five axes:
 //! - counter add, registry enabled vs disabled;
 //! - histogram record, registry enabled vs disabled;
 //! - journal event emit, enabled (ring only) vs disabled;
-//! - journal event emit with the JSONL file backend attached.
+//! - journal event emit with the JSONL file backend attached;
+//! - SPARQL execution with EXPLAIN ANALYZE plan tracing on vs off — the
+//!   explain-off path must stay within noise of the pre-trace executor.
 //!
 //! Run with: `cargo bench -p relpat-bench --bench obs_overhead`
 //!
@@ -90,6 +92,30 @@ fn main() {
     println!("journal.emit     enabled {journal_ring:>7.2} ns/op   disabled {journal_off:>7.2} ns/op");
     println!("journal.emit     +file   {journal_file:>7.2} ns/op   ({written} bytes JSONL)");
 
+    // EXPLAIN ANALYZE: plan tracing on vs off over a fixed two-pattern
+    // join. The off path threads `None` through the executor and must not
+    // pay for the trace machinery.
+    let graph = plan_bench_graph();
+    let query =
+        relpat_sparql::parse_query("SELECT ?x { ?x rdf:type dbont:Book . ?x dbont:author ?a }")
+            .expect("bench query parses");
+    let n_exec = if smoke { 2_000u64 } else { 50_000u64 };
+    let explain_off = per_op(rounds, n_exec, |_| {
+        black_box(relpat_sparql::execute(&graph, &query).expect("execute"));
+    });
+    let explain_on = per_op(rounds, n_exec, |_| {
+        black_box(relpat_sparql::execute_traced(&graph, &query).expect("execute traced"));
+    });
+    println!("sparql.execute   explain-off {explain_off:>9.2} ns/op   explain-on {explain_on:>9.2} ns/op");
+
+    // Traced and untraced executions agree, and the trace carries real
+    // per-step measurements.
+    let plain = relpat_sparql::execute(&graph, &query).unwrap();
+    let (traced, trace) = relpat_sparql::execute_traced(&graph, &query).unwrap();
+    assert_eq!(plain, traced, "explain must not change results");
+    assert_eq!(trace.steps.len(), 2, "two join steps expected");
+    assert!(trace.rows_scanned() > 0, "trace lost scan counts");
+
     // Functional floor for the smoke gate: enabled paths actually recorded.
     let snapshot = enabled.snapshot();
     let total: u64 = rounds as u64 * n_atomic;
@@ -106,4 +132,21 @@ fn main() {
     assert_eq!(hist.count, total, "enabled histogram lost records");
     assert_eq!(hist.min, 0, "min must track the smallest observation");
     println!("\nok: counts verified ({total} records per primitive)");
+}
+
+/// A small fixed graph: 32 books with authors plus link noise, enough that
+/// the two-pattern bench join does real scan work per execution.
+fn plan_bench_graph() -> relpat_rdf::Graph {
+    use relpat_rdf::vocab::{dbont, rdf, res};
+    use relpat_rdf::{Graph, Term};
+    let mut g = Graph::new();
+    for i in 0..32 {
+        let book = Term::iri(res::iri(&format!("Book_{i}")));
+        let author = Term::iri(res::iri(&format!("Author_{}", i % 8)));
+        g.add(book.clone(), Term::iri(rdf::TYPE), Term::iri(dbont::iri("Book")));
+        g.add(book.clone(), Term::iri(dbont::iri("author")), author.clone());
+        g.add(book, Term::iri(relpat_rdf::vocab::WIKI_PAGE_LINK), author);
+    }
+    g.freeze();
+    g
 }

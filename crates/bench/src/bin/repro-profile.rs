@@ -14,6 +14,10 @@
 //!   `GET /metrics`, so offline and live output cannot drift);
 //! - `--traces <path>` — replay the run through a tail-sampled
 //!   `TraceStore` and dump the retained traces as JSONL;
+//! - `--plans <path>` — re-answer the Table-2 run with EXPLAIN ANALYZE and
+//!   write one JSON object per question (question, stage, plan traces with
+//!   planner estimates vs. actual rows scanned, misestimate totals) as
+//!   JSONL;
 //! - `--bench-json <path>` — skip the QALD profile and instead run the
 //!   store-scaling study (the tier ladder in `relpat_bench::scaling`:
 //!   paper scale / 100k / 1M triples), writing per-tier triple counts,
@@ -97,6 +101,41 @@ fn main() {
         let text = relpat_obs::render_prometheus(&snapshot);
         std::fs::write(&path, text).expect("write Prometheus exposition");
         println!("\nPrometheus exposition written to {path}");
+    }
+
+    if let Some(path) = flag_value("--plans") {
+        // Re-answer the evaluated questions with EXPLAIN ANALYZE. The warm
+        // query cache means repeat queries show up as cache-hit plans —
+        // exactly what the live server would report.
+        let mut out = String::new();
+        let mut questions_with_misestimates = 0u64;
+        let mut total_misestimates = 0u64;
+        for result in &report.results {
+            let response = pipeline.answer_explained(&result.text);
+            let misestimates: u64 =
+                response.trace.plans.iter().map(|p| p.trace.misestimates).sum();
+            total_misestimates += misestimates;
+            questions_with_misestimates += u64::from(misestimates > 0);
+            let line = relpat_obs::Json::obj()
+                .set("id", result.id)
+                .set("question", result.text.as_str())
+                .set("stage", response.trace.stage.as_str())
+                .set("misestimates", misestimates)
+                .set(
+                    "plans",
+                    relpat_obs::Json::Arr(
+                        response.trace.plans.iter().map(|p| p.to_json()).collect(),
+                    ),
+                );
+            out.push_str(&line.to_string());
+            out.push('\n');
+        }
+        std::fs::write(&path, out).expect("write plan JSONL");
+        println!(
+            "\nPlan traces for {} questions written to {path} \
+             ({total_misestimates} misestimated steps across {questions_with_misestimates} questions)",
+            report.results.len()
+        );
     }
 
     if let Some(path) = flag_value("--traces") {

@@ -15,6 +15,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use relpat_kb::KnowledgeBase;
 use relpat_obs::fx::FxHashSet;
+use relpat_obs::QueryPlan;
 use relpat_rdf::Term;
 
 use crate::queries::BuiltQuery;
@@ -116,10 +117,39 @@ pub fn extract_answer_traced(
     queries: &[BuiltQuery],
     config: &AnswerConfig,
 ) -> (Option<Answer>, ExecStats) {
+    extract_answer_inner(kb, expected, ask, queries, config, None)
+}
+
+/// [`extract_answer_traced`] plus EXPLAIN ANALYZE plan traces: every
+/// executed candidate appends a [`QueryPlan`] to `plans`, in execution
+/// order (candidates that fail to parse produce no plan — there is nothing
+/// to trace). Explained extraction always runs the sequential ranked sweep
+/// (even when `config.parallel` is set) so the plan order is deterministic
+/// and each query's per-step scan counts line up with the global
+/// `sparql.rows_scanned` counter deltas.
+pub fn extract_answer_explained(
+    kb: &KnowledgeBase,
+    expected: ExpectedType,
+    ask: bool,
+    queries: &[BuiltQuery],
+    config: &AnswerConfig,
+    plans: &mut Vec<QueryPlan>,
+) -> (Option<Answer>, ExecStats) {
+    extract_answer_inner(kb, expected, ask, queries, config, Some(plans))
+}
+
+fn extract_answer_inner(
+    kb: &KnowledgeBase,
+    expected: ExpectedType,
+    ask: bool,
+    queries: &[BuiltQuery],
+    config: &AnswerConfig,
+    plans: Option<&mut Vec<QueryPlan>>,
+) -> (Option<Answer>, ExecStats) {
     if queries.is_empty() {
         return (None, ExecStats::default());
     }
-    let evals = run_all(kb, expected, ask, queries, config);
+    let evals = run_all(kb, expected, ask, queries, config, plans);
 
     let mut stats = ExecStats::default();
     let mut answer: Option<Answer> = None;
@@ -196,8 +226,16 @@ fn evaluate_one(
     expected: ExpectedType,
     ask: bool,
     config: &AnswerConfig,
+    plans: Option<&mut Vec<QueryPlan>>,
 ) -> Eval {
-    match kb.query(&query.sparql) {
+    let result = match plans {
+        Some(plans) => kb.query_traced(&query.sparql).map(|(result, trace)| {
+            plans.push(QueryPlan { sparql: query.sparql.clone(), trace });
+            result
+        }),
+        None => kb.query(&query.sparql),
+    };
+    match result {
         Ok(relpat_sparql::QueryResult::Solutions(sols)) => {
             if ask {
                 return Eval::Empty; // SELECT result for a polar question
@@ -243,11 +281,14 @@ fn run_all(
     ask: bool,
     queries: &[BuiltQuery],
     config: &AnswerConfig,
+    mut plans: Option<&mut Vec<QueryPlan>>,
 ) -> Vec<Option<Eval>> {
     let mut out: Vec<Option<Eval>> = vec![None; queries.len()];
-    if !config.parallel || queries.len() < 4 {
+    // Plan collection pins the sweep to the sequential path: parallel
+    // workers would interleave plan pushes non-deterministically.
+    if plans.is_some() || !config.parallel || queries.len() < 4 {
         for (slot, query) in out.iter_mut().zip(queries.iter()) {
-            let eval = evaluate_one(kb, query, expected, ask, config);
+            let eval = evaluate_one(kb, query, expected, ask, config, plans.as_deref_mut());
             let found = matches!(eval, Eval::Survivor(_));
             *slot = Some(eval);
             if found && !config.exhaustive {
@@ -289,7 +330,7 @@ fn run_all(
                         let slice = &queries[start..(start + chunk).min(queries.len())];
                         let evals: Vec<Eval> = slice
                             .iter()
-                            .map(|q| evaluate_one(kb, q, expected, ask, config))
+                            .map(|q| evaluate_one(kb, q, expected, ask, config, None))
                             .collect();
                         if evals.iter().any(|e| matches!(e, Eval::Survivor(_))) {
                             found_chunk.fetch_min(c, Ordering::Release);
@@ -556,6 +597,55 @@ mod tests {
             }
         }
         assert_eq!(terms, reference);
+    }
+
+    #[test]
+    fn explained_extraction_collects_one_plan_per_executed_query() {
+        let kb = kb();
+        // Texts carry a LIMIT marker no other test uses, so the shared
+        // cache cannot have warmed them from a concurrently running test.
+        let queries = vec![
+            bq("SELECT ?x { broken", 10.0), // parse failure: no plan
+            bq("SELECT ?x { res:Frank_Herbert dbont:birthPlace ?x } LIMIT 9391", 5.0), // empty
+            bq("SELECT ?x { ?x dbont:author res:Orhan_Pamuk } LIMIT 9391", 2.0), // survives → stop
+            bq("SELECT ?x { res:Turkey dbont:capital ?x } LIMIT 9391", 1.0),     // never sent
+        ];
+        let mut plans = Vec::new();
+        let (ans, stats) = extract_answer_explained(
+            kb,
+            ExpectedType::Unconstrained,
+            false,
+            &queries,
+            &AnswerConfig::default(),
+            &mut plans,
+        );
+        assert!(ans.is_some());
+        assert_eq!(stats.executed, 3);
+        assert_eq!(stats.failed, 1);
+        assert_eq!(plans.len(), 2, "one plan per successfully executed query");
+        assert_eq!(plans[0].sparql, queries[1].sparql);
+        assert_eq!(plans[1].sparql, queries[2].sparql);
+        assert!(plans.iter().all(|p| !p.trace.cache_hit && !p.trace.steps.is_empty()));
+        // Identical answer to the unexplained path, and a repeat run sees
+        // cache hits instead of fresh executions.
+        let (plain, _) = extract_answer_traced(
+            kb,
+            ExpectedType::Unconstrained,
+            false,
+            &queries,
+            &AnswerConfig::default(),
+        );
+        assert_eq!(ans, plain);
+        let mut replans = Vec::new();
+        extract_answer_explained(
+            kb,
+            ExpectedType::Unconstrained,
+            false,
+            &queries,
+            &AnswerConfig::default(),
+            &mut replans,
+        );
+        assert!(replans.iter().all(|p| p.trace.cache_hit && p.trace.rows_scanned() == 0));
     }
 
     #[test]

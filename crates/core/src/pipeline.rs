@@ -11,7 +11,9 @@ use relpat_obs::{QuestionTrace, TraceAnswer, TraceCandidate, TraceTriple};
 use relpat_patterns::{mine, CorpusConfig, PatternStore};
 use relpat_wordnet::{embedded, WordNet};
 
-use crate::answer::{extract_answer_traced, Answer, AnswerConfig, AnswerValue, ExecStats};
+use crate::answer::{
+    extract_answer_explained, extract_answer_traced, Answer, AnswerConfig, AnswerValue, ExecStats,
+};
 use crate::extensions::ExtensionConfig;
 use crate::mapping::{
     similar_property_pairs, MappedQuestion, MappedSlot, MappedTriple, Mapper, MappingConfig,
@@ -267,9 +269,24 @@ impl<'kb> Pipeline<'kb> {
 
     /// Answers a natural-language question.
     pub fn answer(&self, question: &str) -> Response {
+        self.answer_impl(question, false)
+    }
+
+    /// Answers with EXPLAIN ANALYZE: identical to [`answer`](Self::answer)
+    /// except the response's `trace.plans` carries one [`QueryPlan`] per
+    /// SPARQL query executed for the question (planner estimates vs. actual
+    /// rows scanned per join step; cache hits flagged). Candidate execution
+    /// runs the deterministic sequential sweep; answers are unchanged.
+    ///
+    /// [`QueryPlan`]: relpat_obs::QueryPlan
+    pub fn answer_explained(&self, question: &str) -> Response {
+        self.answer_impl(question, true)
+    }
+
+    fn answer_impl(&self, question: &str, explain: bool) -> Response {
         let _timer = relpat_obs::span!("qa.total");
         let graph = relpat_nlp::parse_sentence(question);
-        let response = self.standard_answer(question, &graph);
+        let response = self.standard_answer(question, &graph, explain);
         if response.stage != Stage::Answered && self.config.extensions.any() {
             if let Some(extended) = crate::extensions::try_answer(
                 &self.mapper(),
@@ -340,7 +357,14 @@ impl<'kb> Pipeline<'kb> {
     /// mapping are attributed to this question by sampling the store's
     /// counters around the stage (accurate under the sequential
     /// one-question-at-a-time evaluation loop).
-    fn standard_answer(&self, question: &str, graph: &relpat_nlp::DepGraph) -> Response {
+    /// With `explain` set, answer extraction also collects per-query plan
+    /// traces into the response's `trace.plans`.
+    fn standard_answer(
+        &self,
+        question: &str,
+        graph: &relpat_nlp::DepGraph,
+        explain: bool,
+    ) -> Response {
         let mut timings: Vec<(&'static str, u64)> = Vec::new();
         let lookups_before = self.patterns.lookup_stats();
 
@@ -396,16 +420,28 @@ impl<'kb> Pipeline<'kb> {
         }
 
         let timer = relpat_obs::span!("qa.answer");
-        let (answer, exec) = extract_answer_traced(
-            self.kb,
-            analysis.expected,
-            analysis.ask,
-            &queries,
-            &self.config.answer,
-        );
+        let mut plans = Vec::new();
+        let (answer, exec) = if explain {
+            extract_answer_explained(
+                self.kb,
+                analysis.expected,
+                analysis.ask,
+                &queries,
+                &self.config.answer,
+                &mut plans,
+            )
+        } else {
+            extract_answer_traced(
+                self.kb,
+                analysis.expected,
+                analysis.ask,
+                &queries,
+                &self.config.answer,
+            )
+        };
         timings.push(("answer", timer.finish()));
         let stage = if answer.is_some() { Stage::Answered } else { Stage::NoAnswer };
-        self.finish(
+        let mut response = self.finish(
             question,
             stage,
             Some(analysis),
@@ -415,7 +451,9 @@ impl<'kb> Pipeline<'kb> {
             exec,
             &lookups_before,
             timings,
-        )
+        );
+        response.trace.plans = plans;
+        response
     }
 
     /// Assembles the response plus its trace.
@@ -653,6 +691,26 @@ mod tests {
         assert_eq!(p.answer_batch_with(&questions[..1], 16).len(), 1);
         assert!(p.answer_batch_with(&[], 4).is_empty());
         assert_eq!(p.answer_batch(&questions).len(), questions.len());
+    }
+
+    #[test]
+    fn explained_answer_carries_plan_traces() {
+        let p = pipeline();
+        let plain = p.answer("Which book is written by Orhan Pamuk?");
+        assert!(plain.trace.plans.is_empty(), "plain answers collect no plans");
+
+        let r = p.answer_explained("Which book is written by Orhan Pamuk?");
+        assert!(r.is_answered(), "stage {:?}", r.stage);
+        assert_eq!(plain.answer.as_ref().map(|a| &a.value), r.answer.as_ref().map(|a| &a.value));
+        assert_eq!(r.trace.plans.len() as u64, r.trace.queries_executed - r.trace.queries_failed);
+        // Every executed query was answered from the warm cache or ran real
+        // join steps whose scan totals the trace can sum.
+        for plan in &r.trace.plans {
+            assert!(plan.trace.cache_hit || !plan.trace.steps.is_empty(), "{plan:?}");
+        }
+        let rendered = r.explain(p.kb());
+        assert!(rendered.contains("Query plans (EXPLAIN ANALYZE):"), "{rendered}");
+        assert!(r.trace.to_json().to_string().contains("\"plans\""));
     }
 
     #[test]

@@ -299,12 +299,16 @@ fn judge_question(
 }
 
 /// Assembles the final report from judged results and the merged registry.
+/// `planner_misestimates` is the run's delta of the global
+/// `planner.misestimates` counter — join steps whose actual scan cost blew
+/// past the planner's score (see `relpat-sparql`'s misestimation detector).
 fn assemble_report(
     registry: &MetricsRegistry,
     stage_order: &[String],
     results: Vec<QuestionResult>,
     cache_delta: relpat_sparql::CacheStats,
     index_delta: relpat_kb::IndexLookupStats,
+    planner_misestimates: u64,
 ) -> Report {
     let answered = results.iter().filter(|r| r.answered).count();
     let correct = results.iter().filter(|r| r.correct).count();
@@ -314,6 +318,7 @@ fn assemble_report(
         .collect();
     counters.push(("sparql.cache.hits".to_string(), cache_delta.hits));
     counters.push(("sparql.cache.misses".to_string(), cache_delta.misses));
+    counters.push(("planner.misestimates".to_string(), planner_misestimates));
     counters.push(("map.index.probed".to_string(), index_delta.probed));
     counters.push(("map.index.pruned".to_string(), index_delta.pruned));
     counters.push(("map.index.scored".to_string(), index_delta.scored));
@@ -354,6 +359,11 @@ pub fn run_benchmark_with(
     let evaluated = evaluated_subset(questions);
     let cache_before = kb.cache_stats();
     let index_before = kb.lexical().lookup_stats();
+    // Attributed by sampling the process-global counter around the run —
+    // like the cache delta, concurrent activity outside this run can bleed
+    // into it; within `relpat-eval` and the CLIs nothing else executes
+    // queries while a benchmark runs.
+    let misestimates_before = relpat_obs::global().counter_value("planner.misestimates");
     let threads = threads.max(1).min(evaluated.len().max(1));
 
     if threads == 1 {
@@ -369,7 +379,10 @@ pub fn run_benchmark_with(
         }
         let cache_delta = kb.cache_stats().delta_since(&cache_before);
         let index_delta = kb.lexical().lookup_stats().delta_since(&index_before);
-        return assemble_report(&local, &stage_order, results, cache_delta, index_delta);
+        let misestimates = relpat_obs::global()
+            .counter_value("planner.misestimates")
+            .saturating_sub(misestimates_before);
+        return assemble_report(&local, &stage_order, results, cache_delta, index_delta, misestimates);
     }
 
     let patterns_before = pipeline.patterns().lookup_stats();
@@ -419,7 +432,10 @@ pub fn run_benchmark_with(
         slots.into_iter().map(|r| r.expect("every question judged")).collect();
     let cache_delta = kb.cache_stats().delta_since(&cache_before);
     let index_delta = kb.lexical().lookup_stats().delta_since(&index_before);
-    assemble_report(&merged, &stage_order, results, cache_delta, index_delta)
+    let misestimates = relpat_obs::global()
+        .counter_value("planner.misestimates")
+        .saturating_sub(misestimates_before);
+    assemble_report(&merged, &stage_order, results, cache_delta, index_delta, misestimates)
 }
 
 #[cfg(test)]
@@ -597,6 +613,21 @@ mod tests {
         let value = Json::parse(&r.to_json()).unwrap();
         let counters = value.get("observability").and_then(|o| o.get("counters")).unwrap();
         assert_eq!(counters.get("map.index.probed").and_then(Json::as_u64), Some(probed));
+    }
+
+    #[test]
+    fn report_surfaces_planner_misestimates() {
+        let r = report();
+        // The tiny KB's scans are small enough that the 64-row floor keeps
+        // the detector quiet; what matters is that the counter is present
+        // and flows into the JSON view.
+        let value = Json::parse(&r.to_json()).unwrap();
+        let counters = value.get("observability").and_then(|o| o.get("counters")).unwrap();
+        assert_eq!(
+            counters.get("planner.misestimates").and_then(Json::as_u64),
+            Some(r.stats.counter("planner.misestimates"))
+        );
+        assert!(r.stats.render().contains("planner.misestimates"));
     }
 
     #[test]

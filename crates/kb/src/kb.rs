@@ -2,7 +2,7 @@
 
 use relpat_rdf::vocab::{self, rdf, rdfs, res};
 use relpat_rdf::{Graph, Iri, Term};
-use relpat_sparql::{query, CacheStats, QueryCache, QueryResult, SparqlError};
+use relpat_sparql::{query, CacheStats, PlanTrace, QueryCache, QueryResult, SparqlError};
 use relpat_obs::fx::{FxHashMap, FxHashSet};
 
 use crate::lexical::LexicalIndex;
@@ -170,9 +170,22 @@ impl KnowledgeBase {
         query(&self.graph, text)
     }
 
+    /// Like [`query`](Self::query) but also returns the EXPLAIN ANALYZE
+    /// plan trace. Cache hits return a trace flagged `cache_hit` with no
+    /// steps (the executor never ran).
+    pub fn query_traced(&self, text: &str) -> Result<(QueryResult, PlanTrace), SparqlError> {
+        self.query_cache.query_traced(&self.graph, text)
+    }
+
     /// Cumulative hit/miss totals of the query cache.
     pub fn cache_stats(&self) -> CacheStats {
         self.query_cache.stats()
+    }
+
+    /// `(entries held, entry capacity)` of the query cache — the occupancy
+    /// pair the serving gauges export.
+    pub fn cache_occupancy(&self) -> (usize, usize) {
+        (self.query_cache.len(), self.query_cache.capacity())
     }
 
     /// Drops every cached query result. Must be called after mutating

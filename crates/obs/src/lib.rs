@@ -7,10 +7,11 @@
 //!
 //! ## Observability
 //!
-//! - [`MetricsRegistry`] — thread-safe named [`Counter`]s and log-scale
-//!   latency [`Histogram`]s (p50/p90/p99 extraction), built on relaxed
-//!   atomics. A disabled registry short-circuits every record call to a
-//!   no-op without allocating.
+//! - [`MetricsRegistry`] — thread-safe named [`Counter`]s, point-in-time
+//!   [`Gauge`]s (store/cache health levels) and log-scale latency
+//!   [`Histogram`]s (p50/p90/p99 extraction), built on relaxed atomics. A
+//!   disabled registry short-circuits every record call to a no-op without
+//!   allocating (gauges stay live — health must not lie).
 //! - [`Span`] / [`span!`] — RAII stage timers recording monotonic-clock
 //!   durations into a histogram on drop.
 //! - [`QuestionTrace`] — the per-question pipeline trace: extracted triple
@@ -49,6 +50,7 @@ pub mod fx;
 pub mod journal;
 pub mod json;
 pub mod metrics;
+pub mod plan;
 pub mod rng;
 pub mod span;
 pub mod trace;
@@ -57,9 +59,10 @@ pub mod trace_store;
 pub use journal::{global_journal, Event, EventJournal, Level};
 pub use json::Json;
 pub use metrics::{
-    global, render_prometheus, Counter, Histogram, HistogramSummary, MetricsRegistry,
+    global, render_prometheus, Counter, Gauge, Histogram, HistogramSummary, MetricsRegistry,
     MetricsSnapshot,
 };
+pub use plan::{PlanStep, PlanTrace, QueryPlan};
 pub use rng::Rng;
 pub use span::Span;
 pub use trace::{PatternLookupStats, QuestionTrace, StageTiming, TraceAnswer, TraceCandidate, TraceTriple};

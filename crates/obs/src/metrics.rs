@@ -51,6 +51,12 @@ struct CounterCell {
 }
 
 #[derive(Debug)]
+struct GaugeCell {
+    name: String,
+    value: AtomicU64,
+}
+
+#[derive(Debug)]
 struct HistogramCell {
     name: String,
     count: AtomicU64,
@@ -193,6 +199,47 @@ impl Counter {
     }
 }
 
+/// Cheap cloneable handle to a registered gauge: a point-in-time value
+/// (occupancy, capacity, overlay size) rather than a monotone count.
+///
+/// Unlike counters, gauge writes are **not** gated by the registry's
+/// enabled flag: a gauge states current system health, and a health
+/// endpoint that silently reports zero because profiling was switched off
+/// would be worse than the one relaxed store it saves.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    cell: Arc<GaugeCell>,
+}
+
+impl Gauge {
+    /// Sets the gauge to an absolute value.
+    #[inline]
+    pub fn set(&self, value: u64) {
+        self.cell.value.store(value, Relaxed);
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.value.fetch_add(n, Relaxed);
+    }
+
+    /// Decrements by `n`, saturating at zero.
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        let _ = self.cell.value.fetch_update(Relaxed, Relaxed, |v| Some(v.saturating_sub(n)));
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.cell.value.load(Relaxed)
+    }
+
+    pub fn name(&self) -> &str {
+        &self.cell.name
+    }
+}
+
 /// Cheap cloneable handle to a registered histogram.
 #[derive(Debug, Clone)]
 pub struct Histogram {
@@ -267,6 +314,7 @@ impl HistogramSummary {
 pub struct MetricsRegistry {
     enabled: Arc<AtomicBool>,
     counters: Mutex<Vec<Arc<CounterCell>>>,
+    gauges: Mutex<Vec<Arc<GaugeCell>>>,
     histograms: Mutex<Vec<Arc<HistogramCell>>>,
 }
 
@@ -282,6 +330,7 @@ impl MetricsRegistry {
         MetricsRegistry {
             enabled: Arc::new(AtomicBool::new(true)),
             counters: Mutex::new(Vec::new()),
+            gauges: Mutex::new(Vec::new()),
             histograms: Mutex::new(Vec::new()),
         }
     }
@@ -317,6 +366,21 @@ impl MetricsRegistry {
         Counter { enabled: Arc::clone(&self.enabled), cell }
     }
 
+    /// Handle to the named gauge, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut gauges = self.gauges.lock().expect("metrics lock");
+        let cell = match gauges.iter().find(|g| g.name == name) {
+            Some(cell) => Arc::clone(cell),
+            None => {
+                let cell =
+                    Arc::new(GaugeCell { name: name.to_string(), value: AtomicU64::new(0) });
+                gauges.push(Arc::clone(&cell));
+                cell
+            }
+        };
+        Gauge { cell }
+    }
+
     /// Handle to the named histogram, registering it on first use.
     pub fn histogram(&self, name: &str) -> Histogram {
         let mut histograms = self.histograms.lock().expect("metrics lock");
@@ -346,6 +410,16 @@ impl MetricsRegistry {
             .map_or(0, |c| c.value.load(Relaxed))
     }
 
+    /// Current value of a gauge (0 if never registered).
+    pub fn gauge_value(&self, name: &str) -> u64 {
+        self.gauges
+            .lock()
+            .expect("metrics lock")
+            .iter()
+            .find(|g| g.name == name)
+            .map_or(0, |g| g.value.load(Relaxed))
+    }
+
     /// Snapshot of every registered metric, sorted by name.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut counters: Vec<(String, u64)> = self
@@ -356,6 +430,14 @@ impl MetricsRegistry {
             .map(|c| (c.name.clone(), c.value.load(Relaxed)))
             .collect();
         counters.sort();
+        let mut gauges: Vec<(String, u64)> = self
+            .gauges
+            .lock()
+            .expect("metrics lock")
+            .iter()
+            .map(|g| (g.name.clone(), g.value.load(Relaxed)))
+            .collect();
+        gauges.sort();
         let mut histograms: Vec<HistogramSummary> = self
             .histograms
             .lock()
@@ -364,7 +446,7 @@ impl MetricsRegistry {
             .map(|h| h.summary())
             .collect();
         histograms.sort_by(|a, b| a.name.cmp(&b.name));
-        MetricsSnapshot { counters, histograms }
+        MetricsSnapshot { counters, gauges, histograms }
     }
 
     /// Folds every metric of `other` into this registry: counters add by
@@ -387,6 +469,14 @@ impl MetricsRegistry {
             let dst = self.counter(&src.name);
             dst.cell.value.fetch_add(src.value.load(Relaxed), Relaxed);
         }
+        // Gauges are point-in-time levels, not accumulations — adding two
+        // workers' occupancy would double-count shared state. The merged
+        // view keeps the largest reported level (high-water semantics).
+        let other_gauges: Vec<Arc<GaugeCell>> = other.gauges.lock().expect("metrics lock").clone();
+        for src in other_gauges {
+            let dst = self.gauge(&src.name);
+            dst.cell.value.fetch_max(src.value.load(Relaxed), Relaxed);
+        }
         let other_histograms: Vec<Arc<HistogramCell>> =
             other.histograms.lock().expect("metrics lock").clone();
         for src in other_histograms {
@@ -400,6 +490,9 @@ impl MetricsRegistry {
         for c in self.counters.lock().expect("metrics lock").iter() {
             c.value.store(0, Relaxed);
         }
+        for g in self.gauges.lock().expect("metrics lock").iter() {
+            g.value.store(0, Relaxed);
+        }
         for h in self.histograms.lock().expect("metrics lock").iter() {
             h.reset();
         }
@@ -410,12 +503,17 @@ impl MetricsRegistry {
 #[derive(Debug, Clone)]
 pub struct MetricsSnapshot {
     pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, u64)>,
     pub histograms: Vec<HistogramSummary>,
 }
 
 impl MetricsSnapshot {
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v)
+    }
+
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v)
     }
 
     pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
@@ -427,8 +525,13 @@ impl MetricsSnapshot {
         for (name, value) in &self.counters {
             counters = counters.set(name, *value);
         }
+        let mut gauges = Json::obj();
+        for (name, value) in &self.gauges {
+            gauges = gauges.set(name, *value);
+        }
         Json::obj()
             .set("counters", counters)
+            .set("gauges", gauges)
             .set(
                 "histograms",
                 Json::Arr(self.histograms.iter().map(HistogramSummary::to_json).collect()),
@@ -480,10 +583,13 @@ pub fn escape_label_value(value: &str) -> String {
 /// `repro-profile --prom` dump, so the two can never drift.
 ///
 /// Counters render as `counter` samples with the conventional `_total`
-/// suffix. Histograms render natively: one cumulative `_bucket{le="..."}`
-/// sample per occupied log-scale bucket (inclusive integer upper bounds,
-/// see [`HistogramSummary::buckets`]), a `+Inf` bucket equal to `_count`,
-/// plus `_sum`/`_count` and `_min`/`_max` gauges.
+/// suffix. Gauges render as plain `gauge` samples. Histograms render
+/// natively: one cumulative `_bucket{le="..."}` sample per occupied
+/// log-scale bucket (inclusive integer upper bounds, see
+/// [`HistogramSummary::buckets`]), a `+Inf` bucket equal to `_count`,
+/// plus `_sum`/`_count` and `_min`/`_max` gauges. Every family — including
+/// the derived `_min`/`_max` ones — carries both a `# HELP` and a `# TYPE`
+/// line, so scrapers that key on metadata see no anonymous series.
 pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
@@ -494,6 +600,12 @@ pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
         }
         let _ = writeln!(out, "# HELP {n} relpat counter {}", escape_help(name));
         let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let n = sanitize_metric_name(name);
+        let _ = writeln!(out, "# HELP {n} relpat gauge {}", escape_help(name));
+        let _ = writeln!(out, "# TYPE {n} gauge");
         let _ = writeln!(out, "{n} {value}");
     }
     for h in &snapshot.histograms {
@@ -509,8 +621,10 @@ pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
         let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
         let _ = writeln!(out, "{n}_sum {}", h.sum);
         let _ = writeln!(out, "{n}_count {}", h.count);
+        let _ = writeln!(out, "# HELP {n}_min relpat histogram {} minimum", escape_help(&h.name));
         let _ = writeln!(out, "# TYPE {n}_min gauge");
         let _ = writeln!(out, "{n}_min {}", h.min);
+        let _ = writeln!(out, "# HELP {n}_max relpat histogram {} maximum", escape_help(&h.name));
         let _ = writeln!(out, "# TYPE {n}_max gauge");
         let _ = writeln!(out, "{n}_max {}", h.max);
     }
@@ -547,6 +661,16 @@ macro_rules! counter {
     ($name:expr, $n:expr) => {{
         static HANDLE: std::sync::OnceLock<$crate::Counter> = std::sync::OnceLock::new();
         HANDLE.get_or_init(|| $crate::global().counter($name)).add($n as u64);
+    }};
+}
+
+/// Sets a named gauge on the global registry to an absolute value, caching
+/// the handle at the call site: `gauge!("store.overlay_len", len)`.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr, $value:expr) => {{
+        static HANDLE: std::sync::OnceLock<$crate::Gauge> = std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::global().gauge($name)).set($value as u64);
     }};
 }
 
@@ -885,11 +1009,107 @@ mod tests {
     }
 
     #[test]
+    fn gauge_set_add_sub_and_snapshot() {
+        let r = MetricsRegistry::new();
+        let g = r.gauge("store.overlay_len");
+        g.set(100);
+        g.add(20);
+        g.sub(50);
+        assert_eq!(g.value(), 70);
+        g.sub(1_000); // saturates at zero rather than wrapping
+        assert_eq!(g.value(), 0);
+        g.set(42);
+        assert_eq!(r.gauge_value("store.overlay_len"), 42);
+        assert_eq!(r.gauge_value("never.registered"), 0);
+        let snap = r.snapshot();
+        assert_eq!(snap.gauge("store.overlay_len"), 42);
+        let json = snap.to_json().to_string();
+        assert!(json.contains("\"gauges\""), "{json}");
+        assert!(json.contains("\"store.overlay_len\":42"), "{json}");
+        // Same-name handles share the cell; reset zeroes but keeps them.
+        r.gauge("store.overlay_len").set(7);
+        assert_eq!(g.value(), 7);
+        r.reset();
+        assert_eq!(g.value(), 0);
+    }
+
+    #[test]
+    fn gauge_writes_survive_disabled_registry() {
+        // Health gauges must stay truthful even when profiling is off.
+        let r = MetricsRegistry::disabled();
+        let g = r.gauge("cache.len");
+        g.set(9);
+        assert_eq!(r.gauge_value("cache.len"), 9);
+    }
+
+    #[test]
+    fn merge_takes_gauge_high_water() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        a.gauge("held").set(10);
+        b.gauge("held").set(25);
+        b.gauge("only_b").set(3);
+        a.merge_from(&b);
+        assert_eq!(a.gauge_value("held"), 25);
+        assert_eq!(a.gauge_value("only_b"), 3);
+        // Merging a smaller level does not regress the high-water mark.
+        let c = MetricsRegistry::new();
+        c.gauge("held").set(1);
+        a.merge_from(&c);
+        assert_eq!(a.gauge_value("held"), 25);
+    }
+
+    #[test]
+    fn gauges_render_as_prometheus_gauge_family() {
+        let r = MetricsRegistry::new();
+        r.gauge("store.frozen_triples").set(9641);
+        let text = render_prometheus(&r.snapshot());
+        assert!(text.contains("# HELP store_frozen_triples relpat gauge store.frozen_triples"), "{text}");
+        assert!(text.contains("# TYPE store_frozen_triples gauge"), "{text}");
+        assert!(text.contains("\nstore_frozen_triples 9641\n"), "{text}");
+        // No `_total` suffix on gauges.
+        assert!(!text.contains("store_frozen_triples_total"), "{text}");
+    }
+
+    #[test]
+    fn every_exposition_family_has_help_and_type() {
+        let r = MetricsRegistry::new();
+        r.counter("qa.questions").add(2);
+        r.gauge("store.held").set(5);
+        r.histogram("qa.total").record(100);
+        let text = render_prometheus(&r.snapshot());
+        // Collect the base family of every sample line: strip histogram
+        // sub-sample suffixes so `x_bucket`/`x_sum`/`x_count` map to `x`,
+        // while `_min`/`_max` stand as their own gauge families.
+        let mut annotated = std::collections::HashSet::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let fam = rest.split(' ').next().unwrap();
+                assert!(
+                    text.contains(&format!("# HELP {fam} ")),
+                    "family {fam} has TYPE but no HELP"
+                );
+                annotated.insert(fam.to_string());
+            }
+        }
+        for line in text.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+            let sample = line.split([' ', '{']).next().unwrap();
+            let family = ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|suf| sample.strip_suffix(suf))
+                .unwrap_or(sample);
+            assert!(annotated.contains(family), "sample {sample} lacks # TYPE/# HELP metadata");
+        }
+    }
+
+    #[test]
     fn macros_record_into_global() {
         let before = global().counter_value("obs.test.macro");
         crate::counter!("obs.test.macro");
         crate::counter!("obs.test.macro", 4);
         assert_eq!(global().counter_value("obs.test.macro"), before + 5);
+        crate::gauge!("obs.test.gauge", 17);
+        assert_eq!(global().gauge_value("obs.test.gauge"), 17);
         {
             let _g = crate::span!("obs.test.span");
         }

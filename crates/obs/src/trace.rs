@@ -13,6 +13,7 @@
 use std::fmt::Write as _;
 
 use crate::json::Json;
+use crate::plan::QueryPlan;
 
 /// One timed pipeline stage (monotonic-clock duration).
 #[derive(Debug, Clone, PartialEq)]
@@ -116,6 +117,11 @@ pub struct QuestionTrace {
     /// Per-stage durations in pipeline order.
     pub stages: Vec<StageTiming>,
     pub answer: Option<TraceAnswer>,
+    /// EXPLAIN ANALYZE plan traces of the queries executed for this
+    /// question, in execution order. Populated only when the caller asked
+    /// for an explained answer; empty otherwise (and omitted from the
+    /// rendering when empty, so plain traces are unchanged).
+    pub plans: Vec<QueryPlan>,
 }
 
 impl QuestionTrace {
@@ -183,7 +189,7 @@ impl QuestionTrace {
                 .set("sparql", a.sparql.as_str()),
             None => Json::Null,
         };
-        Json::obj()
+        let mut obj = Json::obj()
             .set("question", self.question.as_str())
             .set("stage", self.stage.as_str())
             .set("kind", opt(&self.kind))
@@ -197,7 +203,12 @@ impl QuestionTrace {
             .set("top_queries", Json::Arr(top_queries))
             .set("pattern_lookups", self.pattern_lookups.to_json())
             .set("stages", Json::Arr(stages))
-            .set("answer", answer)
+            .set("answer", answer);
+        if !self.plans.is_empty() {
+            obj = obj
+                .set("plans", Json::Arr(self.plans.iter().map(QueryPlan::to_json).collect()));
+        }
+        obj
     }
 
     /// Renders the human-readable §2 walkthrough — the pipeline's
@@ -255,6 +266,15 @@ impl QuestionTrace {
             }
             None => {
                 let _ = writeln!(out, "\nNo answer — stage {}", self.stage);
+            }
+        }
+        if !self.plans.is_empty() {
+            let _ = writeln!(out, "\nQuery plans (EXPLAIN ANALYZE):");
+            for p in &self.plans {
+                let _ = writeln!(out, "  {}", p.sparql);
+                for line in p.trace.render().lines() {
+                    let _ = writeln!(out, "    {line}");
+                }
             }
         }
         if !self.stages.is_empty() {
@@ -378,6 +398,40 @@ mod tests {
         assert_eq!(t.stage_nanos("missing"), None);
         assert_eq!(t.total_nanos(), 41_000 + 380_000 + 912_000);
         assert_eq!(t.pattern_lookups.total(), 3);
+    }
+
+    #[test]
+    fn plans_appear_only_when_collected() {
+        use crate::plan::{PlanStep, PlanTrace};
+        let plain = sample();
+        assert!(!plain.render().contains("Query plans"));
+        assert!(!plain.to_json().to_string().contains("\"plans\""));
+
+        let mut explained = sample();
+        explained.plans.push(QueryPlan {
+            sparql: "SELECT ?x WHERE { ?x <author> <Orhan_Pamuk> . }".to_string(),
+            trace: PlanTrace {
+                steps: vec![PlanStep {
+                    pattern: "?x <author> <Orhan_Pamuk> .".to_string(),
+                    pattern_index: 0,
+                    position: 0,
+                    estimate: 1,
+                    score: 1.0,
+                    rows_scanned: 1,
+                    bindings_emitted: 1,
+                    nanos: 99,
+                    limit_pushdown: false,
+                }],
+                cache_hit: false,
+                misestimates: 0,
+            },
+        });
+        let text = explained.render();
+        assert!(text.contains("Query plans (EXPLAIN ANALYZE):"), "{text}");
+        assert!(text.contains("plan: 1 step, 1 rows scanned"), "{text}");
+        let json = explained.to_json().to_string();
+        assert!(json.contains("\"plans\""), "{json}");
+        assert!(json.contains("\"estimate\":1"), "{json}");
     }
 
     #[test]

@@ -150,6 +150,29 @@ pub struct Graph {
     delta: [BTreeSet<[u32; 3]>; 3],
     /// Tombstones for removed frozen triples (always a subset of `frozen`).
     dead: [BTreeSet<[u32; 3]>; 3],
+    /// Completed overlay merges (explicit `freeze()` calls that did work
+    /// plus automatic compactions).
+    compactions: u64,
+    /// Wall-clock cost of the most recent merge, in nanoseconds.
+    last_freeze_nanos: u64,
+}
+
+/// Point-in-time store health, the payload behind the `store.*` gauges and
+/// `GET /debug/store`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Entries in the frozen SPO index (including tombstoned ones).
+    pub frozen_triples: usize,
+    /// Live triple count (`frozen − dead ∪ delta`).
+    pub triples: usize,
+    /// Pending overlay entries (inserts + tombstones) awaiting a merge.
+    pub overlay_len: usize,
+    /// Tombstoned frozen triples awaiting compaction.
+    pub tombstones: usize,
+    /// Completed overlay merges since construction.
+    pub compactions: u64,
+    /// Duration of the most recent merge in nanoseconds (0 if never frozen).
+    pub last_freeze_nanos: u64,
 }
 
 impl Graph {
@@ -293,6 +316,9 @@ impl Graph {
         if self.delta[SPO].is_empty() && self.dead[SPO].is_empty() {
             return;
         }
+        let started = std::time::Instant::now();
+        let frozen_before = self.frozen[SPO].len();
+        let (delta_len, dead_len) = (self.delta[SPO].len(), self.dead[SPO].len());
         for perm in [SPO, POS, OSP] {
             let delta = std::mem::take(&mut self.delta[perm]);
             let dead = std::mem::take(&mut self.dead[perm]);
@@ -312,6 +338,32 @@ impl Graph {
             }
             merged.extend(delta_it.copied());
             self.frozen[perm] = merged;
+        }
+        let nanos = started.elapsed().as_nanos() as u64;
+        self.compactions += 1;
+        self.last_freeze_nanos = nanos;
+        relpat_obs::counter!("store.compactions");
+        relpat_obs::jevent!(
+            relpat_obs::Level::Info,
+            "store.compact",
+            "frozen_before" => frozen_before,
+            "frozen_after" => self.frozen[SPO].len(),
+            "delta" => delta_len,
+            "tombstones" => dead_len,
+            "nanos" => nanos,
+        );
+    }
+
+    /// Point-in-time store health (frozen/overlay/tombstone sizes, merge
+    /// count and cost) — the source for the `store.*` gauges.
+    pub fn stats(&self) -> GraphStats {
+        GraphStats {
+            frozen_triples: self.frozen[SPO].len(),
+            triples: self.len(),
+            overlay_len: self.overlay_len(),
+            tombstones: self.dead[SPO].len(),
+            compactions: self.compactions,
+            last_freeze_nanos: self.last_freeze_nanos,
         }
     }
 
@@ -794,6 +846,57 @@ mod tests {
             g.remove(&t);
         }
         assert_eq!(g.predicates().len(), 2);
+    }
+
+    #[test]
+    fn stats_track_freeze_and_compaction_lifecycle() {
+        let mut g = sample_graph();
+        let s = g.stats();
+        assert_eq!((s.frozen_triples, s.overlay_len, s.tombstones, s.compactions), (0, 4, 0, 0));
+        assert_eq!(s.triples, 4);
+        assert_eq!(s.last_freeze_nanos, 0);
+        g.freeze();
+        let s = g.stats();
+        assert_eq!((s.frozen_triples, s.overlay_len, s.compactions), (4, 0, 1));
+        assert!(s.last_freeze_nanos > 0, "freeze must record its cost");
+        g.freeze(); // idempotent no-op: no merge happened, count unchanged
+        assert_eq!(g.stats().compactions, 1);
+        let t = Triple::new(
+            Term::iri(res::iri("Snow")),
+            Term::iri(dbont::iri("writer")),
+            Term::iri(res::iri("Orhan Pamuk")),
+        );
+        g.remove(&t);
+        let s = g.stats();
+        assert_eq!((s.tombstones, s.overlay_len), (1, 1));
+        assert_eq!(s.triples, 3);
+        assert_eq!(s.frozen_triples, 4, "tombstoned entries stay frozen until merged");
+        g.freeze();
+        let s = g.stats();
+        assert_eq!((s.frozen_triples, s.tombstones, s.compactions), (3, 0, 2));
+    }
+
+    #[test]
+    fn freeze_emits_a_compaction_journal_event() {
+        let journal = relpat_obs::global_journal();
+        let before = journal.emitted();
+        let mut g = sample_graph();
+        g.freeze();
+        assert!(journal.emitted() > before, "freeze must journal the merge");
+        let event = journal
+            .tail(64)
+            .into_iter()
+            .rev()
+            .find(|e| e.stage == "store.compact")
+            .expect("store.compact event");
+        let field = |k: &str| {
+            event.fields.iter().find(|(n, _)| n == k).map(|(_, v)| v.clone()).unwrap_or_default()
+        };
+        assert_eq!(field("frozen_before"), "0");
+        assert_eq!(field("frozen_after"), "4");
+        assert_eq!(field("delta"), "4");
+        assert_eq!(field("tombstones"), "0");
+        assert!(field("nanos").parse::<u64>().unwrap() > 0);
     }
 
     #[test]

@@ -10,8 +10,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use relpat_obs::{
-    counter, global, global_journal, jevent, render_prometheus, span, Json, Level, TraceStore,
-    TraceStoreConfig,
+    counter, gauge, global, global_journal, jevent, render_prometheus, span, Json, Level,
+    TraceStore, TraceStoreConfig,
 };
 use relpat_qa::{Pipeline, Stage};
 
@@ -70,8 +70,10 @@ impl App {
                 }
             }
             ("GET", "/metrics") => {
+                self.refresh_gauges();
                 Response::prometheus(render_prometheus(&global().snapshot()))
             }
+            ("GET", "/debug/store") => self.handle_debug_store(),
             ("POST", "/answer") => self.handle_answer(req),
             ("GET", "/traces") => self.handle_traces_list(req),
             ("GET", path) if path.starts_with("/traces/") => self.handle_trace_get(path),
@@ -100,17 +102,24 @@ impl App {
         let Some(body) = req.body_str() else {
             return Response::error(400, "body is not UTF-8");
         };
-        let question = match Json::parse(body) {
-            Ok(json) => match json.get("question").and_then(Json::as_str) {
-                Some(q) if !q.trim().is_empty() => q.to_string(),
-                _ => return Response::error(400, "missing \"question\" field"),
-            },
+        let (question, explain) = match Json::parse(body) {
+            Ok(json) => {
+                let question = match json.get("question").and_then(Json::as_str) {
+                    Some(q) if !q.trim().is_empty() => q.to_string(),
+                    _ => return Response::error(400, "missing \"question\" field"),
+                };
+                (question, json.get("explain").and_then(Json::as_bool).unwrap_or(false))
+            }
             Err(e) => return Response::error(400, &format!("invalid JSON: {e}")),
         };
 
         let response = {
             let _timer = span!("serve.answer_ns");
-            pipeline.answer(&question)
+            if explain {
+                pipeline.answer_explained(&question)
+            } else {
+                pipeline.answer(&question)
+            }
         };
         let error = response.stage != Stage::Answered;
         counter!("serve.answers");
@@ -121,7 +130,7 @@ impl App {
 
         let answers: Vec<Json> =
             response.answer_texts(pipeline.kb()).into_iter().map(Json::from).collect();
-        let body = Json::obj()
+        let mut body = Json::obj()
             .set("question", response.trace.question.clone())
             .set("stage", response.trace.stage.clone())
             .set("answered", !error)
@@ -135,7 +144,72 @@ impl App {
                     None => Json::Null,
                 },
             );
+        if explain {
+            body = body.set(
+                "plans",
+                Json::Arr(response.trace.plans.iter().map(|p| p.to_json()).collect()),
+            );
+        }
         Response::json(200, &body)
+    }
+
+    /// `GET /debug/store` — point-in-time health of the triple store, the
+    /// query cache and the trace store, as one JSON object. Also refreshes
+    /// the corresponding gauges so `/metrics` scraped right after agrees.
+    fn handle_debug_store(&self) -> Response {
+        let Some(pipeline) = self.pipeline.get() else {
+            return Response::error(503, "pipeline still loading");
+        };
+        self.refresh_gauges();
+        let kb = pipeline.kb();
+        let stats = kb.graph.stats();
+        let (cache_len, cache_capacity) = kb.cache_occupancy();
+        let cache = kb.cache_stats();
+        let body = Json::obj()
+            .set(
+                "graph",
+                Json::obj()
+                    .set("frozen_triples", stats.frozen_triples)
+                    .set("triples", stats.triples)
+                    .set("overlay_len", stats.overlay_len)
+                    .set("tombstones", stats.tombstones)
+                    .set("compactions", stats.compactions)
+                    .set("last_freeze_nanos", stats.last_freeze_nanos),
+            )
+            .set(
+                "query_cache",
+                Json::obj()
+                    .set("len", cache_len)
+                    .set("capacity", cache_capacity)
+                    .set("hits", cache.hits)
+                    .set("misses", cache.misses)
+                    .set("hit_rate", Json::Num(cache.hit_rate())),
+            )
+            .set("traces", self.traces.stats().to_json());
+        Response::json(200, &body)
+    }
+
+    /// Refreshes the store/cache/trace-retention health gauges from their
+    /// sources of truth. Called on every `/metrics` scrape and
+    /// `/debug/store` read — gauges are levels, so sampling at read time is
+    /// both cheapest and freshest.
+    fn refresh_gauges(&self) {
+        if let Some(pipeline) = self.pipeline.get() {
+            let kb = pipeline.kb();
+            let stats = kb.graph.stats();
+            gauge!("store.frozen_triples", stats.frozen_triples);
+            gauge!("store.triples", stats.triples);
+            gauge!("store.overlay_len", stats.overlay_len);
+            gauge!("store.tombstones", stats.tombstones);
+            gauge!("store.compactions", stats.compactions);
+            gauge!("store.last_freeze_nanos", stats.last_freeze_nanos);
+            let (len, capacity) = kb.cache_occupancy();
+            gauge!("sparql.cache.len", len);
+            gauge!("sparql.cache.capacity", capacity);
+        }
+        let traces = self.traces.stats();
+        gauge!("traces.held", traces.held);
+        gauge!("traces.bytes", traces.bytes);
     }
 
     fn handle_trace_get(&self, path: &str) -> Response {
@@ -201,5 +275,15 @@ mod tests {
         assert!(resp.content_type.contains("version=0.0.4"));
         let text = String::from_utf8(resp.body).unwrap();
         assert!(text.contains("serve_http_requests_total"));
+        // Trace-store gauges refresh on every scrape even before the
+        // pipeline loads (store/cache gauges need the KB installed).
+        assert!(text.contains("# TYPE traces_held gauge"), "{text}");
+        assert!(text.contains("# TYPE traces_bytes gauge"), "{text}");
+    }
+
+    #[test]
+    fn debug_store_requires_a_loaded_pipeline() {
+        let app = App::new(TraceStoreConfig::default());
+        assert_eq!(app.handle(&get("/debug/store")).status, 503);
     }
 }

@@ -104,8 +104,66 @@ fn full_telemetry_plane_over_loopback() {
         assert_eq!(json.get("stage").and_then(Json::as_str), Some("Answered"));
         assert!(!json.get("answers").unwrap().as_array().unwrap().is_empty());
         assert!(json.get("retained").and_then(Json::as_str).is_some(), "{body}");
+        assert!(json.get("plans").is_none(), "plain answers must not carry plans: {body}");
         trace_ids.push(json.get("trace_id").and_then(Json::as_u64).unwrap());
     }
+
+    // EXPLAIN ANALYZE over HTTP: `"explain": true` attaches per-query plan
+    // traces whose step sums are internally consistent.
+    let payload =
+        Json::obj().set("question", "Who directed Titanic?").set("explain", true).to_string();
+    let (status, body) = post(addr, "/answer", &payload);
+    assert_eq!(status, 200, "{body}");
+    let json = Json::parse(&body).expect("explained answer is JSON");
+    assert_eq!(json.get("answered").and_then(Json::as_bool), Some(true), "{body}");
+    let plans = json.get("plans").and_then(Json::as_array).expect("explain returns plans");
+    assert!(!plans.is_empty(), "{body}");
+    for plan in plans {
+        let trace = plan.get("plan").expect("each plan wraps a trace");
+        let steps = trace.get("steps").and_then(Json::as_array).unwrap();
+        let cache_hit = trace.get("cache_hit").and_then(Json::as_bool).unwrap();
+        assert!(cache_hit || !steps.is_empty(), "cold query must record join steps: {body}");
+        let summed: u64 =
+            steps.iter().map(|s| s.get("rows_scanned").and_then(Json::as_u64).unwrap()).sum();
+        assert_eq!(trace.get("rows_scanned").and_then(Json::as_u64), Some(summed));
+        for step in steps {
+            assert!(step.get("estimate").and_then(Json::as_u64).is_some(), "{body}");
+            assert!(step.get("pattern").and_then(Json::as_str).is_some(), "{body}");
+        }
+    }
+
+    // Store health: /debug/store and the /metrics gauges report the same
+    // levels.
+    let (status, body) = get(addr, "/debug/store");
+    assert_eq!(status, 200, "{body}");
+    let debug = Json::parse(&body).unwrap();
+    let triples =
+        debug.get("graph").and_then(|g| g.get("triples")).and_then(Json::as_u64).unwrap();
+    assert!(triples > 0, "{body}");
+    let cache_len =
+        debug.get("query_cache").and_then(|c| c.get("len")).and_then(Json::as_u64).unwrap();
+    let cache_capacity =
+        debug.get("query_cache").and_then(|c| c.get("capacity")).and_then(Json::as_u64).unwrap();
+    assert!(cache_len > 0, "answering must have warmed the query cache: {body}");
+    assert!(debug.get("traces").and_then(|t| t.get("held")).and_then(Json::as_u64).unwrap() >= 3);
+    let (_, exposition) = get(addr, "/metrics");
+    for name in [
+        "store_frozen_triples",
+        "store_triples",
+        "store_overlay_len",
+        "store_tombstones",
+        "store_compactions",
+        "store_last_freeze_nanos",
+        "sparql_cache_len",
+        "sparql_cache_capacity",
+        "traces_held",
+        "traces_bytes",
+    ] {
+        assert!(exposition.contains(&format!("# TYPE {name} gauge")), "missing gauge {name}");
+    }
+    assert_eq!(metric_value(&exposition, "store_triples"), Some(triples as f64));
+    assert_eq!(metric_value(&exposition, "sparql_cache_len"), Some(cache_len as f64));
+    assert_eq!(metric_value(&exposition, "sparql_cache_capacity"), Some(cache_capacity as f64));
 
     // Traces retrievable by id, with the right question inside.
     for (id, question) in trace_ids.iter().zip(TABLE2_QUESTIONS) {
@@ -122,16 +180,17 @@ fn full_telemetry_plane_over_loopback() {
     assert_eq!(status, 200);
     let json = Json::parse(&body).unwrap();
     assert_eq!(json.get("slowest").unwrap().as_array().unwrap().len(), 2);
-    assert_eq!(json.get("stats").and_then(|s| s.get("seen")).and_then(Json::as_u64), Some(3));
+    // 3 plain answers + 1 explained answer have been served by now.
+    assert_eq!(json.get("stats").and_then(|s| s.get("seen")).and_then(Json::as_u64), Some(4));
 
     // Counters advanced and the answer histogram is populated.
     let (_, after) = get(addr, "/metrics");
     let requests_after = metric_value(&after, "serve_http_requests_total").unwrap();
     assert!(requests_after > requests_before, "{requests_before} -> {requests_after}");
-    assert_eq!(metric_value(&after, "serve_answers_total"), Some(answers_before + 3.0));
-    assert_eq!(metric_value(&after, "serve_answer_ns_count"), Some(3.0));
+    assert_eq!(metric_value(&after, "serve_answers_total"), Some(answers_before + 4.0));
+    assert_eq!(metric_value(&after, "serve_answer_ns_count"), Some(4.0));
     assert!(after.contains("# TYPE serve_answer_ns histogram"));
-    assert!(after.contains("serve_answer_ns_bucket{le=\"+Inf\"} 3"));
+    assert!(after.contains("serve_answer_ns_bucket{le=\"+Inf\"} 4"));
 
     // The journal saw the lifecycle (serve.ready at minimum).
     let (status, body) = get(addr, "/events/tail?n=200");

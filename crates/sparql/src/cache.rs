@@ -23,9 +23,11 @@ use std::sync::Mutex;
 use relpat_obs::fx::FxHashMap;
 use relpat_rdf::Graph;
 
+use relpat_obs::PlanTrace;
+
 use crate::ast::Query;
 use crate::error::SparqlError;
-use crate::exec::{execute, QueryResult};
+use crate::exec::{execute, execute_traced, QueryResult};
 use crate::parser::parse_query;
 
 /// Default entry bound: comfortably holds the working set of a full QALD
@@ -121,6 +123,29 @@ impl QueryCache {
         Ok(result)
     }
 
+    /// Like [`query`](Self::query) but also returns the plan trace of the
+    /// execution. A cache hit never re-executes: it returns an empty-steps
+    /// trace flagged `cache_hit` (zero rows scanned, matching the unchanged
+    /// `sparql.rows_scanned` counter). Cache accounting is identical to the
+    /// untraced path, so explained and plain queries share warm state.
+    pub fn query_traced(
+        &self,
+        graph: &Graph,
+        text: &str,
+    ) -> Result<(QueryResult, PlanTrace), SparqlError> {
+        if let Some(result) = self.lookup(text) {
+            self.hits.fetch_add(1, Relaxed);
+            relpat_obs::counter!("sparql.cache.hits");
+            return Ok((result, PlanTrace { cache_hit: true, ..PlanTrace::default() }));
+        }
+        self.misses.fetch_add(1, Relaxed);
+        relpat_obs::counter!("sparql.cache.misses");
+        let parsed = parse_query(text)?;
+        let (result, trace) = execute_traced(graph, &parsed)?;
+        self.insert(text, parsed, result.clone());
+        Ok((result, trace))
+    }
+
     /// The cached parsed AST for `text`, if present. Does not touch the
     /// LRU recency stamp or the hit/miss totals.
     pub fn parsed(&self, text: &str) -> Option<Query> {
@@ -135,6 +160,11 @@ impl QueryCache {
     /// Number of cached entries.
     pub fn len(&self) -> usize {
         self.inner.lock().expect("cache lock").map.len()
+    }
+
+    /// The entry bound this cache was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     pub fn is_empty(&self) -> bool {
@@ -300,6 +330,26 @@ mod tests {
         assert!(cache.parsed(text).is_none());
         cache.query(&g, text).unwrap();
         assert_eq!(cache.parsed(text), Some(crate::parser::parse_query(text).unwrap()));
+    }
+
+    #[test]
+    fn traced_queries_share_cache_state_and_flag_hits() {
+        let g = graph();
+        let cache = QueryCache::new(8);
+        assert_eq!(cache.capacity(), 8);
+        let text = "SELECT ?x WHERE { ?x rdf:type dbont:Book . }";
+        let (first, miss_trace) = cache.query_traced(&g, text).unwrap();
+        assert!(!miss_trace.cache_hit);
+        assert!(!miss_trace.steps.is_empty(), "a cold execution records join steps");
+        assert!(miss_trace.rows_scanned() > 0);
+        // Second lookup — including via the untraced path — hits.
+        let (second, hit_trace) = cache.query_traced(&g, text).unwrap();
+        assert_eq!(first, second);
+        assert!(hit_trace.cache_hit);
+        assert!(hit_trace.steps.is_empty());
+        assert_eq!(hit_trace.rows_scanned(), 0);
+        assert_eq!(cache.query(&g, text).unwrap(), first);
+        assert_eq!(cache.stats(), CacheStats { hits: 2, misses: 1 });
     }
 
     #[test]

@@ -7,9 +7,11 @@
 //! → ORDER BY → OFFSET/LIMIT.
 
 use std::cmp::Ordering;
+use std::time::Instant;
 
 use relpat_rdf::{Graph, IdPattern, Term, TermId};
 use relpat_obs::fx::{FxHashMap, FxHashSet};
+use relpat_obs::{PlanStep, PlanTrace};
 
 use crate::ast::{
     ArithOp, CmpOp, Expr, GraphPattern, Projection, Query, SelectQuery, TriplePattern,
@@ -48,16 +50,36 @@ impl QueryResult {
 /// `sparql.solutions` and records its latency in the `sparql.execute`
 /// histogram on the global [`relpat_obs`] registry (no-ops when disabled).
 pub fn execute(graph: &Graph, query: &Query) -> Result<QueryResult, SparqlError> {
+    execute_inner(graph, query, None)
+}
+
+/// [`execute`] with EXPLAIN ANALYZE collection: returns the result together
+/// with a [`PlanTrace`] recording, per join step, the planner's prediction
+/// (index estimate, selectivity score, chosen order) against measured
+/// reality (rows scanned, bindings emitted, nanoseconds, pushdown). The
+/// untraced [`execute`] path shares the same code with the trace parameter
+/// `None`, paying nothing per step.
+pub fn execute_traced(graph: &Graph, query: &Query) -> Result<(QueryResult, PlanTrace), SparqlError> {
+    let mut trace = PlanTrace::default();
+    let result = execute_inner(graph, query, Some(&mut trace))?;
+    Ok((result, trace))
+}
+
+fn execute_inner(
+    graph: &Graph,
+    query: &Query,
+    trace: Option<&mut PlanTrace>,
+) -> Result<QueryResult, SparqlError> {
     let _timer = relpat_obs::span!("sparql.execute");
     relpat_obs::counter!("sparql.queries");
     match query {
         Query::Select(sel) => {
-            let sols = execute_select(graph, sel)?;
+            let sols = execute_select(graph, sel, trace)?;
             relpat_obs::counter!("sparql.solutions", sols.rows.len() as u64);
             Ok(QueryResult::Solutions(sols))
         }
         Query::Ask(ask) => {
-            let bindings = evaluate_pattern(graph, &ask.pattern, Some(1))?;
+            let bindings = evaluate_pattern(graph, &ask.pattern, Some(1), trace)?;
             Ok(QueryResult::Boolean(!bindings.rows.is_empty()))
         }
     }
@@ -69,7 +91,17 @@ pub fn query(graph: &Graph, text: &str) -> Result<QueryResult, SparqlError> {
     execute(graph, &parsed)
 }
 
-fn execute_select(graph: &Graph, sel: &SelectQuery) -> Result<Solutions, SparqlError> {
+/// Parses and executes with plan-trace collection (see [`execute_traced`]).
+pub fn query_traced(graph: &Graph, text: &str) -> Result<(QueryResult, PlanTrace), SparqlError> {
+    let parsed = crate::parser::parse_query(text)?;
+    execute_traced(graph, &parsed)
+}
+
+fn execute_select(
+    graph: &Graph,
+    sel: &SelectQuery,
+    trace: Option<&mut PlanTrace>,
+) -> Result<Solutions, SparqlError> {
     // ORDER BY/OFFSET/LIMIT prevent early termination; only a bare LIMIT
     // (no ordering, no offset, no DISTINCT) can stop the BGP scan early.
     let early_stop = if sel.order_by.is_empty()
@@ -81,7 +113,7 @@ fn execute_select(graph: &Graph, sel: &SelectQuery) -> Result<Solutions, SparqlE
     } else {
         None
     };
-    let evaluated = evaluate_pattern(graph, &sel.pattern, early_stop)?;
+    let evaluated = evaluate_pattern(graph, &sel.pattern, early_stop, trace)?;
 
     let pattern_vars = evaluated.variables;
     let mut rows = evaluated.rows;
@@ -188,13 +220,14 @@ fn evaluate_pattern(
     graph: &Graph,
     pattern: &GraphPattern,
     early_stop: Option<usize>,
+    trace: Option<&mut PlanTrace>,
 ) -> Result<Evaluated, SparqlError> {
     let variables = pattern.variables();
     let var_index: FxHashMap<&str, usize> =
         variables.iter().enumerate().map(|(i, v)| (v.as_str(), i)).collect();
 
     let initial: Vec<Vec<Option<TermId>>> = vec![vec![None; variables.len()]];
-    let mut bindings = eval_group(graph, pattern, &var_index, initial, early_stop);
+    let mut bindings = eval_group(graph, pattern, &var_index, initial, early_stop, trace);
 
     if let Some(stop) = early_stop {
         // Safety net: eval_group only pushes the limit into the join loop
@@ -223,6 +256,7 @@ fn eval_group(
     var_index: &FxHashMap<&str, usize>,
     initial: Vec<Vec<Option<TermId>>>,
     limit: Option<usize>,
+    mut trace: Option<&mut PlanTrace>,
 ) -> Vec<Vec<Option<TermId>>> {
     let pushdown = if pattern.unions.is_empty()
         && pattern.optionals.is_empty()
@@ -232,7 +266,8 @@ fn eval_group(
     } else {
         None
     };
-    let mut bindings = join_triples(graph, &pattern.triples, var_index, initial, pushdown);
+    let mut bindings =
+        join_triples(graph, &pattern.triples, var_index, initial, pushdown, trace.as_deref_mut());
 
     // UNION: concatenate the solutions of each alternative, each evaluated
     // from the current bindings (join semantics with the surrounding group).
@@ -242,7 +277,14 @@ fn eval_group(
         }
         let mut next = Vec::new();
         for alt in alternatives {
-            next.extend(eval_group(graph, alt, var_index, bindings.clone(), None));
+            next.extend(eval_group(
+                graph,
+                alt,
+                var_index,
+                bindings.clone(),
+                None,
+                trace.as_deref_mut(),
+            ));
         }
         bindings = next;
     }
@@ -252,7 +294,14 @@ fn eval_group(
     for opt in &pattern.optionals {
         let mut next = Vec::with_capacity(bindings.len());
         for binding in bindings {
-            let extended = eval_group(graph, opt, var_index, vec![binding.clone()], None);
+            let extended = eval_group(
+                graph,
+                opt,
+                var_index,
+                vec![binding.clone()],
+                None,
+                trace.as_deref_mut(),
+            );
             if extended.is_empty() {
                 next.push(binding);
             } else {
@@ -276,6 +325,16 @@ fn eval_group(
     bindings
 }
 
+/// A misestimation fires when a join step scans more than
+/// `MISESTIMATE_FACTOR ×` the planner's score. The score already grants one
+/// order of magnitude per bound variable, so a 16× overrun (> one further
+/// decade of slack) marks a genuinely wrong selectivity assumption rather
+/// than rounding noise; see DESIGN.md §13 for the derivation.
+const MISESTIMATE_FACTOR: f64 = 16.0;
+/// Steps scanning fewer rows than this never fire — on micro-scans a single
+/// extra probe binding can double the ratio without meaning anything.
+const MISESTIMATE_MIN_ROWS: u64 = 64;
+
 /// Joins a list of triple patterns into the incoming bindings, in planned
 /// order. Each probe consumes [`Graph::scan_iter`] directly — a streaming
 /// slice walk with no per-probe result vector.
@@ -284,12 +343,18 @@ fn eval_group(
 /// enough rows exist: intermediate steps must run to completion (a truncated
 /// intermediate set could starve later joins of the rows that survive), but
 /// the last pattern's scan can cut off mid-slice.
+///
+/// When `trace` is given, every step appends a [`PlanStep`] pairing the
+/// planner's prediction with measured reality. The untraced path does no
+/// per-step allocation or clock reads. Misestimation detection runs on both
+/// paths — it only compares numbers the planner already computed.
 fn join_triples(
     graph: &Graph,
     triples: &[TriplePattern],
     var_index: &FxHashMap<&str, usize>,
     initial: Vec<Vec<Option<TermId>>>,
     limit: Option<usize>,
+    mut trace: Option<&mut PlanTrace>,
 ) -> Vec<Vec<Option<TermId>>> {
     let order = plan(graph, triples, var_index);
     let mut bindings = initial;
@@ -301,9 +366,11 @@ fn join_triples(
     }
     // Tallied locally and flushed once — one atomic add per join, not per row.
     let mut scanned: u64 = 0;
-    for (step, &pat_idx) in order.iter().enumerate() {
+    for (step, planned) in order.iter().enumerate() {
         let cap = if step + 1 == order.len() { limit } else { None };
-        let tp = &triples[pat_idx];
+        let tp = &triples[planned.idx];
+        let step_started = trace.is_some().then(Instant::now);
+        let scanned_before = scanned;
         let mut next: Vec<Vec<Option<TermId>>> = Vec::new();
         'probes: for binding in &bindings {
             match bind_pattern(graph, tp, binding, var_index) {
@@ -322,6 +389,40 @@ fn join_triples(
                 }
             }
         }
+        let step_scanned = scanned - scanned_before;
+        // A capped step stops mid-scan by design, so its cost says nothing
+        // about the planner; skip it rather than report a false underrun.
+        let misestimated = cap.is_none()
+            && step_scanned >= MISESTIMATE_MIN_ROWS
+            && step_scanned as f64 > MISESTIMATE_FACTOR * (planned.score + 1.0);
+        if misestimated {
+            relpat_obs::counter!("planner.misestimates");
+            relpat_obs::jevent!(
+                relpat_obs::Level::Warn,
+                "planner.misestimate",
+                "pattern" => tp,
+                "position" => step,
+                "estimate" => planned.estimate,
+                "score" => planned.score,
+                "scanned" => step_scanned,
+            );
+        }
+        if let Some(t) = trace.as_deref_mut() {
+            t.steps.push(PlanStep {
+                pattern: tp.to_string(),
+                pattern_index: planned.idx,
+                position: step,
+                estimate: planned.estimate,
+                score: planned.score,
+                rows_scanned: step_scanned,
+                bindings_emitted: next.len(),
+                nanos: step_started.expect("trace implies timer").elapsed().as_nanos() as u64,
+                limit_pushdown: cap.is_some(),
+            });
+            if misestimated {
+                t.misestimates += 1;
+            }
+        }
         bindings = next;
         if bindings.is_empty() {
             break;
@@ -329,6 +430,18 @@ fn join_triples(
     }
     relpat_obs::counter!("sparql.rows_scanned", scanned);
     bindings
+}
+
+/// One planner decision: which pattern runs at this position, and the
+/// prediction it was ranked by ([`score_pattern`]'s exact index estimate and
+/// selectivity-adjusted score at choice time). Kept for every step so plan
+/// traces and the misestimation detector can compare prediction to reality
+/// without re-running the planner.
+#[derive(Debug, Clone, Copy)]
+struct Planned {
+    idx: usize,
+    estimate: usize,
+    score: f64,
 }
 
 /// Greedy join ordering: repeatedly pick the pattern with the fewest
@@ -339,21 +452,21 @@ fn plan(
     graph: &Graph,
     triples: &[TriplePattern],
     var_index: &FxHashMap<&str, usize>,
-) -> Vec<usize> {
+) -> Vec<Planned> {
     let n = triples.len();
-    let mut chosen: Vec<usize> = Vec::with_capacity(n);
+    let mut chosen: Vec<Planned> = Vec::with_capacity(n);
     let mut bound_vars = vec![false; var_index.len()];
     let mut remaining: Vec<usize> = (0..n).collect();
 
     while !remaining.is_empty() {
-        let (best_pos, _) = remaining
+        let (best_pos, (best_score, best_estimate)) = remaining
             .iter()
             .enumerate()
             .map(|(pos, &idx)| {
                 let tp = &triples[idx];
                 (pos, score_pattern(graph, tp, &bound_vars, var_index))
             })
-            .min_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap_or(Ordering::Equal))
+            .min_by(|(_, (a, _)), (_, (b, _))| a.partial_cmp(b).unwrap_or(Ordering::Equal))
             .expect("remaining is non-empty");
         let idx = remaining.swap_remove(best_pos);
         for term in [&triples[idx].subject, &triples[idx].predicate, &triples[idx].object] {
@@ -363,7 +476,7 @@ fn plan(
                 }
             }
         }
-        chosen.push(idx);
+        chosen.push(Planned { idx, estimate: best_estimate, score: best_score });
     }
     chosen
 }
@@ -371,13 +484,15 @@ fn plan(
 /// Cost estimate for one pattern given the set of already-bound variables.
 /// Concrete positions contribute to an index estimate; bound variables divide
 /// the estimate (each roughly one order of magnitude); unbound variables keep
-/// it unchanged.
+/// it unchanged. Returns `(score, index estimate)` — the estimate is exactly
+/// [`Graph::estimate`] on the pattern's concrete positions, recorded in plan
+/// traces as the per-step `estimate`.
 fn score_pattern(
     graph: &Graph,
     tp: &TriplePattern,
     bound_vars: &[bool],
     var_index: &FxHashMap<&str, usize>,
-) -> f64 {
+) -> (f64, usize) {
     let mut id_pattern = IdPattern { subject: None, predicate: None, object: None };
     let mut bound_var_positions = 0u32;
     let mut dead = false;
@@ -400,10 +515,10 @@ fn score_pattern(
         fill(&tp.object, object);
     }
     if dead {
-        return 0.0; // matches nothing: evaluate first to prune immediately
+        return (0.0, 0); // matches nothing: evaluate first to prune immediately
     }
-    let base = graph.estimate(id_pattern) as f64;
-    base / 10f64.powi(bound_var_positions as i32)
+    let estimate = graph.estimate(id_pattern);
+    (estimate as f64 / 10f64.powi(bound_var_positions as i32), estimate)
 }
 
 /// Where each variable of a pattern lands in the binding vector.
@@ -846,7 +961,12 @@ mod tests {
         vi.insert("p", 1usize);
         vi.insert("o", 2usize);
         let order = plan(&g, &tps, &vi);
-        assert_eq!(order[0], 1, "selective pattern should run first");
+        assert_eq!(order[0].idx, 1, "selective pattern should run first");
+        assert!(order[0].estimate > 0, "chosen step records the planner's index estimate");
+        assert!(
+            order[0].score <= order[1].score,
+            "greedy plan picks the lowest-score pattern first"
+        );
     }
 
     #[test]
