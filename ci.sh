@@ -23,6 +23,9 @@ cargo test -q -p relpat-qa --test lexical_equivalence
 echo "=== frozen-index equivalence gate ==="
 cargo test -q -p relpat-rdf --test index_equivalence
 
+echo "=== planning equivalence gate (beam == exact top-k, Table-2 budget) ==="
+cargo test -q -p relpat-eval --test planning_equivalence
+
 echo "=== streaming LIMIT pushdown gate ==="
 cargo test -q -p relpat-sparql --test streaming
 
@@ -40,6 +43,9 @@ cargo bench -p relpat-bench --bench qa_batch_throughput -- --smoke
 
 echo "=== mapping throughput smoke ==="
 cargo bench -p relpat-bench --bench qa_mapping_throughput -- --smoke
+
+echo "=== planning throughput smoke ==="
+cargo bench -p relpat-bench --bench qa_planning_throughput -- --smoke
 
 echo "=== observability overhead smoke ==="
 cargo bench -p relpat-bench --bench obs_overhead -- --smoke

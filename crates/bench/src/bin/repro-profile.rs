@@ -84,6 +84,16 @@ fn main() {
         "this run: {probed} units probed, {pruned} pruned by bounds ({prate:.1}%), {scored} entries scored\n"
     );
 
+    let (expanded, pruned_states, emitted) = (
+        report.stats.counter("qa.plan.expanded"),
+        report.stats.counter("qa.plan.pruned"),
+        report.stats.counter("qa.plan.emitted"),
+    );
+    println!("--- Query planner (qa.plan.*) ---\n");
+    println!(
+        "{expanded} lattice states expanded, {pruned_states} pruned unexplored, {emitted} queries emitted\n"
+    );
+
     println!("--- Process-global metrics snapshot ---\n");
     let snapshot = relpat_obs::global().snapshot();
     println!("{}", snapshot.to_json().to_pretty());

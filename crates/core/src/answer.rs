@@ -238,7 +238,10 @@ fn evaluate_one(
     match result {
         Ok(relpat_sparql::QueryResult::Solutions(sols)) => {
             if ask {
-                return Eval::Empty; // SELECT result for a polar question
+                // SELECT result for a polar question: a kind mismatch is a
+                // malformed candidate, not a no-answer — count it under
+                // `ExecStats.failed` like any other execution error.
+                return Eval::Failed;
             }
             let mut seen: FxHashSet<Term> = FxHashSet::default();
             let mut terms: Vec<Term> = Vec::new();
@@ -259,7 +262,7 @@ fn evaluate_one(
         }
         Ok(relpat_sparql::QueryResult::Boolean(b)) => {
             if !ask {
-                Eval::Empty // ASK result for a non-polar question
+                Eval::Failed // ASK result for a non-polar question
             } else if b {
                 Eval::Survivor(AnswerValue::Boolean(true))
             } else {
@@ -486,6 +489,32 @@ mod tests {
         let ans = extract_answer(kb, ExpectedType::Unconstrained, false, &queries, &AnswerConfig::default())
             .unwrap();
         assert!(ans.sparql.contains("capital"));
+    }
+
+    #[test]
+    fn result_kind_mismatch_counts_as_failed_not_empty() {
+        let kb = kb();
+        // A SELECT candidate for a polar question (and vice versa) is a
+        // malformed candidate: it must be counted under `failed` and the
+        // well-formed fallback must still win — never a panic, never a
+        // silent "no answer" bucket.
+        let polar = vec![
+            bq("SELECT ?x { res:Snow dbont:author ?x }", 10.0),
+            bq("ASK { res:Snow dbont:author res:Orhan_Pamuk }", 1.0),
+        ];
+        let (ans, stats) =
+            extract_answer_traced(kb, ExpectedType::Boolean, true, &polar, &exhaustive());
+        assert_eq!(ans.unwrap().value, AnswerValue::Boolean(true));
+        assert_eq!(stats.failed, 1, "{stats:?}");
+
+        let list = vec![
+            bq("ASK { res:Snow dbont:author res:Orhan_Pamuk }", 10.0),
+            bq("SELECT ?x { res:Turkey dbont:capital ?x }", 1.0),
+        ];
+        let (ans, stats) =
+            extract_answer_traced(kb, ExpectedType::Unconstrained, false, &list, &exhaustive());
+        assert!(ans.unwrap().sparql.contains("capital"));
+        assert_eq!(stats.failed, 1, "{stats:?}");
     }
 
     #[test]

@@ -435,7 +435,7 @@ mod tests {
         let golds = kb()
             .query("SELECT ?m { ?m rdf:type dbont:Mountain . ?m dbont:elevation ?e } ORDER BY DESC(?e) LIMIT 1")
             .unwrap()
-            .expect_solutions();
+            .into_solutions().unwrap();
         if let AnswerValue::Terms(ts) = &ans.value {
             assert_eq!(ts[0].as_iri(), golds.first().unwrap().as_iri());
         }

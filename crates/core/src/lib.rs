@@ -45,7 +45,7 @@ pub use mapping::{
     MappingConfig, PropertyCandidate, ResolvedEntity,
 };
 pub use pipeline::{Pipeline, PipelineConfig, Response, Stage};
-pub use queries::{build_queries, BuiltQuery};
+pub use queries::{build_queries, build_queries_planned, BuiltQuery, PlanStats, PlannerStrategy};
 pub use similarity::{
     lcs_len, lcs_len_with, lcs_score, lcs_score_pre, property_name_score,
     property_name_score_pre, split_camel_case, LcsScratch,

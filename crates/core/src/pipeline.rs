@@ -18,7 +18,7 @@ use crate::extensions::ExtensionConfig;
 use crate::mapping::{
     similar_property_pairs, MappedQuestion, MappedSlot, MappedTriple, Mapper, MappingConfig,
 };
-use crate::queries::{build_queries, BuiltQuery};
+use crate::queries::{build_queries_planned, BuiltQuery, PlanStats, PlannerStrategy};
 use crate::triples::{extract, QuestionAnalysis};
 
 /// Where processing stopped.
@@ -41,6 +41,10 @@ pub struct PipelineConfig {
     pub mapping: MappingConfig,
     pub answer: AnswerConfig,
     pub max_queries: usize,
+    /// How §2.3 candidate assignments are searched; the beam planner is the
+    /// default, [`PlannerStrategy::CartesianExhaustive`] is the differential
+    /// reference.
+    pub planner: PlannerStrategy,
     /// §5/§6 future-work extensions; all off in the paper configuration.
     pub extensions: ExtensionConfig,
 }
@@ -52,6 +56,7 @@ impl PipelineConfig {
             mapping: MappingConfig::default(),
             answer: AnswerConfig::default(),
             max_queries: 50,
+            planner: PlannerStrategy::default(),
             extensions: ExtensionConfig::default(),
         }
     }
@@ -380,6 +385,7 @@ impl<'kb> Pipeline<'kb> {
                 Vec::new(),
                 None,
                 ExecStats::default(),
+                None,
                 &lookups_before,
                 timings,
             );
@@ -397,13 +403,20 @@ impl<'kb> Pipeline<'kb> {
                 Vec::new(),
                 None,
                 ExecStats::default(),
+                None,
                 &lookups_before,
                 timings,
             );
         };
 
         let timer = relpat_obs::span!("qa.build");
-        let queries = build_queries(self.kb, &analysis, &mapped, self.config.max_queries.max(1));
+        let (queries, plan) = build_queries_planned(
+            self.kb,
+            &analysis,
+            &mapped,
+            self.config.max_queries.max(1),
+            self.config.planner,
+        );
         timings.push(("build", timer.finish()));
         if queries.is_empty() {
             return self.finish(
@@ -414,6 +427,7 @@ impl<'kb> Pipeline<'kb> {
                 queries,
                 None,
                 ExecStats::default(),
+                Some(plan),
                 &lookups_before,
                 timings,
             );
@@ -449,6 +463,7 @@ impl<'kb> Pipeline<'kb> {
             queries,
             answer,
             exec,
+            Some(plan),
             &lookups_before,
             timings,
         );
@@ -467,6 +482,7 @@ impl<'kb> Pipeline<'kb> {
         queries: Vec<BuiltQuery>,
         answer: Option<Answer>,
         exec: ExecStats,
+        plan: Option<PlanStats>,
         lookups_before: &relpat_obs::PatternLookupStats,
         timings: Vec<(&'static str, u64)>,
     ) -> Response {
@@ -482,6 +498,12 @@ impl<'kb> Pipeline<'kb> {
         trace.queries_executed = exec.executed;
         trace.queries_survived = exec.survived;
         trace.queries_failed = exec.failed;
+        if let Some(plan) = plan {
+            trace.planner = Some(self.config.planner.name().to_string());
+            trace.plan_expanded = plan.expanded;
+            trace.plan_pruned = plan.pruned;
+            trace.plan_emitted = plan.emitted;
+        }
         trace.pattern_lookups = self.patterns.lookup_stats().delta_since(lookups_before);
         for (name, nanos) in timings {
             trace.add_stage(name, nanos);

@@ -1,11 +1,30 @@
-//! Candidate query construction (paper §2.3).
+//! Candidate query construction (paper §2.3) as ranked query *planning*.
 //!
-//! Builds the cartesian product of property candidates over the mapped
-//! triples into concrete SPARQL queries, each carrying a ranking score (the
-//! product of its predicates' weights, §2.3.1). Both orientations of every
-//! relation are considered; the ontology's domain/range declarations prune
-//! inconsistent ones, and pattern-evidence direction hints dampen the
-//! disfavored orientation.
+//! The paper builds the full cartesian product of property-candidate
+//! assignments over the mapped triples into concrete SPARQL queries, each
+//! carrying a ranking score (the product of its predicates' weights,
+//! §2.3.1). Both orientations of every relation are considered; the
+//! ontology's domain/range declarations prune inconsistent ones, and
+//! pattern-evidence direction hints dampen the disfavored orientation.
+//!
+//! This module replaces the blow-up-then-truncate product with a ranked
+//! **beam/lattice search** over the per-triple option sets
+//! ([`PlannerStrategy::Beam`], the default): assignments are expanded
+//! best-first from a frontier priority queue ordered by an admissible
+//! upper bound on every completion's score, so the search returns the
+//! *exact* top-`max` assignments of the full product without materializing
+//! it. Rendered triple-line fragments are shared across beam states — each
+//! option's SPARQL line and the fixed-line prefix are rendered once and
+//! reused by every assignment that selects them.
+//!
+//! The original cartesian builder is kept as the differential reference
+//! ([`PlannerStrategy::CartesianExhaustive`]). Its historical bug — mid-fold
+//! truncation by *partial* score, which could silently drop a combination
+//! whose later weights would have ranked it on top — is fixed by truncating
+//! on final scores only (see DESIGN.md §14 for the post-mortem).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 use relpat_kb::KnowledgeBase;
 use relpat_rdf::vocab::{dbont, rdf};
@@ -20,21 +39,79 @@ pub struct BuiltQuery {
     pub score: f64,
 }
 
-/// One resolved relation triple option (property + orientation).
+/// How candidate assignments are searched (§2.3 / ROADMAP item 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlannerStrategy {
+    /// Exact top-`max` best-first frontier search over the assignment
+    /// lattice. Never enumerates more states than needed to *prove* the
+    /// ranking; worst case (all scores tied or NaN) degenerates to the full
+    /// product.
+    #[default]
+    Beam,
+    /// The paper's full cartesian product, truncated to `max` on final
+    /// scores only. Exact by construction; exponential in relation-triple
+    /// count. Kept as the differential reference for the beam planner.
+    CartesianExhaustive,
+}
+
+impl PlannerStrategy {
+    /// Short label used in journal events and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlannerStrategy::Beam => "beam",
+            PlannerStrategy::CartesianExhaustive => "cartesian",
+        }
+    }
+}
+
+/// What the planner did for one question (feeds the per-question
+/// [`relpat_obs::QuestionTrace`] and the global `qa.plan.*` counters).
+///
+/// Semantics per strategy — `Beam`: `expanded` counts frontier states
+/// popped and branched, `pruned` counts states generated but still in the
+/// frontier when the search proved the top-`max` (never explored),
+/// `emitted` counts complete assignments surfaced. `CartesianExhaustive`:
+/// `expanded` counts partial and complete combinations materialized by the
+/// fold, `pruned` counts full combinations discarded by the final
+/// truncation, `emitted` counts combinations kept.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    pub expanded: u64,
+    pub pruned: u64,
+    pub emitted: u64,
+}
+
+/// One resolved relation triple option (property + orientation). The
+/// rendered `line` is shared by every assignment that selects this option.
 #[derive(Debug, Clone)]
 struct TripleOption {
     line: String,
     weight: f64,
 }
 
-/// Builds ranked candidate queries. Returns at most `max` queries, highest
-/// score first.
+/// Builds ranked candidate queries with the default [`PlannerStrategy::Beam`]
+/// planner. Returns at most `max` queries, highest score first.
 pub fn build_queries(
     kb: &KnowledgeBase,
     analysis: &QuestionAnalysis,
     mapped: &MappedQuestion,
     max: usize,
 ) -> Vec<BuiltQuery> {
+    build_queries_planned(kb, analysis, mapped, max, PlannerStrategy::Beam).0
+}
+
+/// [`build_queries`] with an explicit strategy, returning the planner's
+/// [`PlanStats`] alongside the ranked queries. Both strategies produce the
+/// identical query list (the differential guarantee CI enforces via the
+/// `planning_equivalence` gate); only the work done to find it differs.
+pub fn build_queries_planned(
+    kb: &KnowledgeBase,
+    analysis: &QuestionAnalysis,
+    mapped: &MappedQuestion,
+    max: usize,
+    strategy: PlannerStrategy,
+) -> (Vec<BuiltQuery>, PlanStats) {
+    let max = max.max(1);
     let mut fixed_lines: Vec<String> = Vec::new();
     let mut option_sets: Vec<Vec<TripleOption>> = Vec::new();
     // Class constraints from the Type triples, used for domain/range checks.
@@ -60,48 +137,240 @@ pub fn build_queries(
                     }
                 }
                 if options.is_empty() {
-                    return Vec::new(); // no consistent reading of this triple
+                    // No consistent reading of this triple.
+                    return (Vec::new(), PlanStats::default());
                 }
-                options.sort_by(|a, b| b.weight.total_cmp(&a.weight));
                 option_sets.push(options);
             }
         }
     }
 
-    // Cartesian product over relation-triple options.
-    let mut combos: Vec<(Vec<usize>, f64)> = vec![(Vec::new(), 1.0)];
-    for set in &option_sets {
+    let (combos, mut stats) = match strategy {
+        PlannerStrategy::Beam => beam_topk(&option_sets, max),
+        PlannerStrategy::CartesianExhaustive => cartesian_topk(&option_sets, max),
+    };
+    let out = render_combos(analysis, &fixed_lines, &option_sets, &combos);
+    stats.emitted = out.len() as u64;
+
+    relpat_obs::counter!("qa.plan.expanded", stats.expanded);
+    relpat_obs::counter!("qa.plan.pruned", stats.pruned);
+    relpat_obs::counter!("qa.plan.emitted", stats.emitted);
+    relpat_obs::jevent!(
+        relpat_obs::Level::Debug, "qa.plan",
+        "strategy" => strategy.name(),
+        "expanded" => stats.expanded,
+        "pruned" => stats.pruned,
+        "emitted" => stats.emitted,
+    );
+    (out, stats)
+}
+
+/// One frontier state of the beam search: the option choices made so far
+/// (`indices`, one per already-assigned relation triple, in triple order),
+/// the exact partial score of those choices, and an admissible upper bound
+/// on the score of any completion.
+///
+/// Heap order: higher bound first; equal bounds tie-break toward the
+/// lexicographically smaller index prefix so exploration — and therefore
+/// the emission order of equal-scored assignments — is deterministic and
+/// matches the cartesian reference's generation order (the "IRI
+/// tie-break": earlier-listed candidates/orientations win ties).
+struct Frontier {
+    bound: f64,
+    score: f64,
+    indices: Vec<u32>,
+}
+
+impl PartialEq for Frontier {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Frontier {}
+impl PartialOrd for Frontier {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Frontier {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.bound
+            .total_cmp(&other.bound)
+            .then_with(|| other.indices.cmp(&self.indices))
+    }
+}
+
+/// Admissible upper bound on every completion of a partial score through
+/// the remaining option sets, each abstracted to its `(min, max)` weight
+/// range (under `total_cmp`, so NaN — canonicalized positive in
+/// [`triple_option`] — saturates the range and disables pruning rather
+/// than corrupting it).
+///
+/// The interval is folded **left-associated, one set at a time**, exactly
+/// like the score accumulation itself. IEEE-754 multiplication is weakly
+/// monotone in each operand, so the running `[lo, hi]` interval bounds
+/// every reachable left-associated partial product bit-for-bit — the bound
+/// can never round below an achievable score, which is what makes the
+/// frontier search exact in floating point, not just over the reals.
+/// Negative weights are handled by tracking both interval ends.
+fn completion_bound(score: f64, ranges: &[(f64, f64)]) -> f64 {
+    let (mut lo, mut hi) = (score, score);
+    for &(wlo, whi) in ranges {
+        let mut nlo = lo * wlo;
+        let mut nhi = nlo;
+        for c in [lo * whi, hi * wlo, hi * whi] {
+            if c.total_cmp(&nlo) == Ordering::Less {
+                nlo = c;
+            }
+            if c.total_cmp(&nhi) == Ordering::Greater {
+                nhi = c;
+            }
+        }
+        (lo, hi) = (nlo, nhi);
+    }
+    hi
+}
+
+/// Exact top-`max` assignments over the option-set lattice, best-first.
+///
+/// Scores are products of per-triple weights; a frontier state's priority
+/// is [`completion_bound`], an admissible upper bound, so when the
+/// `max`-th best complete assignment's score strictly exceeds every
+/// remaining frontier bound the search has *proved* the top-`max` and
+/// stops — everything still in the frontier is pruned unexplored. Ties at
+/// the cutoff keep the search running (equal-scored assignments must be
+/// collected so the deterministic index tie-break picks the same winners
+/// as the exhaustive reference); in the degenerate all-tied case this
+/// falls back to enumerating the full product, never worse than the
+/// cartesian strategy.
+///
+/// Returns assignments sorted by (score descending under `total_cmp`,
+/// index vector ascending), truncated to `max`.
+fn beam_topk(option_sets: &[Vec<TripleOption>], max: usize) -> (Vec<(Vec<u32>, f64)>, PlanStats) {
+    let n = option_sets.len();
+    let ranges: Vec<(f64, f64)> = option_sets
+        .iter()
+        .map(|set| {
+            let (mut lo, mut hi) = (set[0].weight, set[0].weight);
+            for o in &set[1..] {
+                if o.weight.total_cmp(&lo) == Ordering::Less {
+                    lo = o.weight;
+                }
+                if o.weight.total_cmp(&hi) == Ordering::Greater {
+                    hi = o.weight;
+                }
+            }
+            (lo, hi)
+        })
+        .collect();
+
+    let mut heap = BinaryHeap::new();
+    heap.push(Frontier { bound: completion_bound(1.0, &ranges), score: 1.0, indices: Vec::new() });
+    let mut complete: Vec<(Vec<u32>, f64)> = Vec::new();
+    let mut stats = PlanStats::default();
+    loop {
+        // Termination: the k-th best complete score beats every remaining
+        // bound (strictly — equal bounds may still complete into tie-mates
+        // that the index tie-break ranks ahead).
+        if complete.len() >= max {
+            let kth = complete[max - 1].1;
+            match heap.peek() {
+                None => break,
+                Some(top) if top.bound.total_cmp(&kth) == Ordering::Less => break,
+                _ => {}
+            }
+        }
+        let Some(state) = heap.pop() else { break };
+        let depth = state.indices.len();
+        if depth == n {
+            // Complete states pop in (score desc, indices asc) order among
+            // themselves: their bound equals their exact score.
+            complete.push((state.indices, state.score));
+            continue;
+        }
+        stats.expanded += 1;
+        for (i, opt) in option_sets[depth].iter().enumerate() {
+            let score = state.score * opt.weight;
+            let mut indices = Vec::with_capacity(depth + 1);
+            indices.extend_from_slice(&state.indices);
+            indices.push(i as u32);
+            let bound = completion_bound(score, &ranges[depth + 1..]);
+            heap.push(Frontier { bound, score, indices });
+        }
+    }
+    stats.pruned = heap.len() as u64;
+    // Interleaved incomplete states can emit a smaller-indexed tie-mate
+    // after a larger-indexed equal-scored one; canonicalize.
+    complete.sort_by(|(ia, a), (ib, b)| b.total_cmp(a).then_with(|| ia.cmp(ib)));
+    complete.truncate(max);
+    (complete, stats)
+}
+
+/// The paper's cartesian product, kept as the differential reference.
+///
+/// Materializes every combination and truncates to `max` **on final scores
+/// only**. The previous implementation truncated mid-fold by partial
+/// score, which is unsound: a combination's rank after later triples'
+/// weights multiply in is unrelated to its partial rank (negative or tied
+/// weights invert it outright), so an eventually-top-ranked combination
+/// could be silently dropped and the output was not an exact top-`max` of
+/// the product.
+fn cartesian_topk(
+    option_sets: &[Vec<TripleOption>],
+    max: usize,
+) -> (Vec<(Vec<u32>, f64)>, PlanStats) {
+    let mut combos: Vec<(Vec<u32>, f64)> = vec![(Vec::new(), 1.0)];
+    let mut stats = PlanStats { expanded: 1, ..PlanStats::default() };
+    for set in option_sets {
         let mut next = Vec::with_capacity(combos.len() * set.len());
         for (indices, score) in &combos {
             for (i, opt) in set.iter().enumerate() {
-                let mut idx = indices.clone();
-                idx.push(i);
+                let mut idx = Vec::with_capacity(indices.len() + 1);
+                idx.extend_from_slice(indices);
+                idx.push(i as u32);
                 next.push((idx, score * opt.weight));
             }
         }
         combos = next;
-        // Keep the product bounded as we go.
-        combos.sort_by(|(_, a), (_, b)| b.total_cmp(a));
-        combos.truncate(max.max(1));
+        stats.expanded += combos.len() as u64;
     }
+    // Stable sort: equal scores keep lexicographic generation order — the
+    // same deterministic tie-break as the beam planner.
+    combos.sort_by(|(_, a), (_, b)| b.total_cmp(a));
+    stats.pruned = combos.len().saturating_sub(max) as u64;
+    combos.truncate(max);
+    (combos, stats)
+}
 
+/// Renders ranked assignments into SPARQL. The fixed-line prefix is
+/// rendered once and shared; each option's line was rendered once at
+/// option construction. Adjacent duplicates (same SPARQL text) collapse to
+/// the highest-ranked occurrence.
+fn render_combos(
+    analysis: &QuestionAnalysis,
+    fixed_lines: &[String],
+    option_sets: &[Vec<TripleOption>],
+    combos: &[(Vec<u32>, f64)],
+) -> Vec<BuiltQuery> {
+    let prefix = fixed_lines.join(" ");
     let mut out: Vec<BuiltQuery> = combos
-        .into_iter()
+        .iter()
         .map(|(indices, score)| {
-            let mut lines = fixed_lines.clone();
+            let mut body = prefix.clone();
             for (set, &i) in option_sets.iter().zip(indices.iter()) {
-                lines.push(set[i].line.clone());
+                if !body.is_empty() {
+                    body.push(' ');
+                }
+                body.push_str(&set[i as usize].line);
             }
-            let body = lines.join(" ");
             let sparql = if analysis.ask {
                 format!("ASK {{ {body} }}")
             } else {
                 format!("SELECT DISTINCT ?x WHERE {{ {body} }}")
             };
-            BuiltQuery { sparql, score }
+            BuiltQuery { sparql, score: *score }
         })
         .collect();
-    out.sort_by(|a, b| b.score.total_cmp(&a.score));
     out.dedup_by(|a, b| a.sparql == b.sparql);
     out
 }
@@ -131,6 +400,11 @@ fn triple_option(
             }
         }
     };
+    // Canonicalize NaN weights (0/0 pattern normalizations) to the positive
+    // quiet NaN so `total_cmp` ranks every NaN state identically and the
+    // planner's completion bounds saturate instead of mis-pruning.
+    let weight = candidate.weight * orientation_factor;
+    let weight = if weight.is_nan() { f64::NAN } else { weight };
 
     let prop_iri = dbont::iri(&candidate.property);
     if candidate.is_data {
@@ -144,10 +418,7 @@ fn triple_option(
             return None;
         }
         let s = render_slot(eff_subject);
-        return Some(TripleOption {
-            line: format!("{s} <{prop_iri}> ?x ."),
-            weight: candidate.weight * orientation_factor,
-        });
+        return Some(TripleOption { line: format!("{s} <{prop_iri}> ?x ."), weight });
     }
 
     let def = kb.ontology.object_properties.iter().find(|p| p.name == candidate.property)?;
@@ -158,10 +429,7 @@ fn triple_option(
     }
     let s = render_slot(eff_subject);
     let o = render_slot(eff_object);
-    Some(TripleOption {
-        line: format!("{s} <{prop_iri}> {o} ."),
-        weight: candidate.weight * orientation_factor,
-    })
+    Some(TripleOption { line: format!("{s} <{prop_iri}> {o} ."), weight })
 }
 
 /// Domain/range compatibility: an entity slot must carry a class related to
@@ -368,6 +636,148 @@ mod tests {
         // Product space is bounded by the requested cap.
         let capped = build_queries(&f.kb, &analysis, &mapped, 2);
         assert!(capped.len() <= 2);
+    }
+
+    #[test]
+    fn beam_matches_cartesian_on_pipeline_questions() {
+        let f = fixture();
+        let mapper = Mapper {
+            kb: &f.kb,
+            wordnet: embedded(),
+            patterns: &f.patterns,
+            similar_pairs: &f.pairs,
+            config: MappingConfig::default(),
+        };
+        for question in [
+            "Which book is written by Orhan Pamuk?",
+            "Where did Abraham Lincoln die?",
+            "How tall is Michael Jordan?",
+            "Is Ankara the capital of Turkey?",
+            "Who wrote Snow?",
+        ] {
+            let analysis = extract(&relpat_nlp::parse_sentence(question)).unwrap();
+            let mapped = mapper.map(&analysis).unwrap();
+            for max in [1, 2, 3, 50] {
+                let (beam, _) = build_queries_planned(
+                    &f.kb, &analysis, &mapped, max, PlannerStrategy::Beam,
+                );
+                let (cart, _) = build_queries_planned(
+                    &f.kb, &analysis, &mapped, max, PlannerStrategy::CartesianExhaustive,
+                );
+                assert_eq!(beam, cart, "{question} max={max}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_cannot_drop_an_eventually_top_combination() {
+        // Regression for the bounded-product ranking bug: with `max = 2`,
+        // the old fold kept only the two best *partial* scores after the
+        // first triple (publisher 5, director 4) and dropped author (−10) —
+        // whose product with the second triple's author (−8) is the global
+        // maximum (+80). Truncating on final scores (cartesian) or bounding
+        // the frontier admissibly (beam) must both keep it.
+        use crate::mapping::{CandidateSource, MappedSlot, PropertyCandidate, ResolvedEntity};
+        let f = fixture();
+        let pamuk = ResolvedEntity {
+            iri: relpat_rdf::Iri::new(relpat_rdf::vocab::res::iri("Orhan Pamuk")),
+            label: "Orhan Pamuk".into(),
+            score: 1.0,
+        };
+        let cand = |prop: &str, w: f64| PropertyCandidate {
+            property: prop.into(),
+            is_data: false,
+            preferred_inverse: Some(false),
+            weight: w,
+            source: CandidateSource::RelationalPattern,
+        };
+        let mapped = crate::mapping::MappedQuestion {
+            triples: vec![
+                crate::mapping::MappedTriple::Relation {
+                    subject: MappedSlot::Var,
+                    object: MappedSlot::Entity(pamuk.clone()),
+                    candidates: vec![
+                        cand("author", -10.0),
+                        cand("publisher", 5.0),
+                        cand("director", 4.0),
+                    ],
+                },
+                crate::mapping::MappedTriple::Relation {
+                    subject: MappedSlot::Var,
+                    object: MappedSlot::Entity(pamuk),
+                    candidates: vec![cand("author", -8.0), cand("publisher", 1.0)],
+                },
+            ],
+        };
+        let analysis = extract(&relpat_nlp::parse_sentence(
+            "Which book is written by Orhan Pamuk?",
+        ))
+        .unwrap();
+        for strategy in [PlannerStrategy::Beam, PlannerStrategy::CartesianExhaustive] {
+            let (queries, _) = build_queries_planned(&f.kb, &analysis, &mapped, 2, strategy);
+            assert!(
+                (queries[0].score - 80.0).abs() < 1e-9,
+                "{strategy:?} dropped the (-10 × -8) combination: {queries:#?}"
+            );
+            assert!(
+                queries[0].sparql.matches("/author>").count() == 2,
+                "{strategy:?}: {}",
+                queries[0].sparql
+            );
+        }
+    }
+
+    #[test]
+    fn beam_prunes_states_the_cartesian_product_materializes() {
+        // A wide two-triple lattice with a clear ranking: the beam search
+        // must prove the top-3 without expanding everything the cartesian
+        // fold materializes, and both must emit the identical queries.
+        use crate::mapping::{CandidateSource, MappedSlot, PropertyCandidate, ResolvedEntity};
+        let f = fixture();
+        let pamuk = ResolvedEntity {
+            iri: relpat_rdf::Iri::new(relpat_rdf::vocab::res::iri("Orhan Pamuk")),
+            label: "Orhan Pamuk".into(),
+            score: 1.0,
+        };
+        let props = ["author", "publisher", "director", "starring", "capital", "spouse"];
+        let cands = |base: f64| -> Vec<PropertyCandidate> {
+            props
+                .iter()
+                .enumerate()
+                .map(|(i, p)| PropertyCandidate {
+                    property: (*p).into(),
+                    is_data: false,
+                    preferred_inverse: Some(false),
+                    weight: base / (i + 1) as f64,
+                    source: CandidateSource::RelationalPattern,
+                })
+                .collect()
+        };
+        let relation = |c: Vec<PropertyCandidate>| crate::mapping::MappedTriple::Relation {
+            subject: MappedSlot::Var,
+            object: MappedSlot::Entity(pamuk.clone()),
+            candidates: c,
+        };
+        let mapped = crate::mapping::MappedQuestion {
+            triples: vec![relation(cands(64.0)), relation(cands(32.0))],
+        };
+        let analysis = extract(&relpat_nlp::parse_sentence(
+            "Which book is written by Orhan Pamuk?",
+        ))
+        .unwrap();
+        let (beam, beam_stats) =
+            build_queries_planned(&f.kb, &analysis, &mapped, 3, PlannerStrategy::Beam);
+        let (cart, cart_stats) = build_queries_planned(
+            &f.kb, &analysis, &mapped, 3, PlannerStrategy::CartesianExhaustive,
+        );
+        assert_eq!(beam, cart);
+        assert_eq!(beam.len(), 3);
+        assert!(
+            beam_stats.expanded < cart_stats.expanded,
+            "beam {beam_stats:?} vs cartesian {cart_stats:?}"
+        );
+        assert!(beam_stats.pruned > 0, "{beam_stats:?}");
+        assert_eq!(beam_stats.emitted, 3);
     }
 
     #[test]

@@ -223,11 +223,14 @@ fn render_terms(kb: &KnowledgeBase, terms: &[Term]) -> String {
 /// `queries.*` come from the (thread-local) response trace; `patterns.*`
 /// come from the trace in sequential runs and from a store-wide delta in
 /// parallel ones (see [`run_benchmark_with`]).
-const TRACE_COUNTERS: [&str; 8] = [
+const TRACE_COUNTERS: [&str; 11] = [
     "queries.built",
     "queries.executed",
     "queries.survived",
     "queries.failed",
+    "qa.plan.expanded",
+    "qa.plan.pruned",
+    "qa.plan.emitted",
     "patterns.phrase_hits",
     "patterns.phrase_misses",
     "patterns.word_hits",
@@ -260,6 +263,9 @@ fn record_trace(
     local.counter("queries.executed").add(trace.queries_executed);
     local.counter("queries.survived").add(trace.queries_survived);
     local.counter("queries.failed").add(trace.queries_failed);
+    local.counter("qa.plan.expanded").add(trace.plan_expanded);
+    local.counter("qa.plan.pruned").add(trace.plan_pruned);
+    local.counter("qa.plan.emitted").add(trace.plan_emitted);
     if with_patterns {
         local.counter("patterns.phrase_hits").add(trace.pattern_lookups.phrase_hits);
         local.counter("patterns.phrase_misses").add(trace.pattern_lookups.phrase_misses);

@@ -812,20 +812,20 @@ mod tests {
         let sols = kb
             .query("SELECT ?x { ?x rdf:type dbont:Book . ?x dbont:author res:Orhan_Pamuk }")
             .unwrap()
-            .expect_solutions();
+            .into_solutions().unwrap();
         assert_eq!(sols.len(), 3);
         // Michael Jordan's height (the basketball player holds the
         // qualified IRI; the scientist namesake was minted first).
         let sols = kb
             .query("SELECT ?h { <http://dbpedia.org/resource/Michael_Jordan_(2)> dbont:height ?h }")
             .unwrap()
-            .expect_solutions();
+            .into_solutions().unwrap();
         assert_eq!(sols.first().unwrap().as_literal().unwrap().as_f64(), Some(1.98));
         // Where did Abraham Lincoln die.
         let sols = kb
             .query("SELECT ?p { res:Abraham_Lincoln dbont:deathPlace ?p }")
             .unwrap()
-            .expect_solutions();
+            .into_solutions().unwrap();
         assert_eq!(kb.label_of(sols.first().unwrap().as_iri().unwrap()), Some("Washington"));
     }
 

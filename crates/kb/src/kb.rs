@@ -297,7 +297,7 @@ mod tests {
         let sols = kb
             .query("SELECT ?x { ?x dbont:author res:Orhan_Pamuk }")
             .unwrap()
-            .expect_solutions();
+            .into_solutions().unwrap();
         assert_eq!(sols.len(), 1);
     }
 

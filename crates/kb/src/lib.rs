@@ -11,7 +11,7 @@
 //! let kb = generate(&KbConfig::tiny());
 //! let sols = kb.query(
 //!     "SELECT ?x { ?x rdf:type dbont:Book . ?x dbont:author res:Orhan_Pamuk }"
-//! ).unwrap().expect_solutions();
+//! ).unwrap().into_solutions().unwrap();
 //! assert_eq!(sols.len(), 3);
 //! ```
 

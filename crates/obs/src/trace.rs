@@ -100,8 +100,19 @@ pub struct QuestionTrace {
     /// Mapped triples with per-slot candidates (§2.2); empty when mapping
     /// failed or was never reached.
     pub triples: Vec<TraceTriple>,
-    /// Candidate queries built by the cartesian expansion (§2.3).
+    /// Candidate queries built by the query planner (§2.3).
     pub queries_built: u64,
+    /// Planner strategy that built the queries (`beam`, `cartesian`);
+    /// `None` when planning was never reached.
+    pub planner: Option<String>,
+    /// Assignment states the planner branched on (beam: frontier pops;
+    /// cartesian: combinations materialized by the fold).
+    pub plan_expanded: u64,
+    /// Assignment states discarded without exploration (beam: frontier
+    /// leftover once the top-k was proved; cartesian: final truncation).
+    pub plan_pruned: u64,
+    /// Complete ranked assignments emitted as queries (pre-dedup).
+    pub plan_emitted: u64,
     /// Queries actually sent to the SPARQL engine.
     pub queries_executed: u64,
     /// Queries whose solutions survived execution + type checking.
@@ -197,6 +208,10 @@ impl QuestionTrace {
             .set("extraction", opt(&self.extraction))
             .set("triples", Json::Arr(triples))
             .set("queries_built", self.queries_built)
+            .set("planner", opt(&self.planner))
+            .set("plan_expanded", self.plan_expanded)
+            .set("plan_pruned", self.plan_pruned)
+            .set("plan_emitted", self.plan_emitted)
             .set("queries_executed", self.queries_executed)
             .set("queries_survived", self.queries_survived)
             .set("queries_failed", self.queries_failed)
@@ -252,6 +267,13 @@ impl QuestionTrace {
         }
         if self.queries_built > 0 {
             let _ = writeln!(out, "\n§2.3 Candidate queries ({}):", self.queries_built);
+            if let Some(planner) = &self.planner {
+                let _ = writeln!(
+                    out,
+                    "  planner {planner}: {} expanded, {} pruned, {} emitted",
+                    self.plan_expanded, self.plan_pruned, self.plan_emitted
+                );
+            }
             for (score, sparql) in self.top_queries.iter().take(5) {
                 let _ = writeln!(out, "  [{score:>8.1}] {sparql}");
             }
@@ -324,6 +346,10 @@ mod tests {
             },
         ];
         t.queries_built = 4;
+        t.planner = Some("beam".to_string());
+        t.plan_expanded = 3;
+        t.plan_pruned = 2;
+        t.plan_emitted = 4;
         t.queries_executed = 4;
         t.queries_survived = 1;
         t.queries_failed = 1;
@@ -344,9 +370,17 @@ mod tests {
     #[test]
     fn render_walks_every_stage() {
         let text = sample().render();
-        for marker in
-            ["§2.1", "rdf:type", "§2.2", "dbont:author", "§2.3", "Answer", "Snow", "Timings"]
-        {
+        for marker in [
+            "§2.1",
+            "rdf:type",
+            "§2.2",
+            "dbont:author",
+            "§2.3",
+            "planner beam: 3 expanded, 2 pruned, 4 emitted",
+            "Answer",
+            "Snow",
+            "Timings",
+        ] {
             assert!(text.contains(marker), "missing {marker:?} in:\n{text}");
         }
     }
@@ -376,6 +410,10 @@ mod tests {
         assert_eq!(parsed.get("question").and_then(Json::as_str), Some(t.question.as_str()));
         assert_eq!(parsed.get("stage").and_then(Json::as_str), Some("Answered"));
         assert_eq!(parsed.get("queries_built").and_then(Json::as_u64), Some(4));
+        assert_eq!(parsed.get("planner").and_then(Json::as_str), Some("beam"));
+        assert_eq!(parsed.get("plan_expanded").and_then(Json::as_u64), Some(3));
+        assert_eq!(parsed.get("plan_pruned").and_then(Json::as_u64), Some(2));
+        assert_eq!(parsed.get("plan_emitted").and_then(Json::as_u64), Some(4));
         assert_eq!(parsed.get("queries_survived").and_then(Json::as_u64), Some(1));
         assert_eq!(parsed.get("queries_failed").and_then(Json::as_u64), Some(1));
         let triples = parsed.get("triples").and_then(Json::as_array).unwrap();

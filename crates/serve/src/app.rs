@@ -14,6 +14,7 @@ use relpat_obs::{
     TraceStore, TraceStoreConfig,
 };
 use relpat_qa::{Pipeline, Stage};
+use relpat_sparql::QueryResult;
 
 use crate::http::{Request, Response};
 
@@ -75,6 +76,7 @@ impl App {
             }
             ("GET", "/debug/store") => self.handle_debug_store(),
             ("POST", "/answer") => self.handle_answer(req),
+            ("POST", "/sparql") => self.handle_sparql(req),
             ("GET", "/traces") => self.handle_traces_list(req),
             ("GET", path) if path.starts_with("/traces/") => self.handle_trace_get(path),
             ("GET", "/events/tail") => {
@@ -150,6 +152,78 @@ impl App {
                 Json::Arr(response.trace.plans.iter().map(|p| p.to_json()).collect()),
             );
         }
+        Response::json(200, &body)
+    }
+
+    /// `POST /sparql` — raw SPARQL over the loaded KB. Body:
+    /// `{"query": "...", "expect": "solutions" | "boolean"}` (`expect`
+    /// optional). When `expect` names a result kind the query doesn't
+    /// produce, the fallible accessors turn the mismatch into a 400 error
+    /// response — the worker thread survives to serve the next request.
+    fn handle_sparql(&self, req: &Request) -> Response {
+        let Some(pipeline) = self.pipeline.get() else {
+            return Response::error(503, "pipeline still loading");
+        };
+        let Some(body) = req.body_str() else {
+            return Response::error(400, "body is not UTF-8");
+        };
+        let (query, expect) = match Json::parse(body) {
+            Ok(json) => {
+                let query = match json.get("query").and_then(Json::as_str) {
+                    Some(q) if !q.trim().is_empty() => q.to_string(),
+                    _ => return Response::error(400, "missing \"query\" field"),
+                };
+                (query, json.get("expect").and_then(Json::as_str).map(str::to_string))
+            }
+            Err(e) => return Response::error(400, &format!("invalid JSON: {e}")),
+        };
+        counter!("serve.sparql");
+        let result = match pipeline.kb().query(&query) {
+            Ok(r) => r,
+            Err(e) => return Response::error(400, &e.to_string()),
+        };
+        let result = match expect.as_deref() {
+            Some("solutions") => match result.into_solutions() {
+                Ok(s) => QueryResult::Solutions(s),
+                Err(e) => return Response::error(400, &e.to_string()),
+            },
+            Some("boolean") => match result.into_boolean() {
+                Ok(b) => QueryResult::Boolean(b),
+                Err(e) => return Response::error(400, &e.to_string()),
+            },
+            Some(other) => {
+                return Response::error(
+                    400,
+                    &format!("unknown \"expect\" kind {other:?} (use \"solutions\" or \"boolean\")"),
+                )
+            }
+            None => result,
+        };
+        let body = match result {
+            QueryResult::Boolean(b) => Json::obj().set("kind", "boolean").set("value", b),
+            QueryResult::Solutions(sols) => {
+                let variables =
+                    sols.variables.iter().map(|v| Json::from(v.as_str())).collect();
+                let rows = sols
+                    .rows
+                    .iter()
+                    .map(|row| {
+                        Json::Arr(
+                            row.iter()
+                                .map(|cell| match cell {
+                                    Some(term) => Json::from(term.to_string().as_str()),
+                                    None => Json::Null,
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect();
+                Json::obj()
+                    .set("kind", "solutions")
+                    .set("variables", Json::Arr(variables))
+                    .set("rows", Json::Arr(rows))
+            }
+        };
         Response::json(200, &body)
     }
 
@@ -285,5 +359,17 @@ mod tests {
     fn debug_store_requires_a_loaded_pipeline() {
         let app = App::new(TraceStoreConfig::default());
         assert_eq!(app.handle(&get("/debug/store")).status, 503);
+    }
+
+    #[test]
+    fn sparql_requires_a_loaded_pipeline() {
+        let app = App::new(TraceStoreConfig::default());
+        let req = Request {
+            method: "POST".into(),
+            path: "/sparql".into(),
+            query: Vec::new(),
+            body: br#"{"query": "ASK { ?s ?p ?o }"}"#.to_vec(),
+        };
+        assert_eq!(app.handle(&req).status, 503);
     }
 }

@@ -132,6 +132,30 @@ fn full_telemetry_plane_over_loopback() {
         }
     }
 
+    // Raw SPARQL endpoint: a SELECT round-trips; asking for the wrong
+    // result kind is a 400 error *response* (the fallible accessors), and
+    // the worker that served it survives to answer the next request —
+    // a kind mismatch used to be a panic in library code.
+    let select = r#"{"query": "SELECT ?x WHERE { ?x <http://dbpedia.org/ontology/author> <http://dbpedia.org/resource/Orhan_Pamuk> . }"}"#;
+    let (status, body) = post(addr, "/sparql", select);
+    assert_eq!(status, 200, "{body}");
+    let json = Json::parse(&body).unwrap();
+    assert_eq!(json.get("kind").and_then(Json::as_str), Some("solutions"));
+    assert!(!json.get("rows").and_then(Json::as_array).unwrap().is_empty(), "{body}");
+
+    let mismatch = r#"{"query": "SELECT ?x WHERE { ?x <http://dbpedia.org/ontology/author> <http://dbpedia.org/resource/Orhan_Pamuk> . }", "expect": "boolean"}"#;
+    let (status, body) = post(addr, "/sparql", mismatch);
+    assert_eq!(status, 400, "kind mismatch must be an error response: {body}");
+    assert!(body.contains("mismatch"), "{body}");
+
+    // Not a dead server: the same endpoint keeps serving afterwards.
+    let ask = r#"{"query": "ASK { <http://dbpedia.org/resource/Snow> <http://dbpedia.org/ontology/author> <http://dbpedia.org/resource/Orhan_Pamuk> . }", "expect": "boolean"}"#;
+    let (status, body) = post(addr, "/sparql", ask);
+    assert_eq!(status, 200, "server must survive the mismatch: {body}");
+    let json = Json::parse(&body).unwrap();
+    assert_eq!(json.get("kind").and_then(Json::as_str), Some("boolean"));
+    assert_eq!(json.get("value").and_then(Json::as_bool), Some(true), "{body}");
+
     // Store health: /debug/store and the /metrics gauges report the same
     // levels.
     let (status, body) = get(addr, "/debug/store");
@@ -189,6 +213,15 @@ fn full_telemetry_plane_over_loopback() {
     assert!(requests_after > requests_before, "{requests_before} -> {requests_after}");
     assert_eq!(metric_value(&after, "serve_answers_total"), Some(answers_before + 4.0));
     assert_eq!(metric_value(&after, "serve_answer_ns_count"), Some(4.0));
+    // The query planner's work counters surface in the exposition once
+    // answers have been served.
+    for name in ["qa_plan_expanded_total", "qa_plan_pruned_total", "qa_plan_emitted_total"] {
+        assert!(after.contains(&format!("# TYPE {name} counter")), "missing counter {name}");
+    }
+    assert!(
+        metric_value(&after, "qa_plan_emitted_total").unwrap() > 0.0,
+        "answers must have exercised the planner"
+    );
     assert!(after.contains("# TYPE serve_answer_ns histogram"));
     assert!(after.contains("serve_answer_ns_bucket{le=\"+Inf\"} 4"));
 

@@ -11,6 +11,10 @@ pub enum SparqlError {
     /// expressions, division by zero). Inside `FILTER` these remove the row
     /// rather than failing the query, per SPARQL error semantics.
     Eval(String),
+    /// A [`QueryResult`](crate::QueryResult) of the wrong kind was consumed
+    /// — an `ASK` result read as solutions, or a `SELECT` result read as a
+    /// boolean.
+    ResultKind { expected: &'static str, got: &'static str },
 }
 
 impl SparqlError {
@@ -28,6 +32,9 @@ impl fmt::Display for SparqlError {
         match self {
             SparqlError::Parse(m) => write!(f, "SPARQL parse error: {m}"),
             SparqlError::Eval(m) => write!(f, "SPARQL evaluation error: {m}"),
+            SparqlError::ResultKind { expected, got } => {
+                write!(f, "SPARQL result kind mismatch: expected {expected}, got {got}")
+            }
         }
     }
 }

@@ -27,19 +27,44 @@ pub enum QueryResult {
 }
 
 impl QueryResult {
-    /// The solutions of a `SELECT`; panics on an `ASK` result.
-    pub fn expect_solutions(self) -> Solutions {
+    /// The solutions of a `SELECT`; fails with
+    /// [`SparqlError::ResultKind`] on an `ASK` result. Library code must
+    /// never panic on a kind mismatch — whether a query is `SELECT` or
+    /// `ASK` is ultimately caller input (it can arrive over HTTP), so the
+    /// mismatch is an error value to route, not a process abort.
+    pub fn into_solutions(self) -> Result<Solutions, SparqlError> {
         match self {
-            QueryResult::Solutions(s) => s,
-            QueryResult::Boolean(_) => panic!("expected solutions, got boolean"),
+            QueryResult::Solutions(s) => Ok(s),
+            QueryResult::Boolean(_) => {
+                Err(SparqlError::ResultKind { expected: "solutions", got: "boolean" })
+            }
         }
     }
 
-    /// The boolean of an `ASK`; panics on a `SELECT` result.
-    pub fn expect_boolean(self) -> bool {
+    /// The boolean of an `ASK`; fails with [`SparqlError::ResultKind`] on a
+    /// `SELECT` result.
+    pub fn into_boolean(self) -> Result<bool, SparqlError> {
         match self {
-            QueryResult::Boolean(b) => b,
-            QueryResult::Solutions(_) => panic!("expected boolean, got solutions"),
+            QueryResult::Boolean(b) => Ok(b),
+            QueryResult::Solutions(_) => {
+                Err(SparqlError::ResultKind { expected: "boolean", got: "solutions" })
+            }
+        }
+    }
+
+    /// Borrowing view of the solutions, `None` on an `ASK` result.
+    pub fn as_solutions(&self) -> Option<&Solutions> {
+        match self {
+            QueryResult::Solutions(s) => Some(s),
+            QueryResult::Boolean(_) => None,
+        }
+    }
+
+    /// The boolean of an `ASK`, `None` on a `SELECT` result.
+    pub fn as_boolean(&self) -> Option<bool> {
+        match self {
+            QueryResult::Boolean(b) => Some(*b),
+            QueryResult::Solutions(_) => None,
         }
     }
 }
@@ -798,7 +823,7 @@ mod tests {
     }
 
     fn select(g: &Graph, q: &str) -> Solutions {
-        query(g, q).unwrap().expect_solutions()
+        query(g, q).unwrap().into_solutions().unwrap()
     }
 
     #[test]
@@ -816,10 +841,10 @@ mod tests {
         let g = library();
         assert!(query(&g, "ASK { res:Snow dbont:writer res:Orhan_Pamuk }")
             .unwrap()
-            .expect_boolean());
+            .into_boolean().unwrap());
         assert!(!query(&g, "ASK { res:Solaris dbont:writer res:Orhan_Pamuk }")
             .unwrap()
-            .expect_boolean());
+            .into_boolean().unwrap());
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //!
 //! let result = query(&g, "SELECT ?x WHERE { ?x rdf:type dbont:Book . \
 //!                         ?x dbont:writer res:Orhan_Pamuk . }").unwrap();
-//! assert_eq!(result.expect_solutions().len(), 1);
+//! assert_eq!(result.into_solutions().unwrap().len(), 1);
 //! ```
 
 pub mod ast;

@@ -79,7 +79,7 @@ fn golden_explain_rendering_is_stable() {
     let _guard = exec_lock();
     let g = library();
     let (result, trace) = query_traced(&g, QUERY).expect("query runs");
-    assert_eq!(result.clone().expect_solutions().len(), 3);
+    assert_eq!(result.clone().into_solutions().unwrap().len(), 3);
     // Both patterns estimate 3 rows (3 typed books, 3 authored books); the
     // tie keeps the type pattern first, and once ?x is bound the author
     // pattern's score drops to 0.30 (one bound variable → ×0.1).

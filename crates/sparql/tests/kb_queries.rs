@@ -76,7 +76,7 @@ fn order_by_returns_extremes_first() {
          ORDER BY DESC(?p) LIMIT 3",
     )
     .unwrap()
-    .expect_solutions();
+    .into_solutions().unwrap();
     let pops: Vec<i64> = result
         .rows
         .iter()
@@ -102,14 +102,14 @@ fn ask_over_optional_union() {
         "ASK { { res:Snow dbont:author ?w } UNION { res:Snow dbont:writer ?w } }",
     )
     .unwrap()
-    .expect_boolean();
+    .into_boolean().unwrap();
     assert!(t);
     let f = query(
         &kb().graph,
         "ASK { res:Snow dbont:director ?d }",
     )
     .unwrap()
-    .expect_boolean();
+    .into_boolean().unwrap();
     assert!(!f);
 }
 

@@ -16,7 +16,7 @@ fn scanned() -> u64 {
 /// Runs a query and returns (rows produced, rows scanned by its joins).
 fn run(g: &Graph, q: &str) -> (usize, u64) {
     let before = scanned();
-    let rows = query(g, q).unwrap().expect_solutions().rows.len();
+    let rows = query(g, q).unwrap().into_solutions().unwrap().rows.len();
     (rows, scanned() - before)
 }
 
@@ -70,7 +70,7 @@ fn bare_limit_stops_the_scan_early() {
 
     // ASK uses the same early-stop path (limit 1).
     let before = scanned();
-    assert!(query(&g, "ASK { ?x rdf:type dbont:Book }").unwrap().expect_boolean());
+    assert!(query(&g, "ASK { ?x rdf:type dbont:Book }").unwrap().into_boolean().unwrap());
     assert_eq!(scanned() - before, 1, "ASK should stop at the first match");
 
     // A filter blocks pushdown: the limit must not starve the filter of

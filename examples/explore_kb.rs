@@ -54,7 +54,7 @@ fn main() {
     let sols = kb
         .query("SELECT ?x WHERE { ?x rdf:type dbont:Book . ?x dbont:author res:Orhan_Pamuk . }")
         .unwrap()
-        .expect_solutions();
+        .into_solutions().unwrap();
     print!("{}", sols.to_table());
 
     println!("\nAmbiguous labels (disambiguation test cases):");

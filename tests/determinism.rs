@@ -60,7 +60,7 @@ fn seeds_control_the_world() {
         let sols = kb
             .query("SELECT ?x { ?x dbont:author res:Orhan_Pamuk }")
             .unwrap()
-            .expect_solutions();
+            .into_solutions().unwrap();
         assert_eq!(sols.len(), 3);
     }
 }

@@ -96,7 +96,7 @@ fn superlatives_agree_with_direct_queries() {
     ] {
         let r = extended().answer(question);
         assert_eq!(r.stage, Stage::Answered, "{question}");
-        let gold = kb.query(gold_query).unwrap().expect_solutions();
+        let gold = kb.query(gold_query).unwrap().into_solutions().unwrap();
         let gold_iri = gold.first().unwrap().as_iri().unwrap().clone();
         match &r.answer.as_ref().unwrap().value {
             AnswerValue::Terms(ts) => {
@@ -114,7 +114,7 @@ fn count_answers_match_gold_counts() {
     let gold = kb
         .query("SELECT (COUNT(?x) AS ?c) { ?x rdf:type dbont:Book . ?x dbont:author res:Orhan_Pamuk }")
         .unwrap()
-        .expect_solutions();
+        .into_solutions().unwrap();
     let gold_count = gold.first().unwrap().as_literal().unwrap().as_i64().unwrap();
     match &r.answer.as_ref().unwrap().value {
         AnswerValue::Terms(ts) => {

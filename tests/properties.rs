@@ -153,12 +153,12 @@ fn sparql_spo_query_agrees_with_store() {
         for t in &triples {
             g.insert(t);
         }
-        let sols = query(&g, "SELECT ?s ?p ?o { ?s ?p ?o }").unwrap().expect_solutions();
+        let sols = query(&g, "SELECT ?s ?p ?o { ?s ?p ?o }").unwrap().into_solutions().unwrap();
         assert_eq!(sols.len(), g.len());
         // A bound-subject query returns exactly that subject's triples.
         let subject = &triples[0].subject;
         let q = format!("SELECT ?p ?o {{ <{}> ?p ?o }}", subject.as_iri().unwrap().as_str());
-        let bound = query(&g, &q).unwrap().expect_solutions();
+        let bound = query(&g, &q).unwrap().into_solutions().unwrap();
         assert_eq!(bound.len(), g.triples_matching(Some(subject), None, None).len());
     });
 }
@@ -174,7 +174,7 @@ fn sparql_limit_caps_results() {
         }
         let sols = query(&g, &format!("SELECT ?s {{ ?s ?p ?o }} LIMIT {limit}"))
             .unwrap()
-            .expect_solutions();
+            .into_solutions().unwrap();
         assert!(sols.len() <= limit);
         assert_eq!(sols.len(), limit.min(g.len()));
     });

@@ -19,7 +19,7 @@ fn turtle_to_sparql_round_trip() {
     assert_eq!(load_turtle(&mut g, doc).unwrap(), 6);
 
     let result = query(&g, "SELECT ?x { ?x dbont:author res:Orhan_Pamuk }").unwrap();
-    let sols = result.expect_solutions();
+    let sols = result.into_solutions().unwrap();
     assert_eq!(sols.len(), 1);
 
     // Serialize → reparse → same answers.
@@ -28,7 +28,7 @@ fn turtle_to_sparql_round_trip() {
     load_turtle(&mut g2, &ttl).unwrap();
     let sols2 = query(&g2, "SELECT ?x { ?x dbont:author res:Orhan_Pamuk }")
         .unwrap()
-        .expect_solutions();
+        .into_solutions().unwrap();
     assert_eq!(sols.rows, sols2.rows);
 }
 
@@ -44,8 +44,8 @@ fn ntriples_preserves_generated_kb() {
     }
     // The reloaded graph answers the paper query identically.
     let q = "SELECT ?x { ?x rdf:type dbont:Book . ?x dbont:author res:Orhan_Pamuk }";
-    let a = kb.query(q).unwrap().expect_solutions();
-    let b = query(&g2, q).unwrap().expect_solutions();
+    let a = kb.query(q).unwrap().into_solutions().unwrap();
+    let b = query(&g2, q).unwrap().into_solutions().unwrap();
     assert_eq!(a.len(), b.len());
 }
 
@@ -115,7 +115,7 @@ fn ask_and_select_agree_on_facts() {
     let sols = kb
         .query("SELECT ?x { ?x dbont:author res:Orhan_Pamuk }")
         .unwrap()
-        .expect_solutions();
+        .into_solutions().unwrap();
     for row in &sols.rows {
         let iri = row[0].as_ref().unwrap().as_iri().unwrap();
         let ask = kb
