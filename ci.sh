@@ -32,6 +32,9 @@ cargo test -q -p relpat-sparql --test streaming
 echo "=== explain-plan golden + allocation overhead gate ==="
 cargo test -q -p relpat-sparql --test explain
 
+echo "=== join equivalence gate (merge/gallop vs nested oracle) ==="
+cargo test -q -p relpat-sparql --test join_equivalence
+
 echo "=== prometheus exposition audit gate ==="
 cargo test -q -p relpat-obs every_exposition_family_has_help_and_type
 

@@ -12,7 +12,7 @@
 
 use relpat_bench::scaling::{QUERIES, SMOKE_TIERS, TIERS};
 use relpat_bench::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use relpat_kb::{generate, KbConfig};
+use relpat_kb::{generate, KbConfig, DEFAULT_KB_FINGERPRINT};
 
 fn smoke() -> bool {
     std::env::args().any(|a| a == "--smoke")
@@ -27,6 +27,15 @@ fn bench_store(c: &mut Criterion) {
         let config = KbConfig::scaled(factor);
         let kb = generate(&config);
         let triples = kb.len() as u64;
+        if factor == 1 {
+            // The smoke gate doubles as the generator's byte-identity guard:
+            // scaled(1) == default config, so its fingerprint is pinned.
+            assert_eq!(
+                kb.fingerprint(),
+                DEFAULT_KB_FINGERPRINT,
+                "default-scale KB drifted from the pinned fingerprint"
+            );
+        }
 
         group.throughput(Throughput::Elements(triples));
         // Re-generating the 100k/1M KBs per sample would dominate the run;

@@ -94,6 +94,22 @@ fn main() {
         "{expanded} lattice states expanded, {pruned_states} pruned unexplored, {emitted} queries emitted\n"
     );
 
+    let (merge, gallop, nested) = (
+        report.stats.counter("sparql.join.merge"),
+        report.stats.counter("sparql.join.gallop"),
+        report.stats.counter("sparql.join.nested"),
+    );
+    let steps = merge + gallop + nested;
+    let share = |n: u64| if steps == 0 { 0.0 } else { n as f64 / steps as f64 * 100.0 };
+    println!("--- SPARQL join operators (sparql.join.*) ---\n");
+    println!(
+        "{steps} join steps: {merge} merge ({:.1}%), {gallop} gallop ({:.1}%), \
+         {nested} nested ({:.1}%)\n",
+        share(merge),
+        share(gallop),
+        share(nested)
+    );
+
     println!("--- Process-global metrics snapshot ---\n");
     let snapshot = relpat_obs::global().snapshot();
     println!("{}", snapshot.to_json().to_pretty());
@@ -177,7 +193,11 @@ fn run_scaling_study(path: &str) {
             report.factor, report.triples, report.entities, report.build_ms
         );
         for q in &report.queries {
-            println!("  {:<16} p50 {:>10.1} µs   p99 {:>10.1} µs", q.name, q.p50_us, q.p99_us);
+            println!(
+                "  {:<16} p50 {:>10.1} µs   p99 {:>10.1} µs   nested p50 {:>10.1} µs   \
+                 scanned {:>9} vs {:>9} nested",
+                q.name, q.p50_us, q.p99_us, q.p50_nested_us, q.rows_scanned, q.rows_scanned_nested
+            );
         }
         reports.push(report);
     }

@@ -304,6 +304,36 @@ fn judge_question(
     }
 }
 
+/// Join-operator totals (`sparql.join.*`) sampled from the process-global
+/// registry. Like `planner.misestimates`, these are attributed to a run by
+/// a before/after delta — the executor bumps one of the three per join
+/// step, so the split shows how often the sorted operators actually fired.
+#[derive(Debug, Clone, Copy, Default)]
+struct JoinCounters {
+    merge: u64,
+    gallop: u64,
+    nested: u64,
+}
+
+impl JoinCounters {
+    fn sample() -> Self {
+        let global = relpat_obs::global();
+        JoinCounters {
+            merge: global.counter_value("sparql.join.merge"),
+            gallop: global.counter_value("sparql.join.gallop"),
+            nested: global.counter_value("sparql.join.nested"),
+        }
+    }
+
+    fn delta_since(self, before: JoinCounters) -> JoinCounters {
+        JoinCounters {
+            merge: self.merge.saturating_sub(before.merge),
+            gallop: self.gallop.saturating_sub(before.gallop),
+            nested: self.nested.saturating_sub(before.nested),
+        }
+    }
+}
+
 /// Assembles the final report from judged results and the merged registry.
 /// `planner_misestimates` is the run's delta of the global
 /// `planner.misestimates` counter — join steps whose actual scan cost blew
@@ -315,6 +345,7 @@ fn assemble_report(
     cache_delta: relpat_sparql::CacheStats,
     index_delta: relpat_kb::IndexLookupStats,
     planner_misestimates: u64,
+    join_delta: JoinCounters,
 ) -> Report {
     let answered = results.iter().filter(|r| r.answered).count();
     let correct = results.iter().filter(|r| r.correct).count();
@@ -325,6 +356,9 @@ fn assemble_report(
     counters.push(("sparql.cache.hits".to_string(), cache_delta.hits));
     counters.push(("sparql.cache.misses".to_string(), cache_delta.misses));
     counters.push(("planner.misestimates".to_string(), planner_misestimates));
+    counters.push(("sparql.join.merge".to_string(), join_delta.merge));
+    counters.push(("sparql.join.gallop".to_string(), join_delta.gallop));
+    counters.push(("sparql.join.nested".to_string(), join_delta.nested));
     counters.push(("map.index.probed".to_string(), index_delta.probed));
     counters.push(("map.index.pruned".to_string(), index_delta.pruned));
     counters.push(("map.index.scored".to_string(), index_delta.scored));
@@ -370,6 +404,7 @@ pub fn run_benchmark_with(
     // into it; within `relpat-eval` and the CLIs nothing else executes
     // queries while a benchmark runs.
     let misestimates_before = relpat_obs::global().counter_value("planner.misestimates");
+    let joins_before = JoinCounters::sample();
     let threads = threads.max(1).min(evaluated.len().max(1));
 
     if threads == 1 {
@@ -388,7 +423,10 @@ pub fn run_benchmark_with(
         let misestimates = relpat_obs::global()
             .counter_value("planner.misestimates")
             .saturating_sub(misestimates_before);
-        return assemble_report(&local, &stage_order, results, cache_delta, index_delta, misestimates);
+        let joins = JoinCounters::sample().delta_since(joins_before);
+        return assemble_report(
+            &local, &stage_order, results, cache_delta, index_delta, misestimates, joins,
+        );
     }
 
     let patterns_before = pipeline.patterns().lookup_stats();
@@ -441,7 +479,8 @@ pub fn run_benchmark_with(
     let misestimates = relpat_obs::global()
         .counter_value("planner.misestimates")
         .saturating_sub(misestimates_before);
-    assemble_report(&merged, &stage_order, results, cache_delta, index_delta, misestimates)
+    let joins = JoinCounters::sample().delta_since(joins_before);
+    assemble_report(&merged, &stage_order, results, cache_delta, index_delta, misestimates, joins)
 }
 
 #[cfg(test)]
@@ -634,6 +673,27 @@ mod tests {
             Some(r.stats.counter("planner.misestimates"))
         );
         assert!(r.stats.render().contains("planner.misestimates"));
+    }
+
+    #[test]
+    fn report_surfaces_join_operator_split() {
+        let r = report();
+        // Every BGP step bumps exactly one of the three operators; the run
+        // executes plenty of queries, and its two-pattern joins (type +
+        // property) ride the sorted-merge path on the frozen KB.
+        let (merge, gallop, nested) = (
+            r.stats.counter("sparql.join.merge"),
+            r.stats.counter("sparql.join.gallop"),
+            r.stats.counter("sparql.join.nested"),
+        );
+        assert!(nested > 0, "first steps always scan nested");
+        assert!(merge > 0, "no query took the sort-merge path");
+        let value = Json::parse(&r.to_json()).unwrap();
+        let counters = value.get("observability").and_then(|o| o.get("counters")).unwrap();
+        assert_eq!(counters.get("sparql.join.merge").and_then(Json::as_u64), Some(merge));
+        assert_eq!(counters.get("sparql.join.gallop").and_then(Json::as_u64), Some(gallop));
+        assert_eq!(counters.get("sparql.join.nested").and_then(Json::as_u64), Some(nested));
+        assert!(r.stats.render().contains("sparql.join.merge"));
     }
 
     #[test]

@@ -112,6 +112,13 @@ impl KbConfig {
     }
 }
 
+/// Pinned fingerprint of the default-scale knowledge base
+/// ([`KbConfig::default`], equivalently `KbConfig::scaled(1)`). Generator
+/// refactors that only touch the large-scale fallback paths (where the name
+/// pools are exhausted) must keep this byte-identical; the store-scaling
+/// smoke gate asserts it on every CI run.
+pub const DEFAULT_KB_FINGERPRINT: u64 = 0x382b_011a_6e07_1b92;
+
 /// Generates the knowledge base.
 pub fn generate(config: &KbConfig) -> KnowledgeBase {
     let mut gen = Generator::new(config.clone());
@@ -137,6 +144,13 @@ struct Generator {
     universities: Vec<Iri>,
     rivers: Vec<Iri>,
     famous_athlete: Option<Iri>,
+    /// Persistent positions in the deterministic fallback name/title walks.
+    /// Restarting the walk per call (the old `k = used.len()` scheme) made
+    /// every post-exhaustion draw re-scan the same occupied prefix, turning
+    /// generation quadratic past ~1.2M triples; the cursors keep the walk
+    /// amortized O(1) per draw at any scale.
+    name_cursor: usize,
+    title_cursor: usize,
 }
 
 impl Generator {
@@ -157,6 +171,8 @@ impl Generator {
             universities: Vec::new(),
             rivers: Vec::new(),
             famous_athlete: None,
+            name_cursor: 0,
+            title_cursor: 0,
         }
     }
 
@@ -471,12 +487,15 @@ impl Generator {
                 return name;
             }
         }
-        // Pool exhausted (huge scale factors): deterministic middle initial.
-        // The initial-based scheme cycles after |F|·|L|·13 names, so a
-        // numeral-qualified variant backs it up — that keeps the candidate
-        // space unbounded and the loop provably terminating at any scale.
-        let mut k = used.len();
+        // Pool exhausted (huge scale factors): indexed walk over a
+        // deterministic middle-initial scheme, with a numeral-qualified
+        // variant backing it up so the candidate space is unbounded. The
+        // cursor persists across calls — every index is visited at most
+        // once over the whole generation, so the walk stays amortized O(1)
+        // per draw instead of re-scanning the occupied prefix each call.
         loop {
+            let k = self.name_cursor;
+            self.name_cursor += 1;
             let f = names::FIRST_NAMES[k % names::FIRST_NAMES.len()];
             let l = names::LAST_NAMES[(k / names::FIRST_NAMES.len()) % names::LAST_NAMES.len()];
             let initial = (b'A' + (k % 26) as u8) as char;
@@ -488,7 +507,6 @@ impl Generator {
             if used.insert(name.clone()) {
                 return name;
             }
-            k += 1;
         }
     }
 
@@ -508,15 +526,15 @@ impl Generator {
                 return candidate;
             }
         }
-        let mut k = used.len();
         loop {
+            let k = self.title_cursor;
+            self.title_cursor += 1;
             let a = names::TITLE_ADJECTIVES[k % names::TITLE_ADJECTIVES.len()];
             let n = names::TITLE_NOUNS[(k / names::TITLE_ADJECTIVES.len()) % names::TITLE_NOUNS.len()];
             let candidate = format!("The {a} {n} {k}");
             if used.insert(candidate.clone()) {
                 return candidate;
             }
-            k += 1;
         }
     }
 
@@ -796,6 +814,63 @@ mod tests {
         let b = generate(&KbConfig::tiny());
         assert_eq!(a.len(), b.len());
         assert_eq!(a.entity_count(), b.entity_count());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn default_scale_kb_matches_the_pinned_fingerprint() {
+        // The rejection-sampling fast path never exhausts its pools at
+        // default scale, so the persistent-cursor fallback must leave the
+        // default KB byte-identical to the pre-refactor generator.
+        let kb = generate(&KbConfig::default());
+        assert_eq!(
+            kb.fingerprint(),
+            DEFAULT_KB_FINGERPRINT,
+            "default-scale KB drifted from the pinned fingerprint"
+        );
+    }
+
+    #[test]
+    fn name_fallback_walk_is_unique_and_single_pass() {
+        // Force the fallback by pre-filling `used` with every 2-part name
+        // the rejection sampler could draw; the indexed walk must mint
+        // unique names while visiting each cursor index at most once.
+        let mut gen = Generator::new(KbConfig::tiny());
+        let mut used: FxHashSet<String> = FxHashSet::default();
+        for f in names::FIRST_NAMES {
+            for l in names::LAST_NAMES {
+                used.insert(format!("{f} {l}"));
+            }
+        }
+        let saturated = used.len();
+        let draws = 5_000;
+        for _ in 0..draws {
+            let name = gen.person_name(&mut used);
+            assert!(used.contains(&name));
+        }
+        assert_eq!(used.len(), saturated + draws, "every draw minted a fresh name");
+        // Each cursor index yields at most two candidates and is never
+        // revisited, so the walk length is linear in the number of draws —
+        // the old per-call `k = used.len()` restart re-scanned this prefix
+        // on every draw.
+        assert!(
+            gen.name_cursor <= draws,
+            "cursor advanced {} times for {draws} draws",
+            gen.name_cursor
+        );
+        let mut titles: FxHashSet<String> = FxHashSet::default();
+        for a in names::TITLE_ADJECTIVES {
+            for n in names::TITLE_NOUNS {
+                titles.insert(format!("The {a} {n}"));
+                titles.insert(format!("{a} {n}"));
+            }
+        }
+        let saturated = titles.len();
+        for _ in 0..draws {
+            gen.title(&mut titles);
+        }
+        assert_eq!(titles.len(), saturated + draws);
+        assert_eq!(gen.title_cursor, draws, "numbered titles collide with nothing");
     }
 
     #[test]
@@ -875,3 +950,4 @@ mod tests {
         assert!(kb.are_linked(&pamuk, &snow));
     }
 }
+

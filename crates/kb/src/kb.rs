@@ -208,6 +208,30 @@ impl KnowledgeBase {
         self.labels.len()
     }
 
+    /// Order-sensitive FNV-1a hash over every triple's rendered form. The
+    /// frozen graph iterates in a deterministic (SPO-sorted) order, so two
+    /// byte-identical knowledge bases — same triples, same interning — hash
+    /// equal. Guards generator refactors: the default-scale KB's fingerprint
+    /// is pinned in `relpat_kb::generate` and checked by the scaling smoke
+    /// gate.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        let mut buf = String::new();
+        for t in self.graph.iter() {
+            buf.clear();
+            use std::fmt::Write;
+            let _ = writeln!(buf, "{} {} {}", t.subject, t.predicate, t.object);
+            eat(buf.as_bytes());
+        }
+        hash
+    }
+
     /// Persists the knowledge base as N-Triples (deterministic ordering).
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
         relpat_rdf::save_ntriples(&self.graph, path)

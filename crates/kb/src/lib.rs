@@ -23,7 +23,7 @@ mod ontology;
 mod qald;
 mod stats;
 
-pub use generate::{generate, KbConfig};
+pub use generate::{generate, KbConfig, DEFAULT_KB_FINGERPRINT};
 pub use kb::{normalize_label, KnowledgeBase};
 pub use lexical::{split_camel_case, IndexLookupStats, LexStats, LexicalIndex};
 pub use names::AMBIGUOUS_CITY;

@@ -62,7 +62,7 @@ pub use metrics::{
     global, render_prometheus, Counter, Gauge, Histogram, HistogramSummary, MetricsRegistry,
     MetricsSnapshot,
 };
-pub use plan::{PlanStep, PlanTrace, QueryPlan};
+pub use plan::{JoinAlgo, PlanStep, PlanTrace, QueryPlan};
 pub use rng::Rng;
 pub use span::Span;
 pub use trace::{PatternLookupStats, QuestionTrace, StageTiming, TraceAnswer, TraceCandidate, TraceTriple};

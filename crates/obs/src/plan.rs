@@ -14,6 +14,36 @@
 
 use crate::json::Json;
 
+/// Join operator the executor ran for one step.
+///
+/// `Nested` is the always-correct fallback (bindings × scan, one slice
+/// relocation per probe row). `Merge` exploits bindings sorted on the join
+/// variable: one forward cursor walks the frozen slice in step with the
+/// binding stream, locating each distinct key's range once. `Gallop` covers
+/// unsorted bindings: probe keys are deduplicated and sorted, then each
+/// distinct key's range is located once by `partition_point` searches over a
+/// strictly shrinking tail. The planner picks per step; the executor may
+/// downgrade to `Nested` at run time (live overlay, LIMIT pushdown) and the
+/// recorded value is always the operator that actually ran.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum JoinAlgo {
+    #[default]
+    Nested,
+    Merge,
+    Gallop,
+}
+
+impl JoinAlgo {
+    /// Stable lowercase name used in renderings, JSON and counter names.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JoinAlgo::Nested => "nested",
+            JoinAlgo::Merge => "merge",
+            JoinAlgo::Gallop => "gallop",
+        }
+    }
+}
+
 /// One executed join step: planner prediction vs. measured reality.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlanStep {
@@ -30,8 +60,13 @@ pub struct PlanStep {
     /// Selectivity-adjusted score the planner ranked by:
     /// `estimate / 10^(bound variable positions)`.
     pub score: f64,
-    /// Rows the step's scans actually visited (across all probe bindings).
+    /// Rows the step's scans actually visited. Nested-loop steps count every
+    /// slice row touched per probe binding; merge/gallop steps locate each
+    /// distinct probe key's range once and count its rows once, so this is
+    /// never larger than the nested cost of the same step.
     pub rows_scanned: u64,
+    /// The join operator that actually executed this step.
+    pub join_algo: JoinAlgo,
     /// Bindings the step emitted into the next join step.
     pub bindings_emitted: usize,
     /// Wall-clock time spent in the step, in nanoseconds.
@@ -49,6 +84,7 @@ impl PlanStep {
             .set("estimate", self.estimate)
             .set("score", Json::Num(self.score))
             .set("rows_scanned", self.rows_scanned)
+            .set("join_algo", self.join_algo.as_str())
             .set("bindings_emitted", self.bindings_emitted)
             .set("nanos", self.nanos)
             .set("limit_pushdown", self.limit_pushdown)
@@ -109,13 +145,14 @@ impl PlanTrace {
         for s in &self.steps {
             let _ = writeln!(
                 out,
-                "  #{} {}  est={} score={:.2} scanned={} emitted={}{}",
+                "  #{} {}  est={} score={:.2} scanned={} emitted={} algo={}{}",
                 s.position,
                 s.pattern,
                 s.estimate,
                 s.score,
                 s.rows_scanned,
                 s.bindings_emitted,
+                s.join_algo.as_str(),
                 if s.limit_pushdown { " [pushdown]" } else { "" },
             );
         }
@@ -153,6 +190,7 @@ mod tests {
                     estimate: 2,
                     score: 2.0,
                     rows_scanned: 2,
+                    join_algo: JoinAlgo::Nested,
                     bindings_emitted: 2,
                     nanos: 1234,
                     limit_pushdown: false,
@@ -164,6 +202,7 @@ mod tests {
                     estimate: 3,
                     score: 0.3,
                     rows_scanned: 2,
+                    join_algo: JoinAlgo::Merge,
                     bindings_emitted: 2,
                     nanos: 567,
                     limit_pushdown: true,
@@ -188,6 +227,8 @@ mod tests {
         assert!(json.contains("\"rows_scanned\":4"), "{json}");
         assert!(json.contains("\"limit_pushdown\":true"), "{json}");
         assert!(json.contains("\"nanos\":1234"), "{json}");
+        assert!(json.contains("\"join_algo\":\"nested\""), "{json}");
+        assert!(json.contains("\"join_algo\":\"merge\""), "{json}");
     }
 
     #[test]
@@ -196,8 +237,8 @@ mod tests {
         assert_eq!(
             text,
             "plan: 2 steps, 4 rows scanned, 0 misestimates\n\
-             \x20 #0 ?x <w> <p> .  est=2 score=2.00 scanned=2 emitted=2\n\
-             \x20 #1 ?x <t> <B> .  est=3 score=0.30 scanned=2 emitted=2 [pushdown]\n"
+             \x20 #0 ?x <w> <p> .  est=2 score=2.00 scanned=2 emitted=2 algo=nested\n\
+             \x20 #1 ?x <t> <B> .  est=3 score=0.30 scanned=2 emitted=2 algo=merge [pushdown]\n"
         );
         assert!(!text.contains("1234"), "nanos must not leak into the stable rendering");
     }

@@ -456,6 +456,7 @@ mod tests {
                     estimate: 1,
                     score: 1.0,
                     rows_scanned: 1,
+                    join_algo: crate::plan::JoinAlgo::Nested,
                     bindings_emitted: 1,
                     nanos: 99,
                     limit_pushdown: false,

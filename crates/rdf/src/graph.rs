@@ -118,6 +118,21 @@ fn route(pattern: IdPattern) -> (usize, [u32; 3], usize) {
     }
 }
 
+/// The SPO position (0 = subject, 1 = predicate, 2 = object) that a scan of
+/// `pattern` is primarily sorted by: the first *free* component of the routed
+/// permutation. `None` for a fully bound point probe. This is the sortedness
+/// fact merge joins build on — [`Graph::scan_iter`] and [`FrozenProbe`] both
+/// yield a pattern's matches ascending by this position's term id.
+pub fn sort_major_position(pattern: IdPattern) -> Option<usize> {
+    let (perm, _, prefix_len) = route(pattern);
+    if prefix_len == 3 {
+        return None;
+    }
+    // Component order of each permutation, expressed as SPO positions.
+    const ORDER: [[usize; 3]; 3] = [[0, 1, 2], [1, 2, 0], [2, 0, 1]];
+    Some(ORDER[perm][prefix_len])
+}
+
 /// The contiguous `[lo, hi)` slice of a sorted flat index whose entries start
 /// with `key[..len]` — two `partition_point` binary searches, O(log n).
 #[inline]
@@ -401,6 +416,23 @@ impl Graph {
         self.scan_iter(pattern).collect()
     }
 
+    /// Routes a pattern *shape* (only the `Some`/`None` skeleton matters) to
+    /// its frozen permutation index for batched prefix probes: callers build
+    /// a permuted key per concrete pattern via [`FrozenProbe::key`] and
+    /// locate each key's slice with [`FrozenProbe::bounds_from`], reusing
+    /// sorted-key monotonicity to shrink every search tail.
+    ///
+    /// Returns `None` while the overlay holds pending inserts or tombstones:
+    /// raw slice access cannot see them, so callers must fall back to the
+    /// merging [`Graph::scan_iter`].
+    pub fn frozen_probe(&self, shape: IdPattern) -> Option<FrozenProbe<'_>> {
+        if self.overlay_len() != 0 {
+            return None;
+        }
+        let (perm, _, prefix_len) = route(shape);
+        Some(FrozenProbe { index: &self.frozen[perm], perm, prefix_len })
+    }
+
     /// Exact number of matches for a pattern, used by the query planner.
     /// On a frozen graph this is two `partition_point` binary searches —
     /// O(log n) with no range walking. With a live overlay it additionally
@@ -560,6 +592,59 @@ impl Iterator for ScanIter<'_> {
         let delta = self.delta_next.is_some() as usize;
         // Tombstones can only shrink the frozen stream.
         (delta, Some(frozen + delta + self.delta.size_hint().1.unwrap_or(0)))
+    }
+}
+
+/// A read-only handle on one frozen permutation index, routed for a fixed
+/// pattern shape. Obtained from [`Graph::frozen_probe`], which refuses to
+/// hand one out while the delta/tombstone overlay is non-empty — the whole
+/// point of the type is raw sorted-slice access without overlay merging.
+#[derive(Debug, Clone, Copy)]
+pub struct FrozenProbe<'a> {
+    index: &'a [[u32; 3]],
+    perm: usize,
+    prefix_len: usize,
+}
+
+impl FrozenProbe<'_> {
+    /// Number of bound positions in the routed shape (the permuted key
+    /// prefix length searches compare on).
+    pub fn prefix_len(&self) -> usize {
+        self.prefix_len
+    }
+
+    /// Entries in the underlying permutation index.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The permuted search key for a concrete pattern of this probe's shape.
+    pub fn key(&self, pattern: IdPattern) -> [u32; 3] {
+        let (perm, key, len) = route(pattern);
+        debug_assert_eq!(
+            (perm, len),
+            (self.perm, self.prefix_len),
+            "pattern shape must match the probe's routed shape"
+        );
+        key
+    }
+
+    /// `[lo, hi)` bounds of the entries whose first `prefix_len` components
+    /// equal `key`'s, searching only `[from..]`. Callers probing keys in
+    /// ascending order pass the previous range's end as `from`, so each
+    /// `partition_point` pair gallops over a strictly shrinking tail.
+    pub fn bounds_from(&self, from: usize, key: [u32; 3]) -> (usize, usize) {
+        let (lo, hi) = prefix_bounds(&self.index[from..], key, self.prefix_len);
+        (from + lo, from + hi)
+    }
+
+    /// The SPO reading of index entry `i`.
+    pub fn triple(&self, i: usize) -> IdTriple {
+        unpermute(self.perm, self.index[i])
     }
 }
 
@@ -897,6 +982,67 @@ mod tests {
         assert_eq!(field("delta"), "4");
         assert_eq!(field("tombstones"), "0");
         assert!(field("nanos").parse::<u64>().unwrap() > 0);
+    }
+
+    #[test]
+    fn sort_major_position_matches_scan_order() {
+        let mut g = Graph::new();
+        for i in [4u32, 1, 7, 2] {
+            for j in [3u32, 0, 5] {
+                g.add(
+                    Term::iri(format!("s{i}")),
+                    Term::iri(format!("p{j}")),
+                    Term::iri(format!("o{}", (i + j) % 4)),
+                );
+            }
+        }
+        g.freeze();
+        let s = g.term_id(&Term::iri("s4")).unwrap();
+        let p = g.term_id(&Term::iri("p3")).unwrap();
+        let o = g.term_id(&Term::iri("o3")).unwrap();
+        for &pat in &all_shapes(s, p, o) {
+            let major = sort_major_position(pat);
+            if pat.bound_count() == 3 {
+                assert_eq!(major, None);
+                continue;
+            }
+            let major = major.expect("non-point patterns have a sort-major position");
+            // The routed major position must be a free one, and the scan
+            // must come back ascending by it.
+            let bound = [pat.subject, pat.predicate, pat.object];
+            assert!(bound[major].is_none(), "major position must be free: {pat:?}");
+            let ids: Vec<u32> = g
+                .scan(pat)
+                .iter()
+                .map(|&(s, p, o)| [s.0, p.0, o.0][major])
+                .collect();
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            assert_eq!(ids, sorted, "scan of {pat:?} not sorted on position {major}");
+        }
+    }
+
+    #[test]
+    fn frozen_probe_bounds_match_scan() {
+        let mut g = sample_graph();
+        let writer = g.term_id(&Term::iri(dbont::iri("writer"))).unwrap();
+        let snow = g.term_id(&Term::iri(res::iri("Snow"))).unwrap();
+        let pamuk = g.term_id(&Term::iri(res::iri("Orhan Pamuk"))).unwrap();
+        assert!(
+            g.frozen_probe(IdPattern { subject: None, predicate: None, object: None }).is_none(),
+            "a live overlay must refuse raw probes"
+        );
+        g.freeze();
+        for &pat in &all_shapes(snow, writer, pamuk) {
+            let probe = g.frozen_probe(pat).expect("frozen graph probes");
+            let key = probe.key(pat);
+            let (lo, hi) = probe.bounds_from(0, key);
+            let via_probe: Vec<IdTriple> = (lo..hi).map(|i| probe.triple(i)).collect();
+            assert_eq!(via_probe, g.scan(pat), "probe slice must equal scan for {pat:?}");
+            // Restarting the search mid-index at the slice's own start
+            // finds the same bounds (the tail-shrinking contract).
+            assert_eq!(probe.bounds_from(lo, key), (lo, hi));
+        }
     }
 
     #[test]

@@ -39,7 +39,9 @@ mod turtle;
 pub mod vocab;
 
 pub use error::RdfError;
-pub use graph::{Graph, GraphStats, IdPattern, IdTriple, ScanIter, Triple};
+pub use graph::{
+    sort_major_position, FrozenProbe, Graph, GraphStats, IdPattern, IdTriple, ScanIter, Triple,
+};
 pub use interner::{Interner, TermId};
 pub use io::{load_path, save_ntriples, save_turtle};
 pub use ntriples::{parse_ntriples, to_ntriples};

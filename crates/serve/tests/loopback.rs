@@ -222,6 +222,21 @@ fn full_telemetry_plane_over_loopback() {
         metric_value(&after, "qa_plan_emitted_total").unwrap() > 0.0,
         "answers must have exercised the planner"
     );
+    // The join-operator split reaches the exposition: every executed BGP
+    // step bumps exactly one of the three, first steps are always nested
+    // scans, and the Table-2 joins (type + property on a frozen store) ride
+    // the sort-merge path.
+    for name in ["sparql_join_merge_total", "sparql_join_nested_total"] {
+        assert!(after.contains(&format!("# TYPE {name} counter")), "missing counter {name}");
+    }
+    assert!(
+        metric_value(&after, "sparql_join_nested_total").unwrap() > 0.0,
+        "first join steps always scan nested"
+    );
+    assert!(
+        metric_value(&after, "sparql_join_merge_total").unwrap() > 0.0,
+        "answers must have exercised the sort-merge operator"
+    );
     assert!(after.contains("# TYPE serve_answer_ns histogram"));
     assert!(after.contains("serve_answer_ns_bucket{le=\"+Inf\"} 4"));
 

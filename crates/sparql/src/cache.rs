@@ -1,12 +1,17 @@
-//! Thread-safe, bounded LRU cache for query execution.
+//! Thread-safe, bounded LRU cache for query execution, keyed on the
+//! canonical rendering of the parsed algebra.
 //!
 //! Candidate sets across questions repeat many type-constraint and label
-//! sub-queries verbatim, so caching on the canonical query text is a real
-//! hot-path win, not a micro-cache. A hit returns a clone of the stored
-//! [`QueryResult`] without touching the parser or the executor; a miss
-//! parses, executes, and (on success only) stores the parsed [`Query`] AST
-//! alongside the result. Failures are never cached — a malformed query
-//! re-reports its error on every attempt.
+//! sub-queries, so caching is a real hot-path win, not a micro-cache.
+//! Entries are keyed by the parsed [`Query`]'s canonical `Display` form
+//! (which round-trips to an equal AST), so syntactic variants of one query —
+//! whitespace, `WHERE` keyword, trailing dots — share a single entry and a
+//! single execution. A side table maps each raw text spelling to its
+//! canonical key, so repeat lookups of a known spelling skip the parser
+//! entirely. A hit returns a clone of the stored [`QueryResult`] without
+//! touching the executor; a miss parses, executes, and (on success only)
+//! stores the parsed [`Query`] AST alongside the result. Failures are never
+//! cached — a malformed query re-reports its error on every attempt.
 //!
 //! The cache assumes the graph it serves is immutable for its lifetime
 //! (the knowledge-base graphs are built once and then only read). Callers
@@ -75,7 +80,11 @@ struct Entry {
 
 #[derive(Debug, Default)]
 struct Inner {
+    /// Canonical query rendering → entry.
     map: FxHashMap<String, Entry>,
+    /// Raw text spelling → canonical key, so known spellings skip the
+    /// parser. Every value is a key of `map` (pruned on eviction/clear).
+    alias: FxHashMap<String, String>,
     tick: u64,
 }
 
@@ -110,17 +119,24 @@ impl QueryCache {
     /// cache. Increments `sparql.cache.hits` / `sparql.cache.misses` on the
     /// global [`relpat_obs`] registry as well as the local stats.
     pub fn query(&self, graph: &Graph, text: &str) -> Result<QueryResult, SparqlError> {
-        if let Some(result) = self.lookup(text) {
-            self.hits.fetch_add(1, Relaxed);
-            relpat_obs::counter!("sparql.cache.hits");
-            return Ok(result);
+        match self.lookup(text) {
+            Ok(Lookup::Hit(result)) => {
+                self.hits.fetch_add(1, Relaxed);
+                relpat_obs::counter!("sparql.cache.hits");
+                Ok(result)
+            }
+            Ok(Lookup::Miss { canon, parsed }) => {
+                self.miss();
+                let result = execute(graph, &parsed)?;
+                self.insert(text, canon, parsed, result.clone());
+                Ok(result)
+            }
+            Err(e) => {
+                // Unparseable text is a miss every time (never cached).
+                self.miss();
+                Err(e)
+            }
         }
-        self.misses.fetch_add(1, Relaxed);
-        relpat_obs::counter!("sparql.cache.misses");
-        let parsed = parse_query(text)?;
-        let result = execute(graph, &parsed)?;
-        self.insert(text, parsed, result.clone());
-        Ok(result)
     }
 
     /// Like [`query`](Self::query) but also returns the plan trace of the
@@ -133,23 +149,31 @@ impl QueryCache {
         graph: &Graph,
         text: &str,
     ) -> Result<(QueryResult, PlanTrace), SparqlError> {
-        if let Some(result) = self.lookup(text) {
-            self.hits.fetch_add(1, Relaxed);
-            relpat_obs::counter!("sparql.cache.hits");
-            return Ok((result, PlanTrace { cache_hit: true, ..PlanTrace::default() }));
+        match self.lookup(text) {
+            Ok(Lookup::Hit(result)) => {
+                self.hits.fetch_add(1, Relaxed);
+                relpat_obs::counter!("sparql.cache.hits");
+                Ok((result, PlanTrace { cache_hit: true, ..PlanTrace::default() }))
+            }
+            Ok(Lookup::Miss { canon, parsed }) => {
+                self.miss();
+                let (result, trace) = execute_traced(graph, &parsed)?;
+                self.insert(text, canon, parsed, result.clone());
+                Ok((result, trace))
+            }
+            Err(e) => {
+                self.miss();
+                Err(e)
+            }
         }
-        self.misses.fetch_add(1, Relaxed);
-        relpat_obs::counter!("sparql.cache.misses");
-        let parsed = parse_query(text)?;
-        let (result, trace) = execute_traced(graph, &parsed)?;
-        self.insert(text, parsed, result.clone());
-        Ok((result, trace))
     }
 
-    /// The cached parsed AST for `text`, if present. Does not touch the
-    /// LRU recency stamp or the hit/miss totals.
+    /// The cached parsed AST for `text` (any known spelling), if present.
+    /// Does not touch the LRU recency stamp or the hit/miss totals.
     pub fn parsed(&self, text: &str) -> Option<Query> {
-        self.inner.lock().expect("cache lock").map.get(text).map(|e| e.parsed.clone())
+        let inner = self.inner.lock().expect("cache lock");
+        let canon = inner.alias.get(text)?;
+        inner.map.get(canon.as_str()).map(|e| e.parsed.clone())
     }
 
     /// Cumulative hit/miss totals.
@@ -171,42 +195,104 @@ impl QueryCache {
         self.len() == 0
     }
 
-    /// Drops every entry (hit/miss totals are kept). Required after any
-    /// mutation of the graph this cache serves.
+    /// Drops every entry and spelling alias (hit/miss totals are kept).
+    /// Required after any mutation of the graph this cache serves.
     pub fn clear(&self) {
-        self.inner.lock().expect("cache lock").map.clear();
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.map.clear();
+        inner.alias.clear();
     }
 
-    fn lookup(&self, text: &str) -> Option<QueryResult> {
+    fn miss(&self) {
+        self.misses.fetch_add(1, Relaxed);
+        relpat_obs::counter!("sparql.cache.misses");
+    }
+
+    /// Two-stage lookup: a known spelling resolves through the alias table
+    /// without parsing; an unknown spelling is parsed and probed by its
+    /// canonical rendering (a hit there registers the new spelling). Only a
+    /// query absent under its canonical key is a true miss — the caller
+    /// executes it and hands the parts back to [`insert`](Self::insert).
+    fn lookup(&self, text: &str) -> Result<Lookup, SparqlError> {
+        {
+            let mut inner = self.inner.lock().expect("cache lock");
+            inner.tick += 1;
+            let tick = inner.tick;
+            let Inner { map, alias, .. } = &mut *inner;
+            if let Some(canon) = alias.get(text) {
+                if let Some(entry) = map.get_mut(canon.as_str()) {
+                    entry.last_used = tick;
+                    return Ok(Lookup::Hit(entry.result.clone()));
+                }
+            }
+        }
+        // Parse outside the lock; a hit under the canonical key is still a
+        // hit (the executor never ran), it just paid one parse to learn the
+        // spelling.
+        let parsed = parse_query(text)?;
+        let canon = parsed.to_string();
+        let mut inner = self.inner.lock().expect("cache lock");
+        let tick = inner.tick;
+        let Inner { map, alias, .. } = &mut *inner;
+        if let Some(entry) = map.get_mut(canon.as_str()) {
+            entry.last_used = tick;
+            let result = entry.result.clone();
+            Self::register_alias(alias, self.capacity, text, &canon);
+            return Ok(Lookup::Hit(result));
+        }
+        Ok(Lookup::Miss { canon, parsed })
+    }
+
+    fn insert(&self, text: &str, canon: String, parsed: Query, result: QueryResult) {
         let mut inner = self.inner.lock().expect("cache lock");
         inner.tick += 1;
         let tick = inner.tick;
-        let entry = inner.map.get_mut(text)?;
-        entry.last_used = tick;
-        Some(entry.result.clone())
-    }
-
-    fn insert(&self, text: &str, parsed: Query, result: QueryResult) {
-        let mut inner = self.inner.lock().expect("cache lock");
-        inner.tick += 1;
-        let tick = inner.tick;
-        if inner.map.len() >= self.capacity && !inner.map.contains_key(text) {
+        let capacity = self.capacity;
+        let Inner { map, alias, .. } = &mut *inner;
+        if map.len() >= capacity && !map.contains_key(&canon) {
             // Batch-evict the least-recently-used eighth so eviction cost
             // amortizes instead of paying a full scan per insert.
-            let mut stamps: Vec<u64> = inner.map.values().map(|e| e.last_used).collect();
+            let mut stamps: Vec<u64> = map.values().map(|e| e.last_used).collect();
             stamps.sort_unstable();
-            let cutoff = stamps[(self.capacity / 8).max(1) - 1];
-            let before = inner.map.len();
-            inner.map.retain(|_, e| e.last_used > cutoff);
+            let cutoff = stamps[(capacity / 8).max(1) - 1];
+            let before = map.len();
+            map.retain(|_, e| e.last_used > cutoff);
+            alias.retain(|_, c| map.contains_key(c));
             relpat_obs::jevent!(
                 relpat_obs::Level::Info, "sparql.cache.evict",
-                "evicted" => before - inner.map.len(),
-                "held" => inner.map.len(),
-                "capacity" => self.capacity,
+                "evicted" => before - map.len(),
+                "held" => map.len(),
+                "capacity" => capacity,
             );
         }
-        inner.map.insert(text.to_string(), Entry { parsed, result, last_used: tick });
+        Self::register_alias(alias, capacity, text, &canon);
+        map.insert(canon, Entry { parsed, result, last_used: tick });
     }
+
+    /// Records `text` as a spelling of `canon`. The alias table is bounded
+    /// independently of the entry map (spellings are unbounded in principle);
+    /// on overflow it is simply dropped — aliases re-register on demand at
+    /// the cost of one parse each.
+    fn register_alias(
+        alias: &mut FxHashMap<String, String>,
+        capacity: usize,
+        text: &str,
+        canon: &str,
+    ) {
+        if alias.len() >= capacity.saturating_mul(8) && !alias.contains_key(text) {
+            alias.clear();
+        }
+        if alias.get(text).map(String::as_str) != Some(canon) {
+            alias.insert(text.to_string(), canon.to_string());
+        }
+    }
+}
+
+/// Outcome of [`QueryCache::lookup`]: a cached result, or the parsed parts
+/// the caller needs to execute and insert.
+enum Lookup {
+    Hit(QueryResult),
+    Miss { canon: String, parsed: Query },
 }
 
 #[cfg(test)]
@@ -350,6 +436,29 @@ mod tests {
         assert_eq!(hit_trace.rows_scanned(), 0);
         assert_eq!(cache.query(&g, text).unwrap(), first);
         assert_eq!(cache.stats(), CacheStats { hits: 2, misses: 1 });
+    }
+
+    #[test]
+    fn syntactic_variants_share_one_entry() {
+        let g = graph();
+        let cache = QueryCache::new(8);
+        // Same query, three spellings: whitespace, WHERE keyword, trailing
+        // dot. All reduce to one canonical AST rendering.
+        let a = "SELECT ?x WHERE { ?x rdf:type dbont:Book . }";
+        let b = "SELECT ?x { ?x rdf:type dbont:Book }";
+        let c = "SELECT  ?x  WHERE  {  ?x  rdf:type  dbont:Book  }";
+        let first = cache.query(&g, a).unwrap();
+        assert_eq!(cache.query(&g, b).unwrap(), first);
+        assert_eq!(cache.query(&g, c).unwrap(), first);
+        assert_eq!(cache.len(), 1, "variants must share one canonical entry");
+        assert_eq!(
+            cache.stats(),
+            CacheStats { hits: 2, misses: 1 },
+            "only the first spelling executes; the others hit via the canonical key"
+        );
+        // Each spelling now resolves its AST without a fresh parse.
+        assert_eq!(cache.parsed(b), cache.parsed(a));
+        assert!(cache.parsed(b).is_some());
     }
 
     #[test]

@@ -1,8 +1,12 @@
-//! Query planner and executor.
+//! Query executor over the lowered algebra.
 //!
-//! Evaluation pipeline: plan the basic graph pattern with a greedy
-//! selectivity heuristic (exact O(log n) index estimates) → stream bindings
-//! through zero-allocation frozen-index slice scans, stopping mid-join for
+//! Evaluation pipeline: lower the parsed pattern into a planner-annotated
+//! [`Algebra`] tree ([`crate::algebra`]: greedy selectivity ordering with
+//! exact O(log n) index estimates, plus a join operator per step) →
+//! interpret the tree bottom-up, joining each BGP step with the operator
+//! the planner chose — sort-merge intersection when the binding stream is
+//! sorted on the join variable, batched galloping probes otherwise, the
+//! row-at-a-time nested loop as fallback — stopping mid-join for
 //! bare-LIMIT/ASK queries → apply filters → project → DISTINCT (hash dedup)
 //! → ORDER BY → OFFSET/LIMIT.
 
@@ -11,8 +15,9 @@ use std::time::Instant;
 
 use relpat_rdf::{Graph, IdPattern, Term, TermId};
 use relpat_obs::fx::{FxHashMap, FxHashSet};
-use relpat_obs::{PlanStep, PlanTrace};
+use relpat_obs::{JoinAlgo, PlanStep, PlanTrace};
 
+use crate::algebra::{lower_pattern, Algebra, LowerOpts, PlannedStep};
 use crate::ast::{
     ArithOp, CmpOp, Expr, GraphPattern, Projection, Query, SelectQuery, TriplePattern,
 };
@@ -75,7 +80,35 @@ impl QueryResult {
 /// `sparql.solutions` and records its latency in the `sparql.execute`
 /// histogram on the global [`relpat_obs`] registry (no-ops when disabled).
 pub fn execute(graph: &Graph, query: &Query) -> Result<QueryResult, SparqlError> {
-    execute_inner(graph, query, None)
+    execute_inner(graph, query, None, LowerOpts::default())
+}
+
+/// Nested-loop-only execution: plans the same join order as [`execute`] but
+/// pins every step to the nested fallback operator. The differential test
+/// suite uses it as the oracle the sorted operators must match bit-for-bit,
+/// and the scaling benchmark as the baseline they must beat. Not part of the
+/// supported API surface.
+#[doc(hidden)]
+pub fn execute_nested(graph: &Graph, query: &Query) -> Result<QueryResult, SparqlError> {
+    execute_inner(graph, query, None, LowerOpts { force_nested: true })
+}
+
+/// [`execute_nested`] with plan-trace collection.
+#[doc(hidden)]
+pub fn execute_nested_traced(
+    graph: &Graph,
+    query: &Query,
+) -> Result<(QueryResult, PlanTrace), SparqlError> {
+    let mut trace = PlanTrace::default();
+    let result = execute_inner(graph, query, Some(&mut trace), LowerOpts { force_nested: true })?;
+    Ok((result, trace))
+}
+
+/// Parse + [`execute_nested`] in one step.
+#[doc(hidden)]
+pub fn query_nested(graph: &Graph, text: &str) -> Result<QueryResult, SparqlError> {
+    let parsed = crate::parser::parse_query(text)?;
+    execute_nested(graph, &parsed)
 }
 
 /// [`execute`] with EXPLAIN ANALYZE collection: returns the result together
@@ -86,7 +119,7 @@ pub fn execute(graph: &Graph, query: &Query) -> Result<QueryResult, SparqlError>
 /// `None`, paying nothing per step.
 pub fn execute_traced(graph: &Graph, query: &Query) -> Result<(QueryResult, PlanTrace), SparqlError> {
     let mut trace = PlanTrace::default();
-    let result = execute_inner(graph, query, Some(&mut trace))?;
+    let result = execute_inner(graph, query, Some(&mut trace), LowerOpts::default())?;
     Ok((result, trace))
 }
 
@@ -94,18 +127,19 @@ fn execute_inner(
     graph: &Graph,
     query: &Query,
     trace: Option<&mut PlanTrace>,
+    opts: LowerOpts,
 ) -> Result<QueryResult, SparqlError> {
     let _timer = relpat_obs::span!("sparql.execute");
     relpat_obs::counter!("sparql.queries");
     match query {
         Query::Select(sel) => {
-            let sols = execute_select(graph, sel, trace)?;
+            let sols = execute_select(graph, sel, trace, opts)?;
             relpat_obs::counter!("sparql.solutions", sols.rows.len() as u64);
             Ok(QueryResult::Solutions(sols))
         }
         Query::Ask(ask) => {
-            let bindings = evaluate_pattern(graph, &ask.pattern, Some(1), trace)?;
-            Ok(QueryResult::Boolean(!bindings.rows.is_empty()))
+            let bindings = evaluate_pattern(graph, &ask.pattern, Some(1), trace, opts)?;
+            Ok(QueryResult::Boolean(!bindings.table.is_empty()))
         }
     }
 }
@@ -126,6 +160,7 @@ fn execute_select(
     graph: &Graph,
     sel: &SelectQuery,
     trace: Option<&mut PlanTrace>,
+    opts: LowerOpts,
 ) -> Result<Solutions, SparqlError> {
     // ORDER BY/OFFSET/LIMIT prevent early termination; only a bare LIMIT
     // (no ordering, no offset, no DISTINCT) can stop the BGP scan early.
@@ -138,23 +173,24 @@ fn execute_select(
     } else {
         None
     };
-    let evaluated = evaluate_pattern(graph, &sel.pattern, early_stop, trace)?;
+    let evaluated = evaluate_pattern(graph, &sel.pattern, early_stop, trace, opts)?;
 
     let pattern_vars = evaluated.variables;
-    let mut rows = evaluated.rows;
+    let table = evaluated.table;
 
     // Aggregate projection: COUNT collapses the solution sequence to one row.
+    // Runs entirely in id space — interning is injective, so distinctness of
+    // ids is distinctness of terms.
     if let Projection::Count { var, distinct, alias } = &sel.projection {
         let n = match var {
-            None => rows.len(),
+            None => table.len(),
             Some(v) => {
                 let Some(col) = pattern_vars.iter().position(|pv| pv == v) else {
                     return Err(SparqlError::eval(format!("COUNT of unknown variable ?{v}")));
                 };
-                let mut bound: Vec<&Term> =
-                    rows.iter().filter_map(|r| r[col].as_ref()).collect();
+                let mut bound: Vec<TermId> = table.iter().filter_map(|r| r[col]).collect();
                 if *distinct {
-                    bound.sort();
+                    bound.sort_unstable();
                     bound.dedup();
                 }
                 bound.len()
@@ -166,14 +202,30 @@ fn execute_select(
         });
     }
 
-    // ORDER BY before projection so keys may use unprojected variables.
+    // Projection.
+    let out_vars: Vec<String> = match &sel.projection {
+        Projection::All => pattern_vars.clone(),
+        Projection::Vars(vars) => vars.clone(),
+        // Handled by the aggregate branch above.
+        Projection::Count { .. } => unreachable!("COUNT projection returns early"),
+    };
+    let positions: Vec<Option<usize>> = out_vars
+        .iter()
+        .map(|v| pattern_vars.iter().position(|pv| pv == v))
+        .collect();
+
+    // ORDER BY keys may be arbitrary expressions over unprojected variables,
+    // so that path materializes every column up front and sorts term rows.
+    // The common unordered path stays in id space until the very end.
     if !sel.order_by.is_empty() {
         let index: FxHashMap<&str, usize> =
             pattern_vars.iter().enumerate().map(|(i, v)| (v.as_str(), i)).collect();
         type Decorated = (Vec<Option<Value>>, Vec<Option<Term>>);
-        let mut decorated: Vec<Decorated> = rows
-            .into_iter()
-            .map(|row| {
+        let mut decorated: Vec<Decorated> = table
+            .iter()
+            .map(|binding| {
+                let row: Vec<Option<Term>> =
+                    binding.iter().map(|id| id.map(|i| graph.term(i).clone())).collect();
                 let keys = sel
                     .order_by
                     .iter()
@@ -192,53 +244,151 @@ fn execute_select(
             }
             Ordering::Equal
         });
-        rows = decorated.into_iter().map(|(_, row)| row).collect();
+        let mut projected: Vec<Vec<Option<Term>>> = decorated
+            .into_iter()
+            .map(|(_, row)| {
+                positions.iter().map(|p| p.and_then(|i| row[i].clone())).collect()
+            })
+            .collect();
+
+        if sel.distinct {
+            // Hash-based stable dedup: first occurrence wins, preserving
+            // ORDER BY output order at O(1) per row instead of a linear
+            // rescan.
+            let mut seen: FxHashSet<Vec<Option<Term>>> = FxHashSet::default();
+            seen.reserve(projected.len());
+            projected.retain(|row| seen.insert(row.clone()));
+        }
+
+        let offset = sel.offset.unwrap_or(0);
+        if offset > 0 {
+            projected.drain(..offset.min(projected.len()));
+        }
+        if let Some(limit) = sel.limit {
+            projected.truncate(limit);
+        }
+        return Ok(Solutions { variables: out_vars, rows: projected });
     }
 
-    // Projection.
-    let out_vars: Vec<String> = match &sel.projection {
-        Projection::All => pattern_vars.clone(),
-        Projection::Vars(vars) => vars.clone(),
-        // Handled by the aggregate branch above.
-        Projection::Count { .. } => unreachable!("COUNT projection returns early"),
-    };
-    let positions: Vec<Option<usize>> = out_vars
-        .iter()
-        .map(|v| pattern_vars.iter().position(|pv| pv == v))
-        .collect();
-    let mut projected: Vec<Vec<Option<Term>>> = rows
-        .into_iter()
-        .map(|row| {
-            positions
-                .iter()
-                .map(|p| p.and_then(|i| row[i].clone()))
-                .collect()
+    // Id-space projection: copying column ids, never cloning terms.
+    let mut projected = IdTable::new(out_vars.len());
+    for row in table.iter() {
+        for p in &positions {
+            projected.data.push(p.and_then(|i| row[i]));
+        }
+        projected.rows += 1;
+    }
+
+    if sel.distinct {
+        // Stable dedup on id rows: hashing a few u32s per row, not strings.
+        let mut seen: FxHashSet<Vec<Option<TermId>>> = FxHashSet::default();
+        seen.reserve(projected.len());
+        projected.retain(|row| seen.insert(row.to_vec()));
+    }
+
+    // OFFSET/LIMIT pick the output window before any term is materialized;
+    // each surviving cell then pays for exactly one term clone.
+    let lo = sel.offset.unwrap_or(0).min(projected.len());
+    let hi = sel.limit.map_or(projected.len(), |l| lo.saturating_add(l).min(projected.len()));
+    let rows: Vec<Vec<Option<Term>>> = (lo..hi)
+        .map(|i| {
+            projected.row(i).iter().map(|id| id.map(|t| graph.term(t).clone())).collect()
         })
         .collect();
 
-    if sel.distinct {
-        // Hash-based stable dedup: first occurrence wins, preserving ORDER BY
-        // output order at O(1) per row instead of a linear rescan.
-        let mut seen: FxHashSet<Vec<Option<Term>>> = FxHashSet::default();
-        seen.reserve(projected.len());
-        projected.retain(|row| seen.insert(row.clone()));
-    }
-
-    let offset = sel.offset.unwrap_or(0);
-    if offset > 0 {
-        projected.drain(..offset.min(projected.len()));
-    }
-    if let Some(limit) = sel.limit {
-        projected.truncate(limit);
-    }
-
-    Ok(Solutions { variables: out_vars, rows: projected })
+    Ok(Solutions { variables: out_vars, rows })
 }
 
-/// Term-level bindings produced by BGP + filter evaluation.
+/// Row-major table of variable bindings in id space: `width` columns per
+/// row, every row a contiguous stripe of one shared allocation. The join
+/// pipeline appends, filters and truncates rows without allocating per row —
+/// at the million-triple tier the per-row `Vec` boxes this replaces cost more
+/// than the probe searches themselves, burying the operator win under
+/// allocator traffic. The row count is tracked explicitly because fully
+/// concrete ASK patterns produce zero-width rows.
+#[derive(Debug, Clone)]
+struct IdTable {
+    width: usize,
+    rows: usize,
+    data: Vec<Option<TermId>>,
+}
+
+impl IdTable {
+    fn new(width: usize) -> Self {
+        IdTable { width, rows: 0, data: Vec::new() }
+    }
+
+    /// One row with every column unbound — the seed every evaluation starts
+    /// from.
+    fn unit(width: usize) -> Self {
+        IdTable { width, rows: 1, data: vec![None; width] }
+    }
+
+    /// A one-row table copied from an existing row (OPTIONAL evaluates its
+    /// right side once per left row).
+    fn single(width: usize, row: &[Option<TermId>]) -> Self {
+        debug_assert_eq!(row.len(), width);
+        IdTable { width, rows: 1, data: row.to_vec() }
+    }
+
+    fn len(&self) -> usize {
+        self.rows
+    }
+
+    fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    fn row(&self, i: usize) -> &[Option<TermId>] {
+        &self.data[i * self.width..(i + 1) * self.width]
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &[Option<TermId>]> {
+        (0..self.rows).map(move |i| &self.data[i * self.width..(i + 1) * self.width])
+    }
+
+    fn push(&mut self, row: &[Option<TermId>]) {
+        debug_assert_eq!(row.len(), self.width);
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    fn append(&mut self, other: &IdTable) {
+        debug_assert_eq!(other.width, self.width);
+        self.data.extend_from_slice(&other.data);
+        self.rows += other.rows;
+    }
+
+    fn truncate(&mut self, n: usize) {
+        if n < self.rows {
+            self.data.truncate(n * self.width);
+            self.rows = n;
+        }
+    }
+
+    /// Keeps only rows satisfying `keep`, compacting in place.
+    fn retain(&mut self, mut keep: impl FnMut(&[Option<TermId>]) -> bool) {
+        let width = self.width;
+        let mut kept = 0usize;
+        for i in 0..self.rows {
+            let start = i * width;
+            if keep(&self.data[start..start + width]) {
+                if kept != i {
+                    self.data.copy_within(start..start + width, kept * width);
+                }
+                kept += 1;
+            }
+        }
+        self.truncate(kept);
+    }
+}
+
+/// Id-level bindings produced by BGP + filter evaluation. Terms are only
+/// materialized after projection and slicing, so each emitted cell pays for
+/// exactly one term clone and dropped columns pay nothing.
 struct Evaluated {
     variables: Vec<String>,
-    rows: Vec<Vec<Option<Term>>>,
+    table: IdTable,
 }
 
 fn evaluate_pattern(
@@ -246,108 +396,103 @@ fn evaluate_pattern(
     pattern: &GraphPattern,
     early_stop: Option<usize>,
     trace: Option<&mut PlanTrace>,
+    opts: LowerOpts,
 ) -> Result<Evaluated, SparqlError> {
-    let variables = pattern.variables();
+    let planned = lower_pattern(graph, pattern, early_stop, opts);
     let var_index: FxHashMap<&str, usize> =
-        variables.iter().enumerate().map(|(i, v)| (v.as_str(), i)).collect();
+        planned.variables.iter().enumerate().map(|(i, v)| (v.as_str(), i)).collect();
 
-    let initial: Vec<Vec<Option<TermId>>> = vec![vec![None; variables.len()]];
-    let mut bindings = eval_group(graph, pattern, &var_index, initial, early_stop, trace);
+    let initial = IdTable::unit(planned.variables.len());
+    let mut trace = trace;
+    let mut table = eval_algebra(graph, &planned.root, &var_index, initial, &mut trace);
 
     if let Some(stop) = early_stop {
-        // Safety net: eval_group only pushes the limit into the join loop
-        // when nothing after the BGP can drop or add rows; otherwise the
-        // limit still applies here, after full evaluation.
-        bindings.truncate(stop);
+        // Safety net: the lowering emits a pushdown-capable Slice directly
+        // over a Bgp only when nothing can drop or add rows afterwards; in
+        // every other tree shape the limit still applies here, after full
+        // evaluation.
+        table.truncate(stop);
     }
 
-    let rows: Vec<Vec<Option<Term>>> = bindings
-        .into_iter()
-        .map(|binding| binding.iter().map(|id| id.map(|i| graph.term(i).clone())).collect())
-        .collect();
-    Ok(Evaluated { variables, rows })
+    Ok(Evaluated { variables: planned.variables, table })
 }
 
-/// Evaluates one group graph pattern against a set of incoming bindings:
-/// BGP join → UNION blocks → OPTIONAL left-joins → group filters.
-///
-/// `limit` is a bare-LIMIT early-stop request. It is pushed down into the
-/// BGP join loop only when this group has no unions, optionals or filters —
-/// anything that could drop or multiply rows after the join would make a
-/// truncated join prefix incorrect.
-fn eval_group(
+/// Interprets a lowered [`Algebra`] tree bottom-up against a set of incoming
+/// bindings: each node first evaluates its `input` edge, then transforms the
+/// rows. Semantics are identical to the previous direct `GraphPattern` walk
+/// (UNION concatenation, OPTIONAL left join, filter error-drops); only the
+/// BGP leaves changed join operators.
+fn eval_algebra(
     graph: &Graph,
-    pattern: &GraphPattern,
+    node: &Algebra,
     var_index: &FxHashMap<&str, usize>,
-    initial: Vec<Vec<Option<TermId>>>,
-    limit: Option<usize>,
-    mut trace: Option<&mut PlanTrace>,
-) -> Vec<Vec<Option<TermId>>> {
-    let pushdown = if pattern.unions.is_empty()
-        && pattern.optionals.is_empty()
-        && pattern.filters.is_empty()
-    {
-        limit
-    } else {
-        None
-    };
-    let mut bindings =
-        join_triples(graph, &pattern.triples, var_index, initial, pushdown, trace.as_deref_mut());
-
-    // UNION: concatenate the solutions of each alternative, each evaluated
-    // from the current bindings (join semantics with the surrounding group).
-    for alternatives in &pattern.unions {
-        if bindings.is_empty() {
-            break;
-        }
-        let mut next = Vec::new();
-        for alt in alternatives {
-            next.extend(eval_group(
-                graph,
-                alt,
-                var_index,
-                bindings.clone(),
-                None,
-                trace.as_deref_mut(),
-            ));
-        }
-        bindings = next;
-    }
-
-    // OPTIONAL: left join — keep the binding unextended when the optional
-    // part has no solutions.
-    for opt in &pattern.optionals {
-        let mut next = Vec::with_capacity(bindings.len());
-        for binding in bindings {
-            let extended = eval_group(
-                graph,
-                opt,
-                var_index,
-                vec![binding.clone()],
-                None,
-                trace.as_deref_mut(),
-            );
-            if extended.is_empty() {
-                next.push(binding);
-            } else {
-                next.extend(extended);
+    bindings: IdTable,
+    trace: &mut Option<&mut PlanTrace>,
+) -> IdTable {
+    match node {
+        Algebra::Bgp(steps) => join_steps(graph, steps, var_index, bindings, None, trace),
+        Algebra::Slice { input, limit } => match &**input {
+            // Bare-LIMIT/ASK pushdown: only a Slice directly over a BGP can
+            // stop the join mid-scan. Any other child could drop or multiply
+            // rows, so it is evaluated in full and truncated.
+            Algebra::Bgp(steps) => {
+                join_steps(graph, steps, var_index, bindings, Some(*limit), trace)
             }
+            other => {
+                let mut rows = eval_algebra(graph, other, var_index, bindings, trace);
+                rows.truncate(*limit);
+                rows
+            }
+        },
+        // UNION: concatenate the solutions of each alternative, each
+        // evaluated from the input's bindings (join semantics with the
+        // surrounding group).
+        Algebra::Union { input, alternatives } => {
+            let bindings = eval_algebra(graph, input, var_index, bindings, trace);
+            if bindings.is_empty() {
+                return bindings;
+            }
+            let mut next = IdTable::new(bindings.width);
+            for alt in alternatives {
+                next.append(&eval_algebra(graph, alt, var_index, bindings.clone(), trace));
+            }
+            next
         }
-        bindings = next;
+        // OPTIONAL: left join — keep the binding unextended when the
+        // optional part has no solutions.
+        Algebra::LeftJoin { input, right } => {
+            let bindings = eval_algebra(graph, input, var_index, bindings, trace);
+            let mut next = IdTable::new(bindings.width);
+            for i in 0..bindings.len() {
+                let extended = eval_algebra(
+                    graph,
+                    right,
+                    var_index,
+                    IdTable::single(bindings.width, bindings.row(i)),
+                    trace,
+                );
+                if extended.is_empty() {
+                    next.push(bindings.row(i));
+                } else {
+                    next.append(&extended);
+                }
+            }
+            next
+        }
+        // Group-level filters; erroring filters remove the row (SPARQL
+        // error semantics).
+        Algebra::Filter { input, exprs } => {
+            let mut bindings = eval_algebra(graph, input, var_index, bindings, trace);
+            bindings.retain(|binding| {
+                let row: Vec<Option<Term>> =
+                    binding.iter().map(|id| id.map(|i| graph.term(i).clone())).collect();
+                exprs
+                    .iter()
+                    .all(|f| eval_expr(f, &row, var_index).map(|v| v.truthy()).unwrap_or(false))
+            });
+            bindings
+        }
     }
-
-    // Group-level filters; erroring filters remove the row (SPARQL error
-    // semantics).
-    if !pattern.filters.is_empty() {
-        bindings.retain(|binding| {
-            let row: Vec<Option<Term>> =
-                binding.iter().map(|id| id.map(|i| graph.term(i).clone())).collect();
-            pattern.filters.iter().all(|f| {
-                eval_expr(f, &row, var_index).map(|v| v.truthy()).unwrap_or(false)
-            })
-        });
-    }
-    bindings
 }
 
 /// A misestimation fires when a join step scans more than
@@ -360,30 +505,32 @@ const MISESTIMATE_FACTOR: f64 = 16.0;
 /// extra probe binding can double the ratio without meaning anything.
 const MISESTIMATE_MIN_ROWS: u64 = 64;
 
-/// Joins a list of triple patterns into the incoming bindings, in planned
-/// order. Each probe consumes [`Graph::scan_iter`] directly — a streaming
-/// slice walk with no per-probe result vector.
+/// Joins a planned BGP's steps into the incoming bindings, in planned order,
+/// each step with the operator the planner chose (possibly downgraded to
+/// nested at run time — see [`join_batched`]).
 ///
 /// `limit` (from a bare LIMIT / ASK) stops the final join step as soon as
 /// enough rows exist: intermediate steps must run to completion (a truncated
 /// intermediate set could starve later joins of the rows that survive), but
-/// the last pattern's scan can cut off mid-slice.
+/// the last pattern's scan can cut off mid-slice. A capped step always runs
+/// nested — the batched operators materialize whole key ranges and cannot
+/// stop mid-slice without over-counting.
 ///
 /// When `trace` is given, every step appends a [`PlanStep`] pairing the
-/// planner's prediction with measured reality. The untraced path does no
-/// per-step allocation or clock reads. Misestimation detection runs on both
-/// paths — it only compares numbers the planner already computed.
-fn join_triples(
+/// planner's prediction with measured reality (including the operator that
+/// actually ran). The untraced path does no per-step allocation or clock
+/// reads. Misestimation detection runs on both paths — it only compares
+/// numbers the planner already computed.
+fn join_steps(
     graph: &Graph,
-    triples: &[TriplePattern],
+    steps: &[PlannedStep],
     var_index: &FxHashMap<&str, usize>,
-    initial: Vec<Vec<Option<TermId>>>,
+    initial: IdTable,
     limit: Option<usize>,
-    mut trace: Option<&mut PlanTrace>,
-) -> Vec<Vec<Option<TermId>>> {
-    let order = plan(graph, triples, var_index);
+    trace: &mut Option<&mut PlanTrace>,
+) -> IdTable {
     let mut bindings = initial;
-    if order.is_empty() {
+    if steps.is_empty() {
         if let Some(cap) = limit {
             bindings.truncate(cap);
         }
@@ -391,28 +538,31 @@ fn join_triples(
     }
     // Tallied locally and flushed once — one atomic add per join, not per row.
     let mut scanned: u64 = 0;
-    for (step, planned) in order.iter().enumerate() {
-        let cap = if step + 1 == order.len() { limit } else { None };
-        let tp = &triples[planned.idx];
+    for (step, planned) in steps.iter().enumerate() {
+        let cap = if step + 1 == steps.len() { limit } else { None };
+        let tp = &planned.pattern;
         let step_started = trace.is_some().then(Instant::now);
         let scanned_before = scanned;
-        let mut next: Vec<Vec<Option<TermId>>> = Vec::new();
-        'probes: for binding in &bindings {
-            match bind_pattern(graph, tp, binding, var_index) {
-                BoundPattern::NoMatch => {}
-                BoundPattern::Scan(id_pattern, slots) => {
-                    for (s, p, o) in graph.scan_iter(id_pattern) {
-                        scanned += 1;
-                        let mut extended = binding.clone();
-                        if extend(&mut extended, &slots, s, p, o) {
-                            next.push(extended);
-                            if cap.is_some_and(|c| next.len() >= c) {
-                                break 'probes;
-                            }
-                        }
-                    }
-                }
-            }
+        let mut algo = if cap.is_some() { JoinAlgo::Nested } else { planned.algo };
+        let mut next = IdTable::new(bindings.width);
+        if algo != JoinAlgo::Nested
+            && !join_batched(graph, tp, var_index, &bindings, algo, &mut next, &mut scanned)
+        {
+            // The frozen index vanished under us (overlay write since
+            // planning) or the batch precondition failed: fall back.
+            algo = JoinAlgo::Nested;
+            next = IdTable::new(bindings.width);
+            scanned = scanned_before;
+        }
+        if algo == JoinAlgo::Nested {
+            join_nested(graph, tp, var_index, &bindings, cap, &mut next, &mut scanned);
+        }
+        // One literal call site per counter: `counter!` caches its handle
+        // per site, so the name must not be a runtime value.
+        match algo {
+            JoinAlgo::Nested => relpat_obs::counter!("sparql.join.nested"),
+            JoinAlgo::Merge => relpat_obs::counter!("sparql.join.merge"),
+            JoinAlgo::Gallop => relpat_obs::counter!("sparql.join.gallop"),
         }
         let step_scanned = scanned - scanned_before;
         // A capped step stops mid-scan by design, so its cost says nothing
@@ -435,11 +585,12 @@ fn join_triples(
         if let Some(t) = trace.as_deref_mut() {
             t.steps.push(PlanStep {
                 pattern: tp.to_string(),
-                pattern_index: planned.idx,
+                pattern_index: planned.pattern_index,
                 position: step,
                 estimate: planned.estimate,
                 score: planned.score,
                 rows_scanned: step_scanned,
+                join_algo: algo,
                 bindings_emitted: next.len(),
                 nanos: step_started.expect("trace implies timer").elapsed().as_nanos() as u64,
                 limit_pushdown: cap.is_some(),
@@ -457,93 +608,187 @@ fn join_triples(
     bindings
 }
 
-/// One planner decision: which pattern runs at this position, and the
-/// prediction it was ranked by ([`score_pattern`]'s exact index estimate and
-/// selectivity-adjusted score at choice time). Kept for every step so plan
-/// traces and the misestimation detector can compare prediction to reality
-/// without re-running the planner.
-#[derive(Debug, Clone, Copy)]
-struct Planned {
-    idx: usize,
-    estimate: usize,
-    score: f64,
-}
-
-/// Greedy join ordering: repeatedly pick the pattern with the fewest
-/// estimated matches, treating variables already bound by chosen patterns as
-/// bound positions (they will be substituted at run time, so we optimistically
-/// score them as selective).
-fn plan(
+/// The always-correct fallback operator: for each probe row, substitute its
+/// bound variables into the pattern and stream the matching slice via
+/// [`Graph::scan_iter`], counting every visited row. The only operator that
+/// can honor a mid-scan `cap`.
+fn join_nested(
     graph: &Graph,
-    triples: &[TriplePattern],
+    tp: &TriplePattern,
     var_index: &FxHashMap<&str, usize>,
-) -> Vec<Planned> {
-    let n = triples.len();
-    let mut chosen: Vec<Planned> = Vec::with_capacity(n);
-    let mut bound_vars = vec![false; var_index.len()];
-    let mut remaining: Vec<usize> = (0..n).collect();
-
-    while !remaining.is_empty() {
-        let (best_pos, (best_score, best_estimate)) = remaining
-            .iter()
-            .enumerate()
-            .map(|(pos, &idx)| {
-                let tp = &triples[idx];
-                (pos, score_pattern(graph, tp, &bound_vars, var_index))
-            })
-            .min_by(|(_, (a, _)), (_, (b, _))| a.partial_cmp(b).unwrap_or(Ordering::Equal))
-            .expect("remaining is non-empty");
-        let idx = remaining.swap_remove(best_pos);
-        for term in [&triples[idx].subject, &triples[idx].predicate, &triples[idx].object] {
-            if let Term::Variable(v) = term {
-                if let Some(&i) = var_index.get(v.as_str()) {
-                    bound_vars[i] = true;
+    bindings: &IdTable,
+    cap: Option<usize>,
+    next: &mut IdTable,
+    scanned: &mut u64,
+) {
+    'probes: for i in 0..bindings.len() {
+        let binding = bindings.row(i);
+        match bind_pattern(graph, tp, binding, var_index) {
+            BoundPattern::NoMatch => {}
+            BoundPattern::Scan(id_pattern, slots) => {
+                for (s, p, o) in graph.scan_iter(id_pattern) {
+                    *scanned += 1;
+                    if try_push_extended(next, binding, &slots, s, p, o)
+                        && cap.is_some_and(|c| next.len() >= c)
+                    {
+                        break 'probes;
+                    }
                 }
             }
         }
-        chosen.push(Planned { idx, estimate: best_estimate, score: best_score });
     }
-    chosen
 }
 
-/// Cost estimate for one pattern given the set of already-bound variables.
-/// Concrete positions contribute to an index estimate; bound variables divide
-/// the estimate (each roughly one order of magnitude); unbound variables keep
-/// it unchanged. Returns `(score, index estimate)` — the estimate is exactly
-/// [`Graph::estimate`] on the pattern's concrete positions, recorded in plan
-/// traces as the per-step `estimate`.
-fn score_pattern(
+/// How one pattern position resolves for a uniform batch of probe rows.
+#[derive(Debug, Clone, Copy)]
+enum ProbePos {
+    /// Concrete term, identical for every row.
+    Const(TermId),
+    /// Variable bound in every probe row (read per row at this column).
+    Bound(usize),
+    /// Variable free in every probe row: filled from matches.
+    Free(usize),
+}
+
+/// Batched sorted operators — merge and gallop. Both resolve the pattern's
+/// shape once from the first probe row (top-level BGP rows are uniform: every
+/// row binds exactly the variables earlier steps bound), route it to one
+/// frozen permutation slice, and locate each **distinct** probe key's range
+/// exactly once — merge with a forward cursor over non-decreasing keys,
+/// gallop by sorting + deduplicating the keys and `partition_point`-searching
+/// a strictly shrinking tail. `scanned` counts each distinct range once,
+/// which is the probe work actually done and never exceeds the nested loop's
+/// per-row rescans.
+///
+/// Extended rows are emitted in the probe rows' original order — order
+/// preservation is what keeps the binding stream sorted for downstream merge
+/// steps and the solution sequence bit-identical to the nested loop's.
+///
+/// Returns `false` when the batch cannot run (the graph has grown an overlay
+/// since planning, or a supposedly bound variable is unbound in some row);
+/// the caller falls back to [`join_nested`].
+fn join_batched(
     graph: &Graph,
     tp: &TriplePattern,
-    bound_vars: &[bool],
     var_index: &FxHashMap<&str, usize>,
-) -> (f64, usize) {
-    let mut id_pattern = IdPattern { subject: None, predicate: None, object: None };
-    let mut bound_var_positions = 0u32;
-    let mut dead = false;
-    {
-        let mut fill = |term: &Term, slot: &mut Option<TermId>| match term {
+    bindings: &IdTable,
+    algo: JoinAlgo,
+    next: &mut IdTable,
+    scanned: &mut u64,
+) -> bool {
+    if bindings.is_empty() {
+        return true;
+    }
+    let first = bindings.row(0);
+    let mut shape: Vec<ProbePos> = Vec::with_capacity(3);
+    for term in [&tp.subject, &tp.predicate, &tp.object] {
+        shape.push(match term {
             Term::Variable(v) => {
-                if var_index.get(v.as_str()).is_some_and(|&i| bound_vars[i]) {
-                    bound_var_positions += 1;
-                }
+                let idx = var_index[v.as_str()];
+                if first[idx].is_some() { ProbePos::Bound(idx) } else { ProbePos::Free(idx) }
             }
             concrete => match graph.term_id(concrete) {
-                Some(id) => *slot = Some(id),
-                None => dead = true,
+                Some(id) => ProbePos::Const(id),
+                // A concrete term absent from the graph matches nothing:
+                // the whole batch is trivially done.
+                None => return true,
             },
+        });
+    }
+    let free_slot = |pos: ProbePos| match pos {
+        ProbePos::Free(idx) => Some(idx),
+        _ => None,
+    };
+    let slots = Slots {
+        subject: free_slot(shape[0]),
+        predicate: free_slot(shape[1]),
+        object: free_slot(shape[2]),
+    };
+    let representative = |row: &[Option<TermId>]| -> Option<IdPattern> {
+        let component = |pos: ProbePos| match pos {
+            ProbePos::Const(id) => Some(Some(id)),
+            // A `None` here breaks the uniformity precondition → bail out.
+            ProbePos::Bound(idx) => row[idx].map(Some),
+            ProbePos::Free(_) => Some(None),
         };
-        // Borrow gymnastics: fill each slot separately.
-        let IdPattern { subject, predicate, object } = &mut id_pattern;
-        fill(&tp.subject, subject);
-        fill(&tp.predicate, predicate);
-        fill(&tp.object, object);
+        Some(IdPattern {
+            subject: component(shape[0])?,
+            predicate: component(shape[1])?,
+            object: component(shape[2])?,
+        })
+    };
+    let Some(rep) = representative(first) else { return false };
+    // `None` means the overlay is non-empty: the frozen slices alone no
+    // longer tell the whole truth and only the nested loop is correct.
+    let Some(probe) = graph.frozen_probe(rep) else { return false };
+
+    // Every row's permuted probe key. All rows share the pattern's
+    // Some/None structure, so they all route to `probe`'s permutation.
+    let mut keys: Vec<[u32; 3]> = Vec::with_capacity(bindings.len());
+    for row in bindings.iter() {
+        let Some(pat) = representative(row) else { return false };
+        keys.push(probe.key(pat));
     }
-    if dead {
-        return (0.0, 0); // matches nothing: evaluate first to prune immediately
+
+    match algo {
+        JoinAlgo::Merge => {
+            // The binding stream is sorted by the single varying key
+            // component, so keys are non-decreasing: one forward cursor
+            // visits each distinct key's range once without restarting.
+            let mut prev: Option<([u32; 3], (usize, usize))> = None;
+            for (row, key) in bindings.iter().zip(&keys) {
+                let (lo, hi) = match prev {
+                    Some((k, range)) if k == *key => range,
+                    earlier => {
+                        debug_assert!(
+                            earlier.is_none_or(|(k, _)| k <= *key),
+                            "merge probe keys regressed"
+                        );
+                        // Keys never regress when the plan's sortedness
+                        // argument holds; restart from 0 if they somehow do
+                        // (release-mode correctness over speed).
+                        let from = match earlier {
+                            Some((k, (_, prev_hi))) if k <= *key => prev_hi,
+                            _ => 0,
+                        };
+                        let range = probe.bounds_from(from, *key);
+                        *scanned += (range.1 - range.0) as u64;
+                        prev = Some((*key, range));
+                        range
+                    }
+                };
+                for i in lo..hi {
+                    let (s, p, o) = probe.triple(i);
+                    try_push_extended(next, row, &slots, s, p, o);
+                }
+            }
+        }
+        _ => {
+            // Gallop: sort + dedup the probe keys, locate each distinct
+            // key's range once over a strictly shrinking index tail, then
+            // emit per probe row in original row order.
+            let mut distinct = keys.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            let mut ranges: FxHashMap<[u32; 3], (usize, usize)> = FxHashMap::default();
+            ranges.reserve(distinct.len());
+            let mut from = 0;
+            for key in &distinct {
+                let (lo, hi) = probe.bounds_from(from, *key);
+                *scanned += (hi - lo) as u64;
+                ranges.insert(*key, (lo, hi));
+                from = hi;
+            }
+            for (row, key) in bindings.iter().zip(&keys) {
+                let (lo, hi) = ranges[key];
+                for i in lo..hi {
+                    let (s, p, o) = probe.triple(i);
+                    try_push_extended(next, row, &slots, s, p, o);
+                }
+            }
+        }
     }
-    let estimate = graph.estimate(id_pattern);
-    (estimate as f64 / 10f64.powi(bound_var_positions as i32), estimate)
+    true
 }
 
 /// Where each variable of a pattern lands in the binding vector.
@@ -591,16 +836,44 @@ fn bind_pattern(
 }
 
 /// Extends a binding with a scan result, checking repeated-variable
-/// consistency (e.g. `?x ?p ?x`).
-fn extend(binding: &mut [Option<TermId>], slots: &Slots, s: TermId, p: TermId, o: TermId) -> bool {
-    for (slot, value) in [(slots.subject, s), (slots.predicate, p), (slots.object, o)] {
-        if let Some(idx) = slot {
-            match binding[idx] {
-                Some(existing) if existing != value => return false,
-                _ => binding[idx] = Some(value),
+/// consistency (e.g. `?x ?p ?x`), and appends the extended row to `next`.
+/// Validation runs **before** the row is copied, so rejected scan rows — the
+/// overwhelming majority in a selective join — cost nothing; an emitted row
+/// is one `extend_from_slice` into the table's flat buffer plus in-place slot
+/// writes, never a per-row allocation. Returns whether a row was emitted.
+fn try_push_extended(
+    next: &mut IdTable,
+    binding: &[Option<TermId>],
+    slots: &Slots,
+    s: TermId,
+    p: TermId,
+    o: TermId,
+) -> bool {
+    let parts = [(slots.subject, s), (slots.predicate, p), (slots.object, o)];
+    for (i, (slot, value)) in parts.iter().enumerate() {
+        let Some(idx) = slot else { continue };
+        // Against the existing binding (scan patterns constrain bound
+        // positions already, but a repeated variable may appear both bound
+        // and free)…
+        if binding[*idx].is_some_and(|existing| existing != *value) {
+            return false;
+        }
+        // …and against the other free slots of this same triple
+        // (`?x <p> ?x` with ?x unbound binds two slots to one column).
+        for (other_slot, other_value) in &parts[..i] {
+            if *other_slot == Some(*idx) && other_value != value {
+                return false;
             }
         }
     }
+    let start = next.data.len();
+    next.data.extend_from_slice(binding);
+    for (slot, value) in parts {
+        if let Some(idx) = slot {
+            next.data[start + idx] = Some(value);
+        }
+    }
+    next.rows += 1;
     true
 }
 
@@ -968,30 +1241,6 @@ mod tests {
         let g = library();
         let sols = select(&g, "SELECT ?x { ?x rdf:type dbont:Book } LIMIT 2");
         assert_eq!(sols.rows.len(), 2);
-    }
-
-    #[test]
-    fn plan_orders_selective_patterns_first() {
-        let g = library();
-        let tps = vec![
-            TriplePattern::new(Term::var("x"), Term::var("p"), Term::var("o")),
-            TriplePattern::new(
-                Term::var("x"),
-                Term::iri(dbont::iri("writer")),
-                Term::iri(res::iri("Stanislaw Lem")),
-            ),
-        ];
-        let mut vi = FxHashMap::default();
-        vi.insert("x", 0usize);
-        vi.insert("p", 1usize);
-        vi.insert("o", 2usize);
-        let order = plan(&g, &tps, &vi);
-        assert_eq!(order[0].idx, 1, "selective pattern should run first");
-        assert!(order[0].estimate > 0, "chosen step records the planner's index estimate");
-        assert!(
-            order[0].score <= order[1].score,
-            "greedy plan picks the lowest-score pattern first"
-        );
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! assert_eq!(result.into_solutions().unwrap().len(), 1);
 //! ```
 
+pub mod algebra;
 pub mod ast;
 mod cache;
 mod display;
@@ -30,9 +31,12 @@ mod results;
 
 pub use cache::{CacheStats, QueryCache, DEFAULT_CACHE_CAPACITY};
 pub use error::SparqlError;
-pub use exec::{execute, execute_traced, query, query_traced, QueryResult};
+pub use exec::{
+    execute, execute_nested, execute_nested_traced, execute_traced, query, query_nested,
+    query_traced, QueryResult,
+};
 pub use parser::parse_query;
 // Plan-trace types are defined in `relpat-obs` (so traces can embed them)
 // but this crate is their only writer — re-export them as part of our API.
-pub use relpat_obs::{PlanStep, PlanTrace, QueryPlan};
+pub use relpat_obs::{JoinAlgo, PlanStep, PlanTrace, QueryPlan};
 pub use results::Solutions;

@@ -82,12 +82,15 @@ fn golden_explain_rendering_is_stable() {
     assert_eq!(result.clone().into_solutions().unwrap().len(), 3);
     // Both patterns estimate 3 rows (3 typed books, 3 authored books); the
     // tie keeps the type pattern first, and once ?x is bound the author
-    // pattern's score drops to 0.30 (one bound variable → ×0.1).
+    // pattern's score drops to 0.30 (one bound variable → ×0.1). Step 0's
+    // POS scan leaves the binding stream sorted by ?x, so step 1 — joining
+    // on ?x alone — runs as a sort-merge intersection: 3 distinct probe
+    // keys, each point slice (1 row) counted once.
     assert_eq!(
         trace.render(),
         "plan: 2 steps, 6 rows scanned, 0 misestimates\n\
-         \x20 #0 ?x rdf:type dbont:Book .  est=3 score=3.00 scanned=3 emitted=3\n\
-         \x20 #1 ?x dbont:author res:Orhan_Pamuk .  est=3 score=0.30 scanned=3 emitted=3\n"
+         \x20 #0 ?x rdf:type dbont:Book .  est=3 score=3.00 scanned=3 emitted=3 algo=nested\n\
+         \x20 #1 ?x dbont:author res:Orhan_Pamuk .  est=3 score=0.30 scanned=3 emitted=3 algo=merge\n"
     );
     // Step timing is measured but deliberately excluded from the stable
     // rendering; it still reaches the JSON view.
@@ -193,5 +196,37 @@ fn explain_off_path_allocates_nothing_for_tracing() {
     assert!(
         on > off_b,
         "traced execution should allocate for its steps: on {on} <= off {off_b}"
+    );
+}
+
+#[test]
+fn nested_join_clones_only_surviving_rows() {
+    let _guard = exec_lock();
+    // `?x <p> ?x` scans every <p> row but only the self-loop survives the
+    // repeated-variable check. The nested loop must validate *before*
+    // cloning the probe binding, so doubling the rejected rows must not
+    // change the allocation count — only emitted rows pay for a clone.
+    let graph_with_noise = |noise: usize| {
+        let mut g = Graph::new();
+        let p = Term::iri("p");
+        g.add(Term::iri("loop"), p.clone(), Term::iri("loop"));
+        for i in 0..noise {
+            g.add(Term::iri(format!("s{i}")), p.clone(), Term::iri(format!("o{i}")));
+        }
+        g.freeze();
+        g
+    };
+    let small = graph_with_noise(64);
+    let large = graph_with_noise(128);
+    let q = parse_query("SELECT ?x { ?x <p> ?x }").unwrap();
+    let small_allocs = allocations_of(3, || {
+        let _ = std::hint::black_box(execute(&small, &q).unwrap());
+    });
+    let large_allocs = allocations_of(3, || {
+        let _ = std::hint::black_box(execute(&large, &q).unwrap());
+    });
+    assert_eq!(
+        small_allocs, large_allocs,
+        "rejected scan rows must not allocate (64-noise vs 128-noise run)"
     );
 }
