@@ -5,8 +5,11 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "=== cargo build --release ==="
-cargo build --release
+echo "=== cargo build --release --workspace ==="
+# --workspace matters: the root package is the `relpat` facade, and a bare
+# `cargo build` would skip the serve/bench release binaries entirely,
+# leaving stale executables in target/release/.
+cargo build --release --workspace
 
 echo "=== cargo test -q (workspace) ==="
 cargo test -q --workspace
@@ -35,8 +38,24 @@ cargo test -q -p relpat-sparql --test explain
 echo "=== join equivalence gate (merge/gallop vs nested oracle) ==="
 cargo test -q -p relpat-sparql --test join_equivalence
 
-echo "=== prometheus exposition audit gate ==="
+echo "=== prometheus exposition audit gate (incl. slo_* / prof_* families) ==="
 cargo test -q -p relpat-obs every_exposition_family_has_help_and_type
+cargo test -q -p relpat-obs slo_and_prof_families_render_with_metadata
+
+echo "=== profiler equivalence gate (Table-2 bit-identical, sampler on vs off) ==="
+cargo test -q -p relpat-eval --test profiler_equivalence
+
+echo "=== profiler span-scope audit gate (push/pop order == trace stages) ==="
+cargo test -q -p relpat-qa --test span_scopes
+
+echo "=== profiler hot-path allocation gate ==="
+cargo test -q -p relpat-obs --test prof_alloc
+
+echo "=== SLO burn-rate unit sweep ==="
+cargo test -q -p relpat-obs slo::
+
+echo "=== flight-recorder concurrency hammer gate ==="
+cargo test -q -p relpat-obs --test concurrency
 
 echo "=== serve loopback smoke gate ==="
 cargo test -q -p relpat-serve --test loopback
@@ -55,5 +74,8 @@ cargo bench -p relpat-bench --bench obs_overhead -- --smoke
 
 echo "=== store scaling smoke (paper + 100k tiers) ==="
 cargo bench -p relpat-bench --bench store_scaling -- --smoke
+
+echo "=== bench-diff regression sentinel self-test ==="
+cargo run --release -q -p relpat-bench --bin bench-diff -- --smoke BENCH_store_scaling.json
 
 echo "CI OK"

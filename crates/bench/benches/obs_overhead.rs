@@ -3,13 +3,16 @@
 //! measurement layer itself is caught the same way a QA throughput
 //! regression is.
 //!
-//! Five axes:
+//! Six axes:
 //! - counter add, registry enabled vs disabled;
 //! - histogram record, registry enabled vs disabled;
 //! - journal event emit, enabled (ring only) vs disabled;
 //! - journal event emit with the JSONL file backend attached;
 //! - SPARQL execution with EXPLAIN ANALYZE plan tracing on vs off — the
-//!   explain-off path must stay within noise of the pre-trace executor.
+//!   explain-off path must stay within noise of the pre-trace executor;
+//! - a span-instrumented workload with the continuous-profiling sampler
+//!   off vs on at the serving rate (997 Hz) — the target is <2% overhead,
+//!   since relpat-serve runs with the sampler on by default.
 //!
 //! Run with: `cargo bench -p relpat-bench --bench obs_overhead`
 //!
@@ -115,6 +118,71 @@ fn main() {
     assert_eq!(plain, traced, "explain must not change results");
     assert_eq!(trace.steps.len(), 2, "two join steps expected");
     assert!(trace.rows_scanned() > 0, "trace lost scan counts");
+
+    // Continuous profiler: a span!-instrumented unit of work (the shape of
+    // one question: an outer span, three stage spans, real compute inside)
+    // with the sampler off, then on at the default serving rate. The
+    // sampler runs on its own thread; the owner-side cost is two relaxed
+    // stores per push plus a depth restore per pop, so the workload delta
+    // is the number the serving plane actually pays.
+    // Span density matters: the overhead is per push/pop, so it must be
+    // weighed against stage-sized compute (a real stage runs µs–ms, not
+    // ns). ~2 µs of work per 4 spans is still 10–100x more span-dense
+    // than the live pipeline, making the printed figure an upper bound.
+    let workload = |i: u64| {
+        let _q = relpat_obs::span!("bench.prof.total");
+        let mut acc = i;
+        for name in ["bench.prof.extract", "bench.prof.map", "bench.prof.answer"] {
+            let _s = relpat_obs::span!(name);
+            for k in 0..2_000u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            black_box(acc);
+        }
+    };
+    let n_prof = if smoke { 20_000u64 } else { 200_000u64 };
+    let prof = relpat_obs::profiler();
+    assert!(!prof.is_enabled(), "sampler must start disabled");
+    workload(0); // warm: intern tags, register handles
+    let sampler_off = per_op(rounds.max(3), n_prof, workload);
+
+    // Full serving configuration: sampler at 997 Hz. On a single-core box
+    // this number folds in the sampler thread's own CPU (two context
+    // switches per tick), which production serving pays on another core.
+    prof.enable(relpat_obs::prof::DEFAULT_HZ);
+    workload(0); // warm: register this thread's stack
+    let sampler_997 = per_op(rounds.max(3), n_prof, workload);
+    let (samples, _dropped) = prof.counters();
+    assert!(samples > 0, "sampler took no samples during the on-phase");
+
+    // Sampler quiescent (1 Hz): isolates the owner-side push/pop cost —
+    // the only part a request's latency pays when cores are available.
+    prof.enable(1);
+    let sampler_idle = per_op(rounds.max(3), n_prof, workload);
+    prof.disable();
+
+    let overhead_997 = (sampler_997 / sampler_off - 1.0) * 100.0;
+    let overhead_owner = (sampler_idle / sampler_off - 1.0) * 100.0;
+    println!(
+        "prof.sampler     off {sampler_off:>11.2} ns/op   on (997 Hz) {sampler_997:>6.2} ns/op   \
+         overhead {overhead_997:>+5.2}%"
+    );
+    println!(
+        "prof.push/pop    owner-side cost {:>+7.2} ns/op ({overhead_owner:>+5.2}%) at 4 spans/op",
+        sampler_idle - sampler_off
+    );
+    // Target <2% owner-side; the assertion bounds are deliberately loose
+    // because best-of-N on a shared CI box still jitters by whole percents
+    // — the printed figures are the honest numbers, the bounds only catch
+    // a pathological sampler (e.g. one that stops the world).
+    assert!(
+        overhead_owner < 25.0,
+        "owner-side span overhead {overhead_owner:.1}% — far past the <2% design target"
+    );
+    assert!(
+        overhead_997 < 50.0,
+        "sampler-on overhead {overhead_997:.1}% — the sampler is stalling the workload"
+    );
 
     // Functional floor for the smoke gate: enabled paths actually recorded.
     let snapshot = enabled.snapshot();

@@ -22,7 +22,14 @@
 //!   store-scaling study (the tier ladder in `relpat_bench::scaling`:
 //!   paper scale / 100k / 1M triples), writing per-tier triple counts,
 //!   build milliseconds and p50/p99 query latencies as JSON. This is how
-//!   the committed `BENCH_store_scaling.json` trajectory is regenerated.
+//!   the committed `BENCH_store_scaling.json` trajectory is regenerated;
+//! - `--flame [path]` — loop the Table-2 benchmark under the continuous
+//!   profiler for ≥2 s of wall time and print the collapsed-stack profile
+//!   (flamegraph-compatible `tag;tag count` lines) plus the per-tag self
+//!   -time ranking. With a path, the collapsed text is also written there.
+//!   Exits nonzero if the profile comes back empty or the hot tags are not
+//!   the pipeline's real hot spots (mapping + SPARQL execution) — this is
+//!   the CI proof that the sampler observes the actual workload.
 
 use relpat_bench::scaling;
 use relpat_eval::run_benchmark;
@@ -38,6 +45,12 @@ fn main() {
 
     if let Some(path) = flag_value("--bench-json") {
         run_scaling_study(&path);
+        return;
+    }
+    if args.iter().any(|a| a == "--flame") {
+        // `--flame` may be last on the line; its path operand is optional.
+        let out_path = flag_value("--flame").filter(|v| !v.starts_with("--"));
+        run_flame(out_path.as_deref());
         return;
     }
     let trace_question = flag_value("--trace")
@@ -179,6 +192,84 @@ fn main() {
             stats.held, stats.seen, stats.errors, stats.slow_tail, stats.sampled
         );
     }
+}
+
+/// Loops the Table-2 benchmark under the sampler and prints the profile.
+fn run_flame(out_path: Option<&str>) {
+    use std::time::{Duration, Instant};
+
+    println!("=== Continuous profile of the Table-2 benchmark run ===\n");
+    let kb = generate(&KbConfig::default());
+    let pipeline = Pipeline::new(&kb);
+    let questions = qald_questions(&kb);
+
+    let prof = relpat_obs::profiler();
+    prof.reset_store();
+    prof.enable(relpat_obs::prof::DEFAULT_HZ);
+    let before = prof.snapshot();
+
+    // One benchmark pass is fast; loop until the sampler has had ≥2 s of
+    // wall time so the profile is statistically meaningful.
+    let start = Instant::now();
+    let mut rounds = 0u32;
+    let mut last_counts = None;
+    while rounds == 0 || start.elapsed() < Duration::from_secs(2) {
+        // Cold query cache each round: with 900+ warm repeats of the same
+        // 55 questions the cache absorbs nearly all SPARQL execution and
+        // the profile would show cache probes, not the executor.
+        kb.invalidate_query_cache();
+        let report = run_benchmark(&pipeline, &questions);
+        last_counts = Some((report.counts.total, report.counts.answered, report.counts.correct));
+        rounds += 1;
+    }
+    let profile = prof.snapshot().delta_since(&before);
+    prof.disable();
+
+    let (total, answered, correct) = last_counts.expect("at least one round ran");
+    println!(
+        "{rounds} benchmark round(s) in {:.2} s ({total} questions, {answered} answered, \
+         {correct} correct) at {} Hz: {} samples, {} dropped, {} distinct stacks\n",
+        start.elapsed().as_secs_f64(),
+        relpat_obs::prof::DEFAULT_HZ,
+        profile.samples,
+        profile.dropped,
+        profile.stacks.len(),
+    );
+
+    let collapsed = profile.collapsed();
+    println!("--- Collapsed stacks (flamegraph input: `tag;tag count`) ---\n");
+    print!("{collapsed}");
+
+    let top = profile.top_self_tags();
+    println!("\n--- Self time by tag (samples where the tag was the leaf) ---\n");
+    for (tag, count) in &top {
+        let share = *count as f64 / profile.samples.max(1) as f64 * 100.0;
+        println!("{count:>8}  ({share:>5.1}%)  {tag}");
+    }
+
+    if let Some(path) = out_path {
+        std::fs::write(path, &collapsed).expect("write collapsed profile");
+        println!("\nCollapsed profile written to {path}");
+    }
+
+    // Self-check: an empty profile, or a profile whose hot tags aren't the
+    // pipeline's real hot spots, means the sampler is not observing the
+    // workload — fail loudly so CI catches it.
+    if collapsed.is_empty() || profile.samples == 0 {
+        eprintln!("error: profiler produced an empty profile over a {rounds}-round run");
+        std::process::exit(1);
+    }
+    let top3: Vec<&str> = top.iter().take(3).map(|(t, _)| t.as_str()).collect();
+    let has_mapping = top3.contains(&"qa.map");
+    let has_exec = top3.iter().any(|t| *t == "sparql.execute" || *t == "qa.answer");
+    if !has_mapping || !has_exec {
+        eprintln!(
+            "error: expected mapping (qa.map) and SPARQL execution (sparql.execute/qa.answer) \
+             among the top-3 self-time tags, got {top3:?}"
+        );
+        std::process::exit(1);
+    }
+    println!("\nflame self-check OK: hot tags are {top3:?}");
 }
 
 /// Runs the store-scaling tier ladder and writes the trajectory JSON.

@@ -1,0 +1,262 @@
+//! Perf-regression sentinel: compare two `BENCH_store_scaling.json`
+//! trajectory files and flag per-benchmark p50 regressions.
+//!
+//! The scaling study ([`crate::scaling`]) emits one JSON trajectory per
+//! run; CI keeps the committed baseline at the repo root. `bench-diff`
+//! loads both, matches benchmarks by `(tier factor, query name)`, and
+//! reports the p50 ratio `current / baseline` for each. A benchmark
+//! regresses when the ratio exceeds the threshold (default 1.5×) **and**
+//! the current p50 clears an absolute noise floor (default 0.5 µs) —
+//! sub-microsecond timings jitter by integer factors on shared CI
+//! machines, so a ratio alone would page on noise.
+//!
+//! The binary (`src/bin/bench-diff.rs`) exits nonzero when any benchmark
+//! regresses, which is what makes it a CI gate. Its `--smoke` mode is a
+//! self-test: the baseline must pass against itself and must fail against
+//! a synthetically 2×-slowed copy, proving the gate can actually fire.
+
+use relpat_obs::json::{Json, JsonError};
+
+/// Default regression threshold: current p50 must be > 1.5× baseline.
+pub const DEFAULT_THRESHOLD: f64 = 1.5;
+
+/// Absolute noise floor in microseconds: a benchmark whose current p50 is
+/// at or below this never counts as a regression, whatever the ratio.
+pub const NOISE_FLOOR_US: f64 = 0.5;
+
+/// One benchmark's p50 in a trajectory file, keyed by tier and query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchPoint {
+    /// KB scale factor of the tier the measurement came from.
+    pub factor: u64,
+    /// Query name within the tier.
+    pub name: String,
+    /// Median latency in microseconds.
+    pub p50_us: f64,
+}
+
+/// Comparison of one benchmark across the two files.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    pub factor: u64,
+    pub name: String,
+    pub baseline_us: f64,
+    pub current_us: f64,
+    /// `current / baseline`; `f64::INFINITY` when the baseline p50 is 0.
+    pub ratio: f64,
+    pub regressed: bool,
+}
+
+/// Full diff report: matched rows plus benchmarks present in only one file.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    pub rows: Vec<DiffRow>,
+    /// `(factor, name)` pairs in the baseline but missing from current.
+    pub missing: Vec<(u64, String)>,
+    /// `(factor, name)` pairs in current but absent from the baseline.
+    pub added: Vec<(u64, String)>,
+}
+
+impl DiffReport {
+    /// Rows that crossed the regression threshold.
+    pub fn regressions(&self) -> impl Iterator<Item = &DiffRow> {
+        self.rows.iter().filter(|r| r.regressed)
+    }
+
+    /// True when the current file is no worse than the baseline: no
+    /// regressed rows and no benchmarks that silently disappeared.
+    pub fn passes(&self) -> bool {
+        self.missing.is_empty() && self.rows.iter().all(|r| !r.regressed)
+    }
+
+    /// Human-readable table, worst ratio first; regressions marked.
+    pub fn render(&self) -> String {
+        let mut rows: Vec<&DiffRow> = self.rows.iter().collect();
+        rows.sort_by(|a, b| b.ratio.total_cmp(&a.ratio));
+        let mut out = String::new();
+        out.push_str("tier  benchmark                 baseline_us  current_us   ratio\n");
+        for r in rows {
+            let mark = if r.regressed { "  REGRESSED" } else { "" };
+            out.push_str(&format!(
+                "{:>4}  {:<24} {:>12.2} {:>11.2} {:>7.2}x{mark}\n",
+                r.factor, r.name, r.baseline_us, r.current_us, r.ratio
+            ));
+        }
+        for (factor, name) in &self.missing {
+            out.push_str(&format!("{factor:>4}  {name:<24}  MISSING from current\n"));
+        }
+        for (factor, name) in &self.added {
+            out.push_str(&format!("{factor:>4}  {name:<24}  new in current (no baseline)\n"));
+        }
+        out
+    }
+}
+
+/// Extracts every `(tier, query)` p50 from a parsed trajectory document.
+///
+/// Returns an error string naming the first malformed element so a
+/// truncated or hand-edited file fails loudly instead of diffing empty.
+pub fn extract_points(doc: &Json) -> Result<Vec<BenchPoint>, String> {
+    if doc.get("benchmark").and_then(Json::as_str) != Some("store_scaling") {
+        return Err("not a store_scaling trajectory (missing benchmark tag)".to_string());
+    }
+    let tiers = doc
+        .get("tiers")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "missing tiers array".to_string())?;
+    let mut points = Vec::new();
+    for (ti, tier) in tiers.iter().enumerate() {
+        let factor = tier
+            .get("factor")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("tier[{ti}] missing factor"))?;
+        let queries = tier
+            .get("queries")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("tier[{ti}] missing queries"))?;
+        for (qi, q) in queries.iter().enumerate() {
+            let name = q
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("tier[{ti}].queries[{qi}] missing name"))?;
+            let p50_us = q
+                .get("p50_us")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("tier[{ti}].queries[{qi}] missing p50_us"))?;
+            points.push(BenchPoint { factor, name: name.to_string(), p50_us });
+        }
+    }
+    if points.is_empty() {
+        return Err("trajectory holds no benchmarks".to_string());
+    }
+    Ok(points)
+}
+
+/// Parses a trajectory file's text into benchmark points.
+pub fn parse_trajectory(text: &str) -> Result<Vec<BenchPoint>, String> {
+    let doc = Json::parse(text).map_err(|e: JsonError| format!("invalid JSON: {e:?}"))?;
+    extract_points(&doc)
+}
+
+/// Diffs `current` against `baseline` at `threshold` (ratio) with the
+/// [`NOISE_FLOOR_US`] absolute guard.
+pub fn diff(baseline: &[BenchPoint], current: &[BenchPoint], threshold: f64) -> DiffReport {
+    let mut report = DiffReport::default();
+    for b in baseline {
+        match current.iter().find(|c| c.factor == b.factor && c.name == b.name) {
+            Some(c) => {
+                let ratio = if b.p50_us > 0.0 {
+                    c.p50_us / b.p50_us
+                } else if c.p50_us > 0.0 {
+                    f64::INFINITY
+                } else {
+                    1.0
+                };
+                let regressed = ratio > threshold && c.p50_us > NOISE_FLOOR_US;
+                report.rows.push(DiffRow {
+                    factor: b.factor,
+                    name: b.name.clone(),
+                    baseline_us: b.p50_us,
+                    current_us: c.p50_us,
+                    ratio,
+                    regressed,
+                });
+            }
+            None => report.missing.push((b.factor, b.name.clone())),
+        }
+    }
+    for c in current {
+        if !baseline.iter().any(|b| b.factor == c.factor && b.name == c.name) {
+            report.added.push((c.factor, c.name.clone()));
+        }
+    }
+    report
+}
+
+/// Synthesizes a uniformly `scale`×-slower copy of `points` — used by the
+/// `--smoke` self-test to prove the gate fires on a real regression.
+pub fn scale_points(points: &[BenchPoint], scale: f64) -> Vec<BenchPoint> {
+    points.iter().map(|p| BenchPoint { p50_us: p.p50_us * scale, ..p.clone() }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(factor: u64, name: &str, p50_us: f64) -> BenchPoint {
+        BenchPoint { factor, name: name.to_string(), p50_us }
+    }
+
+    #[test]
+    fn identical_trajectories_pass() {
+        let base = vec![point(1, "spo_probe", 2.0), point(12, "join_two", 40.0)];
+        let report = diff(&base, &base, DEFAULT_THRESHOLD);
+        assert!(report.passes());
+        assert_eq!(report.rows.len(), 2);
+        assert!(report.rows.iter().all(|r| (r.ratio - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn two_x_slowdown_regresses() {
+        let base = vec![point(1, "spo_probe", 2.0)];
+        let cur = scale_points(&base, 2.0);
+        let report = diff(&base, &cur, DEFAULT_THRESHOLD);
+        assert!(!report.passes());
+        assert_eq!(report.regressions().count(), 1);
+        let row = &report.rows[0];
+        assert!((row.ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_floor_forgives_sub_microsecond_jitter() {
+        // 0.1 µs → 0.4 µs is a 4× ratio but still under the floor.
+        let base = vec![point(1, "tiny", 0.1)];
+        let cur = vec![point(1, "tiny", 0.4)];
+        let report = diff(&base, &cur, DEFAULT_THRESHOLD);
+        assert!(report.passes(), "{}", report.render());
+        // Once it clears the floor, the ratio counts.
+        let cur = vec![point(1, "tiny", 0.6)];
+        assert!(!diff(&base, &cur, DEFAULT_THRESHOLD).passes());
+    }
+
+    #[test]
+    fn missing_benchmark_fails_added_is_informational() {
+        let base = vec![point(1, "a", 2.0), point(1, "b", 2.0)];
+        let cur = vec![point(1, "a", 2.0), point(1, "c", 2.0)];
+        let report = diff(&base, &cur, DEFAULT_THRESHOLD);
+        assert_eq!(report.missing, vec![(1, "b".to_string())]);
+        assert_eq!(report.added, vec![(1, "c".to_string())]);
+        assert!(!report.passes(), "a vanished benchmark must fail the gate");
+    }
+
+    #[test]
+    fn zero_baseline_handled() {
+        let base = vec![point(1, "z", 0.0)];
+        let cur = vec![point(1, "z", 5.0)];
+        let report = diff(&base, &cur, DEFAULT_THRESHOLD);
+        assert!(report.rows[0].ratio.is_infinite());
+        assert!(!report.passes());
+        // 0 → 0 is a clean pass, not NaN.
+        let report = diff(&base, &base, DEFAULT_THRESHOLD);
+        assert!(report.passes());
+    }
+
+    #[test]
+    fn parses_real_trajectory_shape() {
+        let text = r#"{"benchmark":"store_scaling","tiers":[
+            {"factor":1,"triples":9600,"entities":1200,"build_ms":10.5,
+             "queries":[{"name":"spo_probe","p50_us":2.25,"p99_us":4.0,
+                         "p50_nested_us":9.0,"rows_scanned":3,
+                         "rows_scanned_nested":40,"samples":200}]}]}"#;
+        let points = parse_trajectory(text).unwrap();
+        assert_eq!(points, vec![point(1, "spo_probe", 2.25)]);
+    }
+
+    #[test]
+    fn malformed_trajectories_fail_loudly() {
+        assert!(parse_trajectory("{}").is_err());
+        assert!(parse_trajectory(r#"{"benchmark":"store_scaling"}"#).is_err());
+        assert!(parse_trajectory(r#"{"benchmark":"store_scaling","tiers":[]}"#).is_err());
+        assert!(parse_trajectory("not json").is_err());
+    }
+}

@@ -32,6 +32,7 @@
 use std::fmt::Display;
 use std::time::Instant;
 
+pub mod diff;
 pub mod scaling;
 
 pub use std::hint::black_box;

@@ -1,0 +1,104 @@
+//! Span-scope audit: pins the profiler's view of the pipeline to the
+//! pipeline's own trace.
+//!
+//! Every `span!` in `relpat_qa::pipeline` pushes an interned tag on the
+//! profiler's thread stack and pops it on drop. This test turns on the
+//! profiler's audit log, answers questions that exit at every stage
+//! (answered, no-answer, extraction failure, mapping failure), and checks:
+//!
+//! - push/pop order is LIFO-well-formed and ends on an empty stack — a
+//!   leaked or double-popped guard corrupts every later profile sample;
+//! - `qa.total` brackets the whole question;
+//! - the direct children of `qa.total`, in push order, are exactly the
+//!   stages the response's own trace recorded, in the same order — the
+//!   profiler and the trace can never disagree about what ran.
+
+use std::sync::OnceLock;
+
+use relpat_kb::{generate, KbConfig, KnowledgeBase};
+use relpat_obs::prof::AuditEvent;
+use relpat_obs::profiler;
+use relpat_qa::Pipeline;
+
+fn pipeline() -> &'static Pipeline<'static> {
+    static KB: OnceLock<KnowledgeBase> = OnceLock::new();
+    static P: OnceLock<Pipeline<'static>> = OnceLock::new();
+    P.get_or_init(|| Pipeline::new(KB.get_or_init(|| generate(&KbConfig::tiny()))))
+}
+
+/// Replays the audit log as a stack; panics on any non-LIFO pop and
+/// returns the depth-1 pushes (direct children of the outermost frame).
+fn replay(events: &[AuditEvent]) -> Vec<String> {
+    let mut stack: Vec<&str> = Vec::new();
+    let mut children = Vec::new();
+    for e in events {
+        if e.push {
+            if stack.len() == 1 {
+                children.push(e.tag.clone());
+            }
+            stack.push(&e.tag);
+        } else {
+            let top = stack.pop().unwrap_or_else(|| {
+                panic!("pop of {:?} on an empty stack — guard dropped twice", e.tag)
+            });
+            assert_eq!(top, e.tag, "non-LIFO pop: popped {:?} while {top:?} was open", e.tag);
+        }
+    }
+    assert!(stack.is_empty(), "spans leaked at question end: {stack:?}");
+    children
+}
+
+#[test]
+fn profiler_stack_matches_trace_stage_order_at_every_exit() {
+    let p = pipeline();
+    let prof = profiler();
+    // Audit needs pushes to happen, and pushes are gated on the sampler
+    // being enabled; a slow rate keeps the sampler thread near-idle.
+    prof.enable(19);
+    prof.set_audit(true);
+    let me = format!("{:?}", std::thread::current().id());
+
+    // One question per pipeline exit path. The audited span sequence must
+    // match the trace whether the pipeline ran to completion or bailed.
+    let questions = [
+        "Which books are written by Orhan Pamuk?", // answered
+        "Which books are written by Frank Herbert?", // runs all stages
+        "Who zorbled the quuxified flibbertigibbet?", // mapping has nothing
+        "blue",                                    // extraction failure
+        "",                                        // degenerate input
+    ];
+    let mut exits_seen = std::collections::BTreeSet::new();
+    for q in questions {
+        prof.take_audit(); // drain anything earlier (other threads too)
+        let resp = p.answer(q);
+        let events: Vec<AuditEvent> =
+            prof.take_audit().into_iter().filter(|e| e.thread == me).collect();
+        exits_seen.insert(format!("{:?}", resp.stage));
+
+        assert!(!events.is_empty(), "no audited spans for {q:?}");
+        assert_eq!(events.first().map(|e| e.tag.as_str()), Some("qa.total"), "{q:?}");
+        let last = events.last().unwrap();
+        assert!(
+            last.tag == "qa.total" && !last.push,
+            "{q:?}: last event must pop qa.total, got {last:?}"
+        );
+
+        let children = replay(&events);
+        // Depth-1 spans under qa.total, minus the `qa.` prefix, are the
+        // trace's stage list — same names, same order, same count.
+        let audited: Vec<&str> =
+            children.iter().filter_map(|t| t.strip_prefix("qa.")).collect();
+        let traced: Vec<&str> =
+            resp.trace.stages.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(audited, traced, "{q:?}: profiler and trace disagree on stages");
+    }
+    // The sweep must actually exercise more than one exit path, or the
+    // early-return coverage claim above is hollow.
+    assert!(
+        exits_seen.len() >= 3,
+        "question set collapsed to too few pipeline exits: {exits_seen:?}"
+    );
+
+    prof.set_audit(false);
+    prof.disable();
+}

@@ -334,18 +334,27 @@ impl JoinCounters {
     }
 }
 
-/// Assembles the final report from judged results and the merged registry.
+/// Per-run deltas of the process-global counters (the registry passed to
+/// [`assemble_report`] only holds per-question trace aggregates; these are
+/// sampled before/after the run and attributed to it as deltas).
 /// `planner_misestimates` is the run's delta of the global
 /// `planner.misestimates` counter — join steps whose actual scan cost blew
-/// past the planner's score (see `relpat-sparql`'s misestimation detector).
+/// past the planner's score (see `relpat-sparql`'s misestimation detector);
+/// `prof` is the `(samples, dropped)` delta of the sampling profiler.
+struct GlobalDeltas {
+    cache: relpat_sparql::CacheStats,
+    index: relpat_kb::IndexLookupStats,
+    planner_misestimates: u64,
+    joins: JoinCounters,
+    prof: (u64, u64),
+}
+
+/// Assembles the final report from judged results and the merged registry.
 fn assemble_report(
     registry: &MetricsRegistry,
     stage_order: &[String],
     results: Vec<QuestionResult>,
-    cache_delta: relpat_sparql::CacheStats,
-    index_delta: relpat_kb::IndexLookupStats,
-    planner_misestimates: u64,
-    join_delta: JoinCounters,
+    deltas: GlobalDeltas,
 ) -> Report {
     let answered = results.iter().filter(|r| r.answered).count();
     let correct = results.iter().filter(|r| r.correct).count();
@@ -353,15 +362,17 @@ fn assemble_report(
         .iter()
         .map(|name| (name.to_string(), registry.counter_value(name)))
         .collect();
-    counters.push(("sparql.cache.hits".to_string(), cache_delta.hits));
-    counters.push(("sparql.cache.misses".to_string(), cache_delta.misses));
-    counters.push(("planner.misestimates".to_string(), planner_misestimates));
-    counters.push(("sparql.join.merge".to_string(), join_delta.merge));
-    counters.push(("sparql.join.gallop".to_string(), join_delta.gallop));
-    counters.push(("sparql.join.nested".to_string(), join_delta.nested));
-    counters.push(("map.index.probed".to_string(), index_delta.probed));
-    counters.push(("map.index.pruned".to_string(), index_delta.pruned));
-    counters.push(("map.index.scored".to_string(), index_delta.scored));
+    counters.push(("sparql.cache.hits".to_string(), deltas.cache.hits));
+    counters.push(("sparql.cache.misses".to_string(), deltas.cache.misses));
+    counters.push(("planner.misestimates".to_string(), deltas.planner_misestimates));
+    counters.push(("sparql.join.merge".to_string(), deltas.joins.merge));
+    counters.push(("sparql.join.gallop".to_string(), deltas.joins.gallop));
+    counters.push(("sparql.join.nested".to_string(), deltas.joins.nested));
+    counters.push(("map.index.probed".to_string(), deltas.index.probed));
+    counters.push(("map.index.pruned".to_string(), deltas.index.pruned));
+    counters.push(("map.index.scored".to_string(), deltas.index.scored));
+    counters.push(("prof.samples".to_string(), deltas.prof.0));
+    counters.push(("prof.dropped".to_string(), deltas.prof.1));
     let stats = RunStats {
         stage_latencies: stage_order.iter().map(|key| registry.histogram(key).summary()).collect(),
         counters,
@@ -405,6 +416,13 @@ pub fn run_benchmark_with(
     // queries while a benchmark runs.
     let misestimates_before = relpat_obs::global().counter_value("planner.misestimates");
     let joins_before = JoinCounters::sample();
+    // Continuous-profiler activity during the run (zeros when the sampler
+    // is off, as it is for plain benchmark invocations).
+    let prof_before = relpat_obs::profiler().counters();
+    let prof_delta = || {
+        let (samples, dropped) = relpat_obs::profiler().counters();
+        (samples.saturating_sub(prof_before.0), dropped.saturating_sub(prof_before.1))
+    };
     let threads = threads.max(1).min(evaluated.len().max(1));
 
     if threads == 1 {
@@ -424,9 +442,14 @@ pub fn run_benchmark_with(
             .counter_value("planner.misestimates")
             .saturating_sub(misestimates_before);
         let joins = JoinCounters::sample().delta_since(joins_before);
-        return assemble_report(
-            &local, &stage_order, results, cache_delta, index_delta, misestimates, joins,
-        );
+        let deltas = GlobalDeltas {
+            cache: cache_delta,
+            index: index_delta,
+            planner_misestimates: misestimates,
+            joins,
+            prof: prof_delta(),
+        };
+        return assemble_report(&local, &stage_order, results, deltas);
     }
 
     let patterns_before = pipeline.patterns().lookup_stats();
@@ -480,7 +503,14 @@ pub fn run_benchmark_with(
         .counter_value("planner.misestimates")
         .saturating_sub(misestimates_before);
     let joins = JoinCounters::sample().delta_since(joins_before);
-    assemble_report(&merged, &stage_order, results, cache_delta, index_delta, misestimates, joins)
+    let deltas = GlobalDeltas {
+        cache: cache_delta,
+        index: index_delta,
+        planner_misestimates: misestimates,
+        joins,
+        prof: prof_delta(),
+    };
+    assemble_report(&merged, &stage_order, results, deltas)
 }
 
 #[cfg(test)]

@@ -173,14 +173,13 @@ impl EventJournal {
         if !self.is_enabled() {
             return;
         }
-        let event = Event {
-            seq: self.seq.fetch_add(1, Relaxed) + 1,
-            nanos: self.epoch.elapsed().as_nanos() as u64,
-            level,
-            stage: stage.to_string(),
-            fields,
-        };
+        let nanos = self.epoch.elapsed().as_nanos() as u64;
+        let stage = stage.to_string();
         let mut inner = self.inner.lock().expect("journal lock");
+        // Seq is assigned under the ring lock: handing it out earlier lets
+        // two racing writers insert out of seq order, so the retained tail
+        // would no longer be the contiguous end of the sequence space.
+        let event = Event { seq: self.seq.fetch_add(1, Relaxed) + 1, nanos, level, stage, fields };
         if let Some(w) = inner.file.as_mut() {
             let _ = writeln!(w, "{}", event.to_json());
         }

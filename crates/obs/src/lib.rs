@@ -28,6 +28,13 @@
 //!   over a [`MetricsSnapshot`] (counters, native histograms with
 //!   cumulative `le` buckets, min/max gauges), shared by the live
 //!   `GET /metrics` endpoint and offline profile dumps.
+//! - [`prof`] — cooperative wall-clock sampling profiler: `span!` guards
+//!   push interned activity tags on per-thread stacks, a background
+//!   sampler (off by default) aggregates them into a bounded profile
+//!   store, exported as collapsed-stack text or JSON.
+//! - [`slo`] — rolling-window (1m/5m/1h) latency/error objectives with
+//!   multi-window burn rates; breaches emit `slo.burn` journal events and
+//!   per-objective gauges.
 //!
 //! ## Support utilities
 //!
@@ -51,7 +58,9 @@ pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod plan;
+pub mod prof;
 pub mod rng;
+pub mod slo;
 pub mod span;
 pub mod trace;
 pub mod trace_store;
@@ -63,7 +72,9 @@ pub use metrics::{
     MetricsSnapshot,
 };
 pub use plan::{JoinAlgo, PlanStep, PlanTrace, QueryPlan};
+pub use prof::{profiler, ProfileSnapshot, Profiler, TagId};
 pub use rng::Rng;
+pub use slo::{BurnReport, SloConfig, SloMonitor, SloObjective};
 pub use span::Span;
 pub use trace::{PatternLookupStats, QuestionTrace, StageTiming, TraceAnswer, TraceCandidate, TraceTriple};
 pub use trace_store::{

@@ -675,12 +675,18 @@ macro_rules! gauge {
 }
 
 /// RAII stage timer on the global registry: `let _g = span!("stage.map");`
-/// records the guard's lifetime into the named histogram (nanoseconds).
+/// records the guard's lifetime into the named histogram (nanoseconds) and,
+/// while the [`prof`](crate::prof) sampler is enabled, keeps the stage's
+/// interned tag on the calling thread's profiler stack. Both handles are
+/// resolved once per call site.
 #[macro_export]
 macro_rules! span {
     ($name:expr) => {{
-        static HANDLE: std::sync::OnceLock<$crate::Histogram> = std::sync::OnceLock::new();
-        $crate::Span::from_handle(HANDLE.get_or_init(|| $crate::global().histogram($name)).clone())
+        static HANDLE: std::sync::OnceLock<($crate::Histogram, $crate::prof::TagId)> =
+            std::sync::OnceLock::new();
+        let (histogram, tag) = HANDLE
+            .get_or_init(|| ($crate::global().histogram($name), $crate::prof::intern($name)));
+        $crate::Span::from_handle_tagged(histogram.clone(), *tag)
     }};
 }
 
@@ -1071,16 +1077,11 @@ mod tests {
         assert!(!text.contains("store_frozen_triples_total"), "{text}");
     }
 
-    #[test]
-    fn every_exposition_family_has_help_and_type() {
-        let r = MetricsRegistry::new();
-        r.counter("qa.questions").add(2);
-        r.gauge("store.held").set(5);
-        r.histogram("qa.total").record(100);
-        let text = render_prometheus(&r.snapshot());
-        // Collect the base family of every sample line: strip histogram
-        // sub-sample suffixes so `x_bucket`/`x_sum`/`x_count` map to `x`,
-        // while `_min`/`_max` stand as their own gauge families.
+    /// Asserts every sample family in a rendered exposition carries both
+    /// `# HELP` and `# TYPE` metadata. Strips histogram sub-sample
+    /// suffixes so `x_bucket`/`x_sum`/`x_count` map to `x`, while
+    /// `_min`/`_max` stand as their own gauge families.
+    fn audit_exposition_metadata(text: &str) {
         let mut annotated = std::collections::HashSet::new();
         for line in text.lines() {
             if let Some(rest) = line.strip_prefix("# TYPE ") {
@@ -1100,6 +1101,57 @@ mod tests {
                 .unwrap_or(sample);
             assert!(annotated.contains(family), "sample {sample} lacks # TYPE/# HELP metadata");
         }
+    }
+
+    #[test]
+    fn every_exposition_family_has_help_and_type() {
+        let r = MetricsRegistry::new();
+        r.counter("qa.questions").add(2);
+        r.gauge("store.held").set(5);
+        r.histogram("qa.total").record(100);
+        audit_exposition_metadata(&render_prometheus(&r.snapshot()));
+    }
+
+    #[test]
+    fn slo_and_prof_families_render_with_metadata() {
+        use crate::slo::{SloConfig, SloMonitor};
+        // Drive the real SLO machinery: the default objectives, two
+        // minutes of clean traffic, one check populating the gauges.
+        let r = MetricsRegistry::new();
+        let monitor = SloMonitor::new(SloConfig::default());
+        for sec in 0..120 {
+            monitor.record_at(sec, "answer", 1_000_000, false);
+            monitor.record_at(sec, "sparql", 1_000_000, false);
+        }
+        monitor.check_at(120, &r);
+        // The profiler's counter mirrors, at their exported names.
+        r.counter("prof.samples").add(3);
+        r.counter("prof.dropped").add(0);
+        let text = render_prometheus(&r.snapshot());
+        audit_exposition_metadata(&text);
+
+        // Every objective exports its three burn-rate windows plus the
+        // breached flag — as gauges (no `_total`), fully annotated.
+        for objective in ["answer_latency", "answer_errors", "sparql_latency"] {
+            for suffix in ["burn_1m", "burn_5m", "burn_1h", "breached"] {
+                let fam = format!("slo_{objective}_{suffix}");
+                assert!(text.contains(&format!("# TYPE {fam} gauge")), "{fam} missing: {text}");
+                assert!(
+                    text.lines().any(|l| l.starts_with(&format!("{fam} "))),
+                    "{fam} has no sample"
+                );
+                assert!(!text.contains(&format!("{fam}_total")), "gauge {fam} got _total");
+            }
+        }
+        // Clean traffic: nothing breached.
+        for objective in ["answer_latency", "answer_errors", "sparql_latency"] {
+            assert!(text.contains(&format!("slo_{objective}_breached 0")), "{text}");
+        }
+        // Profiler counters render as counters with the `_total` suffix,
+        // and a zero counter still exports (absence would be unscrapeable).
+        assert!(text.contains("# TYPE prof_samples_total counter"), "{text}");
+        assert!(text.contains("prof_samples_total 3"), "{text}");
+        assert!(text.contains("prof_dropped_total 0"), "{text}");
     }
 
     #[test]

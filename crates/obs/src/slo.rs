@@ -1,0 +1,525 @@
+//! Rolling-window latency/error objectives with multi-window burn rates.
+//!
+//! An objective states "`target` fraction of requests to `endpoint` must be
+//! good", where *bad* means an error or (for latency objectives) a request
+//! over the threshold. The error budget is `1 - target`, and the **burn
+//! rate** over a window is
+//!
+//! ```text
+//! burn = bad_fraction_in_window / (1 - target)
+//! ```
+//!
+//! — burn 1.0 spends the budget exactly at the sustainable pace; burn 14.4
+//! sustained for an hour spends a 30-day budget's 2% in that hour. The
+//! monitor keeps one-second buckets in three ring buffers (1m/5m/1h) per
+//! objective and applies the standard two-window rule so a breach needs
+//! both a fast and a slower window over threshold: the short window makes
+//! the alert responsive, the long one stops a single bad second from
+//! paging.
+//!
+//! - **fast breach**: `burn(1m) ≥ fast_burn` **and** `burn(5m) ≥ fast_burn`
+//! - **slow breach**: `burn(5m) ≥ slow_burn` **and** `burn(1h) ≥ slow_burn`
+//!
+//! Breach *transitions* (entering or leaving) emit a `slo.burn` journal
+//! event and bump `slo.breaches` (enters only); every
+//! [`check`](SloMonitor::check) refreshes per-objective gauges
+//! (`slo.<name>.burn_1m/5m/1h`, milli-burn — the gauge value is
+//! `round(burn × 1000)` since gauges are integers — and
+//! `slo.<name>.breached` 0/1).
+//!
+//! All clocking goes through seconds-since-monitor-creation, and the
+//! `*_at` variants take that second explicitly, so unit sweeps can replay
+//! hours of traffic without sleeping.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::journal::Level;
+use crate::metrics::MetricsRegistry;
+
+/// The three burn-rate windows, in seconds.
+pub const WINDOWS: &[(&str, u64)] = &[("1m", 60), ("5m", 300), ("1h", 3600)];
+
+/// One latency or error objective on an endpoint.
+#[derive(Debug, Clone)]
+pub struct SloObjective {
+    /// Gauge/report name, e.g. `answer_latency`.
+    pub name: String,
+    /// Endpoint key matched against [`SloMonitor::record`]'s first argument.
+    pub endpoint: String,
+    /// A request slower than this is bad (`None`: errors alone are bad).
+    pub threshold_ns: Option<u64>,
+    /// Good-request fraction target in `(0, 1)`, e.g. `0.99`.
+    pub target: f64,
+}
+
+impl SloObjective {
+    /// Latency objective: `target` of `endpoint` requests finish within
+    /// `threshold_ms` (errors count as bad too).
+    pub fn latency(name: &str, endpoint: &str, threshold_ms: u64, target: f64) -> Self {
+        SloObjective {
+            name: name.to_string(),
+            endpoint: endpoint.to_string(),
+            threshold_ns: Some(threshold_ms * 1_000_000),
+            target,
+        }
+    }
+
+    /// Availability objective: `target` of `endpoint` requests succeed.
+    pub fn errors(name: &str, endpoint: &str, target: f64) -> Self {
+        SloObjective {
+            name: name.to_string(),
+            endpoint: endpoint.to_string(),
+            threshold_ns: None,
+            target,
+        }
+    }
+}
+
+/// Objectives plus the two-window burn thresholds.
+#[derive(Debug, Clone)]
+pub struct SloConfig {
+    pub objectives: Vec<SloObjective>,
+    /// Threshold for the fast (1m + 5m) breach rule.
+    pub fast_burn: f64,
+    /// Threshold for the slow (5m + 1h) breach rule.
+    pub slow_burn: f64,
+}
+
+impl Default for SloConfig {
+    /// The serving plane's defaults: 99% of answers within 250 ms, 99.9%
+    /// of answers succeed, 99% of raw SPARQL calls within 100 ms. Burn
+    /// thresholds follow the SRE-workbook pairing (14.4 fast / 6 slow).
+    fn default() -> Self {
+        SloConfig {
+            objectives: vec![
+                SloObjective::latency("answer_latency", "answer", 250, 0.99),
+                SloObjective::errors("answer_errors", "answer", 0.999),
+                SloObjective::latency("sparql_latency", "sparql", 100, 0.99),
+            ],
+            fast_burn: 14.4,
+            slow_burn: 6.0,
+        }
+    }
+}
+
+/// One-second buckets over a fixed window. Slot `sec % window` holds the
+/// counts for `sec`; a slot whose stored second has fallen out of the
+/// window is dead weight until overwritten, and the sum skips it.
+#[derive(Debug)]
+struct Ring {
+    window: u64,
+    secs: Vec<u64>,
+    total: Vec<u64>,
+    bad: Vec<u64>,
+}
+
+impl Ring {
+    fn new(window: u64) -> Self {
+        Ring {
+            window,
+            secs: vec![u64::MAX; window as usize],
+            total: vec![0; window as usize],
+            bad: vec![0; window as usize],
+        }
+    }
+
+    fn add(&mut self, sec: u64, bad: bool) {
+        let i = (sec % self.window) as usize;
+        if self.secs[i] != sec {
+            self.secs[i] = sec;
+            self.total[i] = 0;
+            self.bad[i] = 0;
+        }
+        self.total[i] += 1;
+        self.bad[i] += u64::from(bad);
+    }
+
+    /// `(total, bad)` over `(now - window, now]`.
+    fn sums(&self, now: u64) -> (u64, u64) {
+        let mut total = 0;
+        let mut bad = 0;
+        for i in 0..self.window as usize {
+            let s = self.secs[i];
+            if s != u64::MAX && s <= now && now - s < self.window {
+                total += self.total[i];
+                bad += self.bad[i];
+            }
+        }
+        (total, bad)
+    }
+}
+
+#[derive(Debug)]
+struct ObjectiveState {
+    objective: SloObjective,
+    rings: Vec<Ring>,
+    breached: bool,
+}
+
+/// Burn rates for one objective at one [`check`](SloMonitor::check).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurnReport {
+    pub objective: String,
+    pub endpoint: String,
+    pub target: f64,
+    pub burn_1m: f64,
+    pub burn_5m: f64,
+    pub burn_1h: f64,
+    pub breached: bool,
+    /// True when this check flipped the breach state either way.
+    pub changed: bool,
+}
+
+impl BurnReport {
+    pub fn to_json(&self) -> crate::Json {
+        crate::Json::obj()
+            .set("objective", self.objective.as_str())
+            .set("endpoint", self.endpoint.as_str())
+            .set("target", crate::Json::Num(self.target))
+            .set("burn_1m", crate::Json::Num(round3(self.burn_1m)))
+            .set("burn_5m", crate::Json::Num(round3(self.burn_5m)))
+            .set("burn_1h", crate::Json::Num(round3(self.burn_1h)))
+            .set("breached", self.breached)
+    }
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+/// Rolling-window SLO monitor. See the module docs for the math.
+#[derive(Debug)]
+pub struct SloMonitor {
+    epoch: Instant,
+    fast_burn: f64,
+    slow_burn: f64,
+    inner: Mutex<Vec<ObjectiveState>>,
+}
+
+impl Default for SloMonitor {
+    fn default() -> Self {
+        Self::new(SloConfig::default())
+    }
+}
+
+impl SloMonitor {
+    pub fn new(config: SloConfig) -> Self {
+        let SloConfig { objectives, fast_burn, slow_burn } = config;
+        let states = objectives
+            .into_iter()
+            .map(|objective| ObjectiveState {
+                objective,
+                rings: WINDOWS.iter().map(|&(_, w)| Ring::new(w)).collect(),
+                breached: false,
+            })
+            .collect();
+        SloMonitor {
+            epoch: Instant::now(),
+            fast_burn: config_burn(fast_burn),
+            slow_burn: config_burn(slow_burn),
+            inner: Mutex::new(states),
+        }
+    }
+
+    /// Seconds since the monitor was created (the clock `record`/`check`
+    /// use).
+    pub fn now_s(&self) -> u64 {
+        self.epoch.elapsed().as_secs()
+    }
+
+    /// Records one request against every objective on `endpoint`.
+    pub fn record(&self, endpoint: &str, latency_ns: u64, error: bool) {
+        self.record_at(self.now_s(), endpoint, latency_ns, error);
+    }
+
+    /// [`record`](Self::record) at an explicit second (unit-sweep entry
+    /// point).
+    pub fn record_at(&self, sec: u64, endpoint: &str, latency_ns: u64, error: bool) {
+        let mut states = self.inner.lock().expect("slo lock");
+        for st in states.iter_mut().filter(|s| s.objective.endpoint == endpoint) {
+            let bad =
+                error || st.objective.threshold_ns.is_some_and(|t| latency_ns > t);
+            for ring in &mut st.rings {
+                ring.add(sec, bad);
+            }
+        }
+    }
+
+    /// Recomputes every objective's burn rates, refreshes gauges on
+    /// `registry`, and emits `slo.burn` journal events on breach
+    /// transitions. Returns one report per objective.
+    pub fn check(&self, registry: &MetricsRegistry) -> Vec<BurnReport> {
+        self.check_at(self.now_s(), registry)
+    }
+
+    /// [`check`](Self::check) at an explicit second.
+    pub fn check_at(&self, sec: u64, registry: &MetricsRegistry) -> Vec<BurnReport> {
+        let mut states = self.inner.lock().expect("slo lock");
+        let mut reports = Vec::with_capacity(states.len());
+        for st in states.iter_mut() {
+            let budget = (1.0 - st.objective.target).max(1e-9);
+            let burns: Vec<f64> = st
+                .rings
+                .iter()
+                .map(|r| {
+                    let (total, bad) = r.sums(sec);
+                    if total == 0 { 0.0 } else { (bad as f64 / total as f64) / budget }
+                })
+                .collect();
+            let (b1, b5, bh) = (burns[0], burns[1], burns[2]);
+            let fast = b1 >= self.fast_burn && b5 >= self.fast_burn;
+            let slow = b5 >= self.slow_burn && bh >= self.slow_burn;
+            let breached = fast || slow;
+            let changed = breached != st.breached;
+            st.breached = breached;
+            let name = st.objective.name.as_str();
+            if changed {
+                let (level, state) =
+                    if breached { (Level::Warn, "breached") } else { (Level::Info, "resolved") };
+                if breached {
+                    crate::counter!("slo.breaches");
+                }
+                crate::jevent!(
+                    level,
+                    "slo.burn",
+                    "objective" => name,
+                    "endpoint" => st.objective.endpoint,
+                    "state" => state,
+                    "burn_1m" => round3(b1),
+                    "burn_5m" => round3(b5),
+                    "burn_1h" => round3(bh),
+                );
+            }
+            registry.gauge(&format!("slo.{name}.burn_1m")).set(milli(b1));
+            registry.gauge(&format!("slo.{name}.burn_5m")).set(milli(b5));
+            registry.gauge(&format!("slo.{name}.burn_1h")).set(milli(bh));
+            registry.gauge(&format!("slo.{name}.breached")).set(u64::from(breached));
+            reports.push(BurnReport {
+                objective: st.objective.name.clone(),
+                endpoint: st.objective.endpoint.clone(),
+                target: st.objective.target,
+                burn_1m: b1,
+                burn_5m: b5,
+                burn_1h: bh,
+                breached,
+                changed,
+            });
+        }
+        reports
+    }
+}
+
+/// Milli-burn gauge encoding (gauges are unsigned integers).
+fn milli(burn: f64) -> u64 {
+    (burn * 1000.0).round().min(u64::MAX as f64 / 2.0) as u64
+}
+
+fn config_burn(v: f64) -> f64 {
+    if v.is_finite() && v > 0.0 { v } else { 1.0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn latency_only(target: f64) -> SloMonitor {
+        SloMonitor::new(SloConfig {
+            objectives: vec![SloObjective::latency("lat", "ep", 100, target)],
+            fast_burn: 14.4,
+            slow_burn: 6.0,
+        })
+    }
+
+    #[test]
+    fn ring_sums_track_a_sliding_window() {
+        let mut r = Ring::new(60);
+        for sec in 0..120u64 {
+            r.add(sec, sec % 10 == 0);
+        }
+        // At second 119 the window covers 60..=119: six bad seconds.
+        assert_eq!(r.sums(119), (60, 6));
+        // Far in the future everything has expired.
+        assert_eq!(r.sums(1000), (0, 0));
+        // Re-adding at a wrapped slot resets that slot's old counts.
+        r.add(1000, false);
+        assert_eq!(r.sums(1000), (1, 0));
+    }
+
+    #[test]
+    fn burn_is_bad_fraction_over_budget() {
+        let m = latency_only(0.99); // 1% budget
+        let r = MetricsRegistry::new();
+        // 100 requests in one second, 2 slow: bad fraction 2% → burn 2.0.
+        for i in 0..100u64 {
+            m.record_at(10, "ep", if i < 2 { 200_000_000 } else { 1_000_000 }, false);
+        }
+        let reports = m.check_at(10, &r);
+        assert_eq!(reports.len(), 1);
+        let rep = &reports[0];
+        assert!((rep.burn_1m - 2.0).abs() < 1e-9, "{rep:?}");
+        assert!((rep.burn_5m - 2.0).abs() < 1e-9, "{rep:?}");
+        assert!(!rep.breached, "burn 2 is under both thresholds");
+        assert_eq!(r.gauge_value("slo.lat.burn_1m"), 2000);
+        assert_eq!(r.gauge_value("slo.lat.breached"), 0);
+    }
+
+    #[test]
+    fn errors_count_against_latency_objectives_too() {
+        let m = latency_only(0.9);
+        let r = MetricsRegistry::new();
+        m.record_at(5, "ep", 1, true); // fast but errored
+        let rep = &m.check_at(5, &r)[0];
+        assert!(rep.burn_1m > 0.0, "{rep:?}");
+    }
+
+    #[test]
+    fn unmatched_endpoint_is_ignored() {
+        let m = latency_only(0.99);
+        let r = MetricsRegistry::new();
+        m.record_at(5, "other", 500_000_000, false);
+        let rep = &m.check_at(5, &r)[0];
+        assert_eq!((rep.burn_1m, rep.burn_5m, rep.burn_1h), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn fast_breach_needs_both_short_windows() {
+        let m = latency_only(0.99);
+        let r = MetricsRegistry::new();
+        // Minute 0–4: healthy traffic fills the 5m window.
+        for sec in 0..300u64 {
+            for _ in 0..10 {
+                m.record_at(sec, "ep", 1_000_000, false);
+            }
+        }
+        assert!(!m.check_at(299, &r)[0].breached);
+        // Sudden total outage: every request slow.
+        for sec in 300..360u64 {
+            for _ in 0..10 {
+                m.record_at(sec, "ep", 500_000_000, false);
+            }
+        }
+        // One bad minute over a healthy 5m window: burn_1m = 100 but
+        // burn_5m = 600 bad / 3000 total / 0.01 = 20 ≥ 14.4 → breach.
+        let rep = &m.check_at(359, &r)[0];
+        assert!(rep.burn_1m >= 14.4, "{rep:?}");
+        assert!(rep.breached && rep.changed, "{rep:?}");
+        assert_eq!(r.gauge_value("slo.lat.breached"), 1);
+        // Second check without new traffic: still breached, not a change.
+        let rep2 = &m.check_at(359, &r)[0];
+        assert!(rep2.breached && !rep2.changed, "{rep2:?}");
+    }
+
+    #[test]
+    fn short_blip_over_long_healthy_window_does_not_page() {
+        let m = latency_only(0.99);
+        let r = MetricsRegistry::new();
+        // 10 minutes of healthy traffic…
+        for sec in 0..600u64 {
+            for _ in 0..10 {
+                m.record_at(sec, "ep", 1_000_000, false);
+            }
+        }
+        // …then five bad seconds.
+        for sec in 600..605u64 {
+            for _ in 0..10 {
+                m.record_at(sec, "ep", 900_000_000, false);
+            }
+        }
+        // burn_1m = (50/600)/0.01 ≈ 8.3 < 14.4 and burn_5m ≈ 1.7 < 14.4:
+        // the two-window rule holds the page.
+        let rep = &m.check_at(604, &r)[0];
+        assert!(!rep.breached, "{rep:?}");
+    }
+
+    #[test]
+    fn breach_recovers_and_emits_transition_events() {
+        let m = latency_only(0.99);
+        let r = MetricsRegistry::new();
+        let journal_before = crate::global_journal().emitted();
+        let breaches_before = crate::global().counter_value("slo.breaches");
+        // Outage from a cold start: everything bad in every window.
+        for sec in 0..60u64 {
+            m.record_at(sec, "ep", 500_000_000, false);
+        }
+        let rep = &m.check_at(59, &r)[0];
+        assert!(rep.breached && rep.changed, "{rep:?}");
+        assert_eq!(crate::global().counter_value("slo.breaches"), breaches_before + 1);
+        // An hour later the windows have drained; the breach resolves.
+        let rep2 = &m.check_at(7200, &r)[0];
+        assert!(!rep2.breached && rep2.changed, "{rep2:?}");
+        // Resolving must not count as a new breach.
+        assert_eq!(crate::global().counter_value("slo.breaches"), breaches_before + 1);
+        let tail = crate::global_journal().tail(4096);
+        let ours: Vec<_> = tail
+            .iter()
+            .skip_while(|e| e.seq <= journal_before)
+            .filter(|e| e.stage == "slo.burn")
+            .collect();
+        assert!(ours.len() >= 2, "expected breach + resolve events");
+        let states: Vec<&str> = ours
+            .iter()
+            .filter_map(|e| {
+                e.fields.iter().find(|(k, _)| k == "state").map(|(_, v)| v.as_str())
+            })
+            .collect();
+        assert!(states.contains(&"breached") && states.contains(&"resolved"), "{states:?}");
+    }
+
+    #[test]
+    fn hour_long_slow_burn_pages_where_fast_rule_stays_quiet() {
+        let m = latency_only(0.99);
+        let r = MetricsRegistry::new();
+        // Sustained 8% bad for an hour: burn 8 everywhere — under the
+        // fast threshold, over the slow one.
+        let mut rng = crate::Rng::seed_from_u64(7);
+        for sec in 0..3600u64 {
+            for _ in 0..5 {
+                let bad = rng.gen_bool(0.08);
+                m.record_at(sec, "ep", if bad { 200_000_000 } else { 1_000_000 }, false);
+            }
+        }
+        let rep = &m.check_at(3599, &r)[0];
+        assert!(rep.burn_1h > 6.0 && rep.burn_1h < 14.4, "{rep:?}");
+        assert!(rep.breached, "slow-burn rule must page: {rep:?}");
+    }
+
+    #[test]
+    fn default_config_covers_answer_and_sparql_endpoints() {
+        let m = SloMonitor::default();
+        let r = MetricsRegistry::new();
+        m.record_at(3, "answer", 1_000_000, false);
+        m.record_at(3, "sparql", 1_000_000, false);
+        let reports = m.check_at(3, &r);
+        assert_eq!(reports.len(), 3);
+        for rep in &reports {
+            assert!(!rep.breached, "{rep:?}");
+        }
+        for g in [
+            "slo.answer_latency.burn_1m",
+            "slo.answer_errors.burn_5m",
+            "slo.sparql_latency.burn_1h",
+            "slo.answer_latency.breached",
+        ] {
+            // Registered (value may legitimately be 0).
+            assert!(r.snapshot().gauges.iter().any(|(n, _)| n == g), "missing gauge {g}");
+        }
+        let json = reports[0].to_json().to_string();
+        assert!(json.contains("\"objective\":\"answer_latency\""), "{json}");
+    }
+
+    #[test]
+    fn burn_report_json_rounds_to_milli() {
+        let rep = BurnReport {
+            objective: "x".into(),
+            endpoint: "ep".into(),
+            target: 0.99,
+            burn_1m: 1.23456,
+            burn_5m: 0.0,
+            burn_1h: 0.0,
+            breached: false,
+            changed: false,
+        };
+        assert!(rep.to_json().to_string().contains("\"burn_1m\":1.235"));
+    }
+}

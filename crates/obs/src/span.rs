@@ -3,10 +3,18 @@
 //! A [`Span`] reads the monotonic clock when created and records the
 //! elapsed nanoseconds into its histogram when dropped. When the owning
 //! registry is disabled the clock is never read at all — the guard is inert.
+//!
+//! Spans created by the [`span!`](crate::span) macro additionally carry an
+//! interned profiler tag: while the [`prof`](crate::prof) sampler is
+//! enabled, the tag rides the calling thread's stack for the span's
+//! lifetime, so stage timers double as profiling coverage. The push is
+//! gated on the profiler's own flag — one relaxed load, no allocation when
+//! off.
 
 use std::time::Instant;
 
 use crate::metrics::Histogram;
+use crate::prof::{self, StackGuard, TagId};
 
 /// RAII timer: records its own lifetime (nanoseconds) into a histogram on
 /// drop. Obtain one via [`span!`](crate::span) or
@@ -15,13 +23,26 @@ use crate::metrics::Histogram;
 pub struct Span {
     start: Option<Instant>,
     histogram: Histogram,
+    /// Profiler tag-stack guard; pops (restores the saved depth) when the
+    /// span drops — declared after `histogram` so the pop happens after the
+    /// duration is recorded, keeping pop order identical to record order.
+    _prof: Option<StackGuard>,
 }
 
 impl Span {
     /// Starts timing into `histogram` (inert if its registry is disabled).
     pub fn from_handle(histogram: Histogram) -> Self {
         let start = if histogram.is_enabled() { Some(Instant::now()) } else { None };
-        Span { start, histogram }
+        Span { start, histogram, _prof: None }
+    }
+
+    /// Starts timing and pushes `tag` on the profiler's thread stack while
+    /// the sampler is enabled. The [`span!`](crate::span) macro resolves
+    /// both handles once per call site and comes through here.
+    pub fn from_handle_tagged(histogram: Histogram, tag: TagId) -> Self {
+        let prof = prof::push(tag);
+        let start = if histogram.is_enabled() { Some(Instant::now()) } else { None };
+        Span { start, histogram, _prof: prof }
     }
 
     /// Nanoseconds elapsed so far (0 when inert).

@@ -1,0 +1,168 @@
+//! Concurrent-writer hammers for the flight-recorder surfaces.
+//!
+//! The TraceStore, the EventJournal, and the profiler's sampler all accept
+//! writes from every serving thread at once; their invariants are cheap to
+//! state and easy to break with a lock-ordering or counter-accounting slip:
+//!
+//! - **TraceStore**: every offered trace gets a unique monotonic id; the
+//!   retention counters reconcile exactly with `seen`; held entries and
+//!   bytes stay inside the configured bounds whatever the interleaving.
+//! - **EventJournal**: sequence numbers are gap-free under contention
+//!   (`emitted` equals the highest seq; the retained tail is contiguous),
+//!   and `emitted + dropped` accounting never loses an event.
+//! - **Profiler**: the sampler reading racing thread stacks mid-push must
+//!   never observe (or invent) a tag outside the interned set, and the
+//!   store stays within its stack cap.
+//!
+//! All hammers are seeded (in-tree [`Rng`]) and use `std::thread::scope`,
+//! so a failure reproduces under the same seed.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use relpat_obs::{
+    profiler, EventJournal, Level, QuestionTrace, Rng, TraceStore, TraceStoreConfig,
+};
+
+const WRITERS: usize = 8;
+const PER_WRITER: u64 = 500;
+
+fn trace(question: &str, stage: &str, nanos: u64) -> QuestionTrace {
+    let mut t = QuestionTrace::new(question);
+    t.add_stage(stage, nanos);
+    t
+}
+
+#[test]
+fn trace_store_survives_concurrent_writers() {
+    let config = TraceStoreConfig {
+        capacity: 64,
+        max_bytes: 64 * 1024,
+        sample_rate: 0.25,
+        seed: 0x5eed_cafe,
+        warmup: 16,
+    };
+    let store = TraceStore::new(config);
+    let id_sum = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let store = &store;
+            let id_sum = &id_sum;
+            scope.spawn(move || {
+                let mut rng = Rng::seed_from_u64(0xbeef_0000 + w as u64);
+                for i in 0..PER_WRITER {
+                    // Mix of fast, slow-tail, and errored traffic so every
+                    // retention path runs under contention.
+                    let nanos = match rng.gen_range(0u32..10) {
+                        0 => 50_000_000, // slow outlier
+                        _ => 10_000 + rng.gen_range(0u64..100_000),
+                    };
+                    let error = rng.gen_range(0u32..20) == 0;
+                    let t = trace(&format!("w{w} q{i}"), "answer", nanos);
+                    let outcome = store.record(&t, error);
+                    id_sum.fetch_add(outcome.id, Relaxed);
+                }
+            });
+        }
+    });
+
+    let total = WRITERS as u64 * PER_WRITER;
+    let stats = store.stats();
+    assert_eq!(stats.seen, total, "every offer counted");
+    // Ids are handed out monotonically from 1; unique ids over `total`
+    // offers sum to the exact triangular number — any duplicate or skipped
+    // id breaks the sum.
+    assert_eq!(id_sum.load(Relaxed), total * (total + 1) / 2, "trace ids not unique/contiguous");
+    // Retention accounting reconciles: every trace was either kept (for
+    // exactly one reason) or sampled out.
+    assert_eq!(
+        stats.errors + stats.slow_tail + stats.sampled + stats.sampled_out,
+        total,
+        "retention counters lost traces: {stats:?}"
+    );
+    // Bounds hold at rest.
+    assert!(stats.held <= 64, "capacity exceeded: {}", stats.held);
+    assert!(stats.bytes <= 64 * 1024, "byte budget exceeded: {}", stats.bytes);
+    assert_eq!(stats.held, store.ids().len());
+    // The id index and the entries agree after all the concurrent churn.
+    for id in store.ids() {
+        assert!(store.get(id).is_some(), "indexed id {id} has no entry");
+    }
+}
+
+#[test]
+fn journal_seqs_stay_gap_free_under_contention() {
+    let journal = EventJournal::new(256);
+
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let journal = &journal;
+            scope.spawn(move || {
+                let mut rng = Rng::seed_from_u64(0xfeed_0000 + w as u64);
+                for i in 0..PER_WRITER {
+                    // jevent!-shaped payloads of varying width.
+                    let mut fields = vec![("w".to_string(), w.to_string())];
+                    if rng.gen_range(0u32..2) == 0 {
+                        fields.push(("i".to_string(), i.to_string()));
+                    }
+                    journal.emit(Level::Debug, "hammer.stage", fields);
+                }
+            });
+        }
+    });
+
+    let total = WRITERS as u64 * PER_WRITER;
+    assert_eq!(journal.emitted(), total);
+    // Ring of 256 holding the newest events: the retained tail must be the
+    // contiguous final stretch of the sequence space, ending at `emitted`.
+    let tail = journal.tail(usize::MAX);
+    assert_eq!(tail.len(), 256);
+    for pair in tail.windows(2) {
+        assert_eq!(pair[1].seq, pair[0].seq + 1, "gap in retained tail");
+    }
+    assert_eq!(tail.last().unwrap().seq, total, "newest event missing");
+    assert_eq!(journal.dropped(), total - 256, "drop accounting");
+}
+
+#[test]
+fn sampler_never_observes_uninterned_tags() {
+    let prof = profiler();
+    prof.reset_store();
+    prof.enable(997);
+
+    // Writers churn nested spans while the sampler races their stacks;
+    // every tag the profile ends up holding must be one we interned.
+    let tags: Vec<_> = (0..6).map(|i| relpat_obs::prof::intern(&format!("hammer.t{i}"))).collect();
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let tags = &tags;
+            scope.spawn(move || {
+                let mut rng = Rng::seed_from_u64(0xabba_0000 + w as u64);
+                for _ in 0..2_000 {
+                    let _a = relpat_obs::prof::push(tags[rng.gen_range(0usize..tags.len())]);
+                    let _b = relpat_obs::prof::push(tags[rng.gen_range(0usize..tags.len())]);
+                    if rng.gen_range(0u32..4) == 0 {
+                        let _c = relpat_obs::prof::push(tags[rng.gen_range(0usize..tags.len())]);
+                        std::hint::black_box(&_c);
+                    }
+                    std::hint::black_box(&_b);
+                }
+            });
+        }
+    });
+
+    let snapshot = prof.snapshot();
+    prof.disable();
+    for stack in &snapshot.stacks {
+        assert!(stack.count > 0);
+        assert!(stack.frames.len() <= relpat_obs::prof::MAX_DEPTH);
+        for frame in &stack.frames {
+            // Frames from concurrent test binaries' spans can't appear here
+            // (integration tests are their own process), so every frame is
+            // either one of ours or a resolved name from this process —
+            // never the interner's out-of-range placeholder.
+            assert!(!frame.starts_with('?'), "sampler saw uninterned tag {frame:?}");
+        }
+    }
+    assert!(snapshot.stacks.len() <= 4096, "profile store over its cap");
+}

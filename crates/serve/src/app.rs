@@ -6,12 +6,13 @@
 //! [`TraceStore`], and the shared shutdown flag that `POST /shutdown`
 //! raises for the accept loop.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use relpat_obs::{
-    counter, gauge, global, global_journal, jevent, render_prometheus, span, Json, Level,
-    TraceStore, TraceStoreConfig,
+    counter, gauge, global, global_journal, jevent, profiler, render_prometheus, span,
+    BurnReport, Json, Level, SloConfig, SloMonitor, TraceStore, TraceStoreConfig,
 };
 use relpat_qa::{Pipeline, Stage};
 use relpat_sparql::QueryResult;
@@ -21,15 +22,27 @@ use crate::http::{Request, Response};
 pub struct App {
     pipeline: OnceLock<Pipeline<'static>>,
     traces: TraceStore,
+    slo: SloMonitor,
+    /// Second (monitor clock) of the last burn-rate check, so request
+    /// handling re-evaluates the objectives at most once per second.
+    slo_last_check: AtomicU64,
     ready: AtomicBool,
     shutdown: Arc<AtomicBool>,
 }
 
 impl App {
     pub fn new(trace_config: TraceStoreConfig) -> Arc<App> {
+        Self::with_slo(trace_config, SloConfig::default())
+    }
+
+    /// An [`App`] with explicit latency/error objectives (the serve binary
+    /// builds these from `--slo-*` flags).
+    pub fn with_slo(trace_config: TraceStoreConfig, slo_config: SloConfig) -> Arc<App> {
         Arc::new(App {
             pipeline: OnceLock::new(),
             traces: TraceStore::new(trace_config),
+            slo: SloMonitor::new(slo_config),
+            slo_last_check: AtomicU64::new(0),
             ready: AtomicBool::new(false),
             shutdown: Arc::new(AtomicBool::new(false)),
         })
@@ -61,6 +74,14 @@ impl App {
     /// Routes one request. Infallible: every outcome is an HTTP response.
     pub fn handle(&self, req: &Request) -> Response {
         counter!("serve.http.requests");
+        // SLO-covered endpoints get wall-clock latency + error accounting
+        // around the whole handler (what the caller experiences).
+        let slo_endpoint = match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/answer") => Some("answer"),
+            ("POST", "/sparql") => Some("sparql"),
+            _ => None,
+        };
+        let slo_start = slo_endpoint.map(|_| Instant::now());
         let resp = match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/healthz") => Response::text(200, "ok\n"),
             ("GET", "/readyz") => {
@@ -75,6 +96,8 @@ impl App {
                 Response::prometheus(render_prometheus(&global().snapshot()))
             }
             ("GET", "/debug/store") => self.handle_debug_store(),
+            ("GET", "/debug/profile") => self.handle_profile(req),
+            ("GET", "/debug/slo") => self.handle_slo(),
             ("POST", "/answer") => self.handle_answer(req),
             ("POST", "/sparql") => self.handle_sparql(req),
             ("GET", "/traces") => self.handle_traces_list(req),
@@ -94,7 +117,89 @@ impl App {
         if resp.status >= 400 {
             counter!("serve.http.errors");
         }
+        if let (Some(endpoint), Some(start)) = (slo_endpoint, slo_start) {
+            // Objectives cover the ready-serving period: an instance still
+            // failing /readyz isn't receiving routed traffic, so its
+            // load-shedding 503s don't burn the budget. Once ready, client
+            // mistakes (4xx) don't burn it either; server faults (5xx) and
+            // slowness do.
+            if self.is_ready() {
+                let error = resp.status >= 500;
+                self.slo.record(endpoint, start.elapsed().as_nanos() as u64, error);
+                self.maybe_check_slo();
+            }
+        }
         resp
+    }
+
+    /// Re-evaluates burn rates at most once per second of request traffic —
+    /// breaches surface promptly under load without a per-request
+    /// full-window scan. `/metrics` and `/debug/slo` always check fresh.
+    fn maybe_check_slo(&self) {
+        let now = self.slo.now_s();
+        let last = self.slo_last_check.load(Ordering::Relaxed);
+        if now > last
+            && self
+                .slo_last_check
+                .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            self.slo.check(global());
+        }
+    }
+
+    /// `GET /debug/slo` — current burn rates per objective, checking (and
+    /// refreshing gauges / transition events) on the spot.
+    fn handle_slo(&self) -> Response {
+        let reports = self.slo.check(global());
+        let body = Json::obj().set(
+            "objectives",
+            Json::Arr(reports.iter().map(BurnReport::to_json).collect()),
+        );
+        Response::json(200, &body)
+    }
+
+    /// `GET /debug/profile?seconds=N[&format=json]` — observe the sampling
+    /// profiler for a window and return the collapsed-stack delta
+    /// (flamegraph-compatible text, or JSON with `format=json`).
+    ///
+    /// If the sampler is off it is enabled for the window and switched back
+    /// off afterwards. The handling worker blocks for the window (capped at
+    /// 30 s); the rest of the pool keeps serving, and those requests are
+    /// exactly the traffic the profile captures.
+    fn handle_profile(&self, req: &Request) -> Response {
+        let seconds = req
+            .query_param("seconds")
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(2.0)
+            .clamp(0.1, 30.0);
+        let prof = profiler();
+        let was_on = prof.is_enabled();
+        if !was_on {
+            prof.enable(relpat_obs::prof::DEFAULT_HZ);
+        }
+        let before = prof.snapshot();
+        std::thread::sleep(std::time::Duration::from_secs_f64(seconds));
+        let window = prof.snapshot().delta_since(&before);
+        if !was_on {
+            prof.disable();
+        }
+        jevent!(
+            Level::Info,
+            "serve.profile",
+            "seconds" => seconds,
+            "samples" => window.samples,
+            "stacks" => window.stacks.len(),
+        );
+        if req.query_param("format") == Some("json") {
+            let body = window
+                .to_json()
+                .set("rate_hz", prof.rate_hz())
+                .set("seconds", Json::Num(seconds));
+            Response::json(200, &body)
+        } else {
+            Response::text(200, window.collapsed())
+        }
     }
 
     fn handle_answer(&self, req: &Request) -> Response {
@@ -284,6 +389,11 @@ impl App {
         let traces = self.traces.stats();
         gauge!("traces.held", traces.held);
         gauge!("traces.bytes", traces.bytes);
+        // Burn-rate gauges (slo.*) refresh through the monitor itself so a
+        // scrape always sees rates computed over the current second.
+        // prof_samples_total / prof_dropped_total need no refresh here: the
+        // sampler bumps the global counters itself as it captures.
+        self.slo.check(global());
     }
 
     fn handle_trace_get(&self, path: &str) -> Response {

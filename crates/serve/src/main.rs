@@ -13,7 +13,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use relpat_kb::{generate, KbConfig};
-use relpat_obs::{global_journal, jevent, Level, TraceStoreConfig};
+use relpat_obs::{global_journal, jevent, Level, SloConfig, SloObjective, TraceStoreConfig};
 use relpat_qa::Pipeline;
 use relpat_serve::{spawn, App, ServerConfig};
 
@@ -25,6 +25,11 @@ struct Args {
     journal: Option<String>,
     trace_capacity: Option<usize>,
     sample_rate: Option<f64>,
+    profile_hz: u32,
+    slo_answer_ms: u64,
+    slo_answer_target: f64,
+    slo_error_target: f64,
+    slo_sparql_ms: u64,
 }
 
 const USAGE: &str = "relpat-serve — HTTP frontend for the relational-pattern QA pipeline
@@ -40,6 +45,11 @@ OPTIONS:
     --journal <path>                 also write journal events to a JSONL file
     --trace-capacity <n>             max retained traces [default: 1024]
     --sample-rate <f>                fast-trace sampling rate in [0,1] [default: 0.05]
+    --profile-hz <n>                 continuous-profiler sampling rate; 0 disables [default: 997]
+    --slo-answer-ms <n>              answer latency objective threshold [default: 250]
+    --slo-answer-target <f>          answer latency objective target [default: 0.99]
+    --slo-error-target <f>           answer availability objective target [default: 0.999]
+    --slo-sparql-ms <n>              sparql latency objective threshold [default: 100]
     --help                           print this help
 ";
 
@@ -52,6 +62,11 @@ fn parse_args() -> Result<Args, String> {
         journal: None,
         trace_capacity: None,
         sample_rate: None,
+        profile_hz: relpat_obs::prof::DEFAULT_HZ,
+        slo_answer_ms: 250,
+        slo_answer_target: 0.99,
+        slo_error_target: 0.999,
+        slo_sparql_ms: 100,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -83,6 +98,29 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| "invalid --sample-rate".to_string())?,
                 )
             }
+            "--profile-hz" => {
+                args.profile_hz = value("--profile-hz")?
+                    .parse()
+                    .map_err(|_| "invalid --profile-hz".to_string())?
+            }
+            "--slo-answer-ms" => {
+                args.slo_answer_ms = value("--slo-answer-ms")?
+                    .parse()
+                    .map_err(|_| "invalid --slo-answer-ms".to_string())?
+            }
+            "--slo-answer-target" => {
+                args.slo_answer_target = parse_target(&value("--slo-answer-target")?)
+                    .ok_or_else(|| "invalid --slo-answer-target (need 0 < f < 1)".to_string())?
+            }
+            "--slo-error-target" => {
+                args.slo_error_target = parse_target(&value("--slo-error-target")?)
+                    .ok_or_else(|| "invalid --slo-error-target (need 0 < f < 1)".to_string())?
+            }
+            "--slo-sparql-ms" => {
+                args.slo_sparql_ms = value("--slo-sparql-ms")?
+                    .parse()
+                    .map_err(|_| "invalid --slo-sparql-ms".to_string())?
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -91,6 +129,11 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+fn parse_target(s: &str) -> Option<f64> {
+    let v: f64 = s.parse().ok()?;
+    (v > 0.0 && v < 1.0).then_some(v)
 }
 
 fn kb_config(spec: &str) -> Result<KbConfig, String> {
@@ -143,7 +186,32 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let app = App::new(trace_config);
+    let slo_config = SloConfig {
+        objectives: vec![
+            SloObjective::latency(
+                "answer_latency",
+                "answer",
+                args.slo_answer_ms,
+                args.slo_answer_target,
+            ),
+            SloObjective::errors("answer_errors", "answer", args.slo_error_target),
+            SloObjective::latency(
+                "sparql_latency",
+                "sparql",
+                args.slo_sparql_ms,
+                args.slo_answer_target,
+            ),
+        ],
+        ..SloConfig::default()
+    };
+    // The continuous profiler is on by default in the serving plane (and
+    // only here — offline tools opt in). `--profile-hz 0` turns it off;
+    // `GET /debug/profile` can still enable it for one window.
+    if args.profile_hz > 0 {
+        relpat_obs::profiler().enable(args.profile_hz);
+    }
+
+    let app = App::with_slo(trace_config, slo_config);
     let mut server_config = ServerConfig::default();
     if let Some(workers) = args.workers {
         server_config.workers = workers;
@@ -169,6 +237,11 @@ fn main() -> ExitCode {
     );
 
     server.join();
+    // Drain order: stop sampling first (no profile mutation after the last
+    // request), then flush the journal so the `serve.drain` events land in
+    // the flight-recorder file.
+    relpat_obs::profiler().disable();
+    global_journal().flush();
     println!("drained");
     ExitCode::SUCCESS
 }

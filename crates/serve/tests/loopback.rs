@@ -252,9 +252,69 @@ fn full_telemetry_plane_over_loopback() {
         .collect();
     assert!(stages.contains(&"serve.ready"), "{stages:?}");
 
+    // SLO plane: burn rates are live per objective, and the gauges reach
+    // the exposition. Loopback answers over the tiny KB are fast and
+    // succeed, so nothing may be breached.
+    let (status, body) = get(addr, "/debug/slo");
+    assert_eq!(status, 200, "{body}");
+    let slo = Json::parse(&body).unwrap();
+    let objectives = slo.get("objectives").and_then(Json::as_array).unwrap();
+    assert_eq!(objectives.len(), 3, "{body}");
+    let names: Vec<&str> =
+        objectives.iter().filter_map(|o| o.get("objective").and_then(Json::as_str)).collect();
+    for name in ["answer_latency", "answer_errors", "sparql_latency"] {
+        assert!(names.contains(&name), "{names:?}");
+    }
+    for o in objectives {
+        assert_eq!(o.get("breached").and_then(Json::as_bool), Some(false), "{body}");
+    }
+    let (_, exposition) = get(addr, "/metrics");
+    for gauge in [
+        "slo_answer_latency_burn_1m",
+        "slo_answer_latency_burn_5m",
+        "slo_answer_latency_burn_1h",
+        "slo_answer_latency_breached",
+        "slo_answer_errors_burn_1m",
+        "slo_sparql_latency_burn_1m",
+    ] {
+        assert!(exposition.contains(&format!("# TYPE {gauge} gauge")), "missing gauge {gauge}");
+    }
+    assert_eq!(metric_value(&exposition, "slo_answer_latency_breached"), Some(0.0));
+
+    // Continuous profiler: request a one-second window from a second
+    // connection while this thread keeps answering — the worker pool serves
+    // both, and the answer traffic is exactly what the window captures.
+    let profile = std::thread::spawn(move || get(addr, "/debug/profile?seconds=1"));
+    let deadline = std::time::Instant::now() + Duration::from_millis(1300);
+    let payload = Json::obj().set("question", TABLE2_QUESTIONS[0]).to_string();
+    while std::time::Instant::now() < deadline {
+        let (status, _) = post(addr, "/answer", &payload);
+        assert_eq!(status, 200);
+    }
+    let (status, collapsed) = profile.join().expect("profile request thread");
+    assert_eq!(status, 200, "{collapsed}");
+    assert!(!collapsed.trim().is_empty(), "profile window over live traffic came back empty");
+    assert!(
+        collapsed.contains("serve.answer_ns"),
+        "serve span must appear in the profile:\n{collapsed}"
+    );
+    assert!(
+        collapsed.contains("qa.") && collapsed.contains(';'),
+        "nested pipeline stages must appear under the serve span:\n{collapsed}"
+    );
+    // The sampler's work is accounted, and the JSON form agrees.
+    let (_, exposition) = get(addr, "/metrics");
+    assert!(metric_value(&exposition, "prof_samples_total").unwrap() > 0.0, "{exposition}");
+    let (status, body) = get(addr, "/debug/profile?seconds=0.1&format=json");
+    assert_eq!(status, 200);
+    let json = Json::parse(&body).expect("profile JSON parses");
+    assert!(json.get("samples").and_then(Json::as_u64).is_some(), "{body}");
+    assert!(json.get("rate_hz").and_then(Json::as_u64).unwrap() > 0, "{body}");
+
     // Graceful drain: park a request mid-body, raise shutdown, then finish
     // the body — the in-flight request must still get its full response.
-    let accepted_base = metric_value(&after, "serve_http_accepted_total").unwrap();
+    let (_, pre_drain) = get(addr, "/metrics");
+    let accepted_base = metric_value(&pre_drain, "serve_http_accepted_total").unwrap();
     let question = r#"{"question": "Which book is written by Orhan Pamuk?"}"#;
     let mut parked = TcpStream::connect(addr).expect("connect parked");
     parked.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
